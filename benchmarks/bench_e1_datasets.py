@@ -1,0 +1,48 @@
+"""E1 — dataset statistics table (paper analogue: the "Datasets" table).
+
+For every registered dataset: nodes, edges, maximum out/in degree, number of
+weakly connected components, and the maximum [x, y]-core product (the
+quantity that drives both the approximation guarantee and the exact pruning).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.harness import format_table
+from repro.core.xycore import max_xy_core
+from repro.datasets.registry import dataset_names, dataset_specs, load_dataset
+from repro.graph.properties import graph_summary
+
+
+def _dataset_row(name: str) -> dict:
+    graph = load_dataset(name)
+    summary = graph_summary(graph)
+    core = max_xy_core(graph)
+    spec = next(spec for spec in dataset_specs() if spec.name == name)
+    return {
+        "dataset": name,
+        "tier": spec.tier,
+        "nodes": summary["nodes"],
+        "edges": summary["edges"],
+        "max_dout": summary["max_out_degree"],
+        "max_din": summary["max_in_degree"],
+        "components": summary["components"],
+        "core_x": core.x,
+        "core_y": core.y,
+        "core_xy": core.product,
+    }
+
+
+def test_e1_dataset_statistics(benchmark):
+    small_and_medium = dataset_names("small") + dataset_names("medium")
+
+    def build_table():
+        return [_dataset_row(name) for name in small_and_medium]
+
+    rows = benchmark.pedantic(build_table, rounds=1, iterations=1)
+    # Large datasets are included in the printed table but kept out of the
+    # timed section so the benchmark number reflects a stable workload.
+    rows = rows + [_dataset_row(name) for name in dataset_names("large")]
+    emit(format_table(rows, title="E1: dataset statistics (paper Table 'Datasets')"))
+    assert all(row["edges"] > 0 for row in rows)

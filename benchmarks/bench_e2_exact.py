@@ -1,0 +1,67 @@
+"""E2 — efficiency of the exact algorithms (paper analogue: exact-runtime figure).
+
+FlowExact (the O(n^2)-ratio baseline) is run only on the two tiniest
+datasets; DCExact and CoreExact run on every small dataset.  The expected
+shape: CoreExact <= DCExact << FlowExact, with the gap growing with graph
+size — the paper's headline result.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import format_table, run_method_on_dataset
+from repro.core.api import densest_subgraph
+from repro.datasets.registry import dataset_names, load_dataset
+
+BASELINE_DATASETS = ["foodweb-tiny", "social-tiny"]
+FAST_EXACT_METHODS = ["dc-exact", "core-exact"]
+
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset", BASELINE_DATASETS)
+def test_e2_flow_exact(benchmark, dataset):
+    graph = load_dataset(dataset)
+    result = benchmark.pedantic(
+        lambda: densest_subgraph(graph, method="flow-exact"), rounds=1, iterations=1
+    )
+    _rows.append(
+        {
+            "dataset": dataset,
+            "method": "flow-exact",
+            "density": round(result.density, 4),
+            "flow_calls": result.stats["flow_calls"],
+        }
+    )
+    assert result.is_exact
+
+
+@pytest.mark.parametrize("dataset", dataset_names("small"))
+@pytest.mark.parametrize("method", FAST_EXACT_METHODS)
+def test_e2_dc_and_core_exact(benchmark, dataset, method):
+    graph = load_dataset(dataset)
+    record = benchmark.pedantic(
+        lambda: run_method_on_dataset("E2", dataset, graph, method), rounds=1, iterations=1
+    )
+    _rows.append(
+        {
+            "dataset": dataset,
+            "method": method,
+            "density": round(record.result.density, 4),
+            "flow_calls": record.result.stats["flow_calls"],
+            "seconds": round(record.seconds, 3),
+        }
+    )
+    assert record.result.is_exact
+
+
+def test_e2_emit_table(benchmark):
+    text = benchmark.pedantic(
+        lambda: format_table(_rows, title="E2: exact-algorithm efficiency (runtime via pytest-benchmark)"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(text)
+    assert _rows

@@ -1,0 +1,51 @@
+"""E3 — efficiency of the approximation algorithms (paper analogue: approx-runtime figure).
+
+PeelApprox (the ratio-sweep peeling baseline), IncApprox (full skyline
+decomposition), and CoreApprox (the paper's algorithm) on the medium and
+large datasets.  Expected shape: CoreApprox is the fastest, IncApprox sits in
+between, and the gap over PeelApprox widens with graph size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import format_table, run_method_on_dataset
+from repro.datasets.registry import dataset_names, load_dataset
+
+MEDIUM_DATASETS = dataset_names("medium")
+LARGE_DATASETS = ["web-large", "planted-large"]
+_rows: list[dict] = []
+
+
+@pytest.mark.parametrize("dataset", MEDIUM_DATASETS)
+@pytest.mark.parametrize("method", ["peel-approx", "inc-approx", "core-approx"])
+def test_e3_medium(benchmark, dataset, method):
+    graph = load_dataset(dataset)
+    record = benchmark.pedantic(
+        lambda: run_method_on_dataset("E3", dataset, graph, method), rounds=1, iterations=1
+    )
+    _rows.append(record.row())
+    assert record.result.density > 0
+
+
+@pytest.mark.parametrize("dataset", LARGE_DATASETS)
+@pytest.mark.parametrize("method", ["peel-approx", "core-approx"])
+def test_e3_large(benchmark, dataset, method):
+    graph = load_dataset(dataset)
+    record = benchmark.pedantic(
+        lambda: run_method_on_dataset("E3", dataset, graph, method), rounds=1, iterations=1
+    )
+    _rows.append(record.row())
+    assert record.result.density > 0
+
+
+def test_e3_emit_table(benchmark):
+    text = benchmark.pedantic(
+        lambda: format_table(_rows, title="E3: approximation-algorithm efficiency"),
+        rounds=1,
+        iterations=1,
+    )
+    emit(text)
+    assert _rows

@@ -1,0 +1,49 @@
+"""E5 — scalability with graph size (paper analogue: the "vary |E|" figure).
+
+Each approximation algorithm is timed on edge-sampled prefixes (20%..100%) of
+a large heavy-tailed graph.  Expected shape: both algorithms grow roughly
+linearly in the number of edges, with CoreApprox holding a sizeable constant-
+factor lead over the peeling baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import format_series
+from repro.bench.workloads import edge_fraction_subgraph
+from repro.core.api import densest_subgraph
+from repro.datasets.registry import load_dataset
+from repro.utils.timer import time_call
+
+FRACTIONS = (0.2, 0.4, 0.6, 0.8, 1.0)
+DATASET = "citation-large"
+_series: dict[str, list[tuple[str, float]]] = {"core-approx": [], "peel-approx": []}
+
+
+@pytest.mark.parametrize("fraction", FRACTIONS)
+@pytest.mark.parametrize("method", ["core-approx", "peel-approx"])
+def test_e5_scalability(benchmark, fraction, method):
+    base = load_dataset(DATASET)
+    sample = edge_fraction_subgraph(base, fraction, seed=int(fraction * 100))
+    result, seconds = time_call(lambda: densest_subgraph(sample, method=method))
+    benchmark.pedantic(
+        lambda: densest_subgraph(sample, method=method), rounds=1, iterations=1
+    )
+    _series[method].append((f"{int(fraction * 100)}% ({sample.num_edges} edges)", seconds))
+    assert result.density > 0
+
+
+def test_e5_emit_series(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for method, points in _series.items():
+        emit(
+            format_series(
+                "edge fraction",
+                "seconds",
+                points,
+                title=f"E5: scalability of {method} on {DATASET}",
+            )
+        )
+    assert all(_series.values())

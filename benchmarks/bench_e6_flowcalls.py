@@ -1,0 +1,69 @@
+"""E6 — number of max-flow computations / ratios examined (paper analogue:
+the table explaining *why* the divide-and-conquer wins).
+
+FlowExact performs one full binary search per candidate ratio (Theta(n^2)
+searches); DCExact examines only the ratios its recursion cannot skip;
+CoreExact additionally shrinks every network.  The printed table reports, per
+small dataset: candidate-ratio count, ratios actually examined, and total
+min-cut computations.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import format_table
+from repro.core.api import densest_subgraph
+from repro.core.ratio import all_candidate_ratios
+from repro.datasets.registry import dataset_names, load_dataset
+
+_rows: list[dict] = []
+
+BASELINE_DATASETS = ["foodweb-tiny", "social-tiny"]
+
+
+@pytest.mark.parametrize("dataset", BASELINE_DATASETS)
+def test_e6_flow_exact_counts(benchmark, dataset):
+    graph = load_dataset(dataset)
+    result = benchmark.pedantic(
+        lambda: densest_subgraph(graph, method="flow-exact"), rounds=1, iterations=1
+    )
+    _rows.append(
+        {
+            "dataset": dataset,
+            "method": "flow-exact",
+            "candidate_ratios": len(all_candidate_ratios(graph.num_nodes)),
+            "ratios_examined": result.stats["ratios_examined"],
+            "flow_calls": result.stats["flow_calls"],
+        }
+    )
+
+
+@pytest.mark.parametrize("dataset", dataset_names("small"))
+@pytest.mark.parametrize("method", ["dc-exact", "core-exact"])
+def test_e6_dc_core_counts(benchmark, dataset, method):
+    graph = load_dataset(dataset)
+    result = benchmark.pedantic(
+        lambda: densest_subgraph(graph, method=method), rounds=1, iterations=1
+    )
+    _rows.append(
+        {
+            "dataset": dataset,
+            "method": method,
+            "candidate_ratios": len(all_candidate_ratios(graph.num_nodes)),
+            "ratios_examined": result.stats["ratios_examined"],
+            "flow_calls": result.stats["flow_calls"],
+            "intervals_pruned": result.stats["intervals_pruned"],
+        }
+    )
+
+
+def test_e6_emit_table(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(format_table(_rows, title="E6: ratios examined and max-flow calls per exact algorithm"))
+    # The divide-and-conquer algorithms must examine far fewer ratios than the
+    # candidate-ratio count on every dataset.
+    for row in _rows:
+        if row["method"] != "flow-exact":
+            assert row["ratios_examined"] < row["candidate_ratios"]

@@ -1,0 +1,69 @@
+"""E7 — flow-network shrinkage from core-based pruning (paper analogue: the
+"size of flow networks across iterations" figure).
+
+For one small dataset, report the sizes (node counts) of the successive
+decision networks built by DCExact (always the whole graph) and by CoreExact
+(restricted to the containing [x, y]-core, which tightens as the incumbent
+improves).  The expected shape: CoreExact's networks start comparable and
+then collapse to a small fraction of DCExact's.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import emit
+
+from repro.bench.harness import format_series, format_table
+from repro.core.api import densest_subgraph
+from repro.datasets.registry import load_dataset
+
+DATASETS = ["advogato-small", "flights-small"]
+_rows: list[dict] = []
+_series: list[str] = []
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("method", ["dc-exact", "core-exact"])
+def test_e7_network_sizes(benchmark, dataset, method):
+    graph = load_dataset(dataset)
+    result = benchmark.pedantic(
+        lambda: densest_subgraph(graph, method=method), rounds=1, iterations=1
+    )
+    sizes = result.stats["network_nodes"]
+    assert sizes, "exact solvers must build at least one network"
+    _rows.append(
+        {
+            "dataset": dataset,
+            "method": method,
+            "networks_built": len(sizes),
+            "first_network_nodes": sizes[0],
+            "median_network_nodes": sorted(sizes)[len(sizes) // 2],
+            "last_network_nodes": sizes[-1],
+            "min_network_nodes": min(sizes),
+        }
+    )
+    # Sampled trajectory (every ~10th network) for the figure-style series.
+    step = max(len(sizes) // 12, 1)
+    points = [(index, float(size)) for index, size in enumerate(sizes)][::step]
+    _series.append(
+        format_series(
+            "flow call #",
+            "network nodes",
+            points,
+            title=f"E7: network-size trajectory — {method} on {dataset}",
+        )
+    )
+
+
+def test_e7_emit(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    emit(format_table(_rows, title="E7: decision-network sizes (core pruning effect)"))
+    for series in _series:
+        emit(series)
+    # CoreExact's smallest network must be (much) smaller than DCExact's on
+    # the same dataset.
+    by_key = {(row["dataset"], row["method"]): row for row in _rows}
+    for dataset in DATASETS:
+        core_row = by_key[(dataset, "core-exact")]
+        dc_row = by_key[(dataset, "dc-exact")]
+        assert core_row["min_network_nodes"] <= dc_row["min_network_nodes"]

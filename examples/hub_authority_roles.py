@@ -1,0 +1,44 @@
+"""Case study: recovering hub and authority pages in a web-like graph.
+
+The generator plants a block of "hub" pages that link to almost every page in
+a set of "authority" pages, inside a sparse random background.  The directed
+densest subgraph recovers the two roles as its S side (hubs) and T side
+(authorities); the example also reports what an exact solver finds and how
+close the 2-approximation gets.
+
+Run with::
+
+    python examples/hub_authority_roles.py
+"""
+
+from __future__ import annotations
+
+from repro import densest_subgraph
+from repro.datasets.casestudy import hub_authority_case, precision_recall
+
+
+def main() -> None:
+    case = hub_authority_case(n_pages=500, n_hubs=10, n_authorities=15, seed=8)
+    graph = case.graph
+    print(f"web graph: {graph.num_nodes} pages, {graph.num_edges} links\n")
+
+    exact = densest_subgraph(graph, method="core-exact")
+    approx = densest_subgraph(graph, method="core-approx")
+
+    for label, result in (("core-exact", exact), ("core-approx", approx)):
+        hub_precision, hub_recall = precision_recall(result.s_nodes, case.true_s)
+        auth_precision, auth_recall = precision_recall(result.t_nodes, case.true_t)
+        print(f"[{label}]")
+        print(f"  density = {result.density:.3f}  |S| = {result.s_size}  |T| = {result.t_size}")
+        print(f"  hub recovery:       precision = {hub_precision:.2f}, recall = {hub_recall:.2f}")
+        print(f"  authority recovery: precision = {auth_precision:.2f}, recall = {auth_recall:.2f}")
+        if result.stats.get("flow_calls") is not None:
+            print(f"  max-flow calls: {result.stats['flow_calls']}")
+        print()
+
+    ratio = approx.density / exact.density if exact.density else 0.0
+    print(f"approximation quality: rho(core-approx) / rho(exact) = {ratio:.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Case study: detecting a review-boosting ring in a rating graph.
+
+A group of fraudulent accounts rates a small set of products almost
+exhaustively, while honest users rate a few random products each.  Because
+rating edges are directed (user -> product), the densest *directed* subgraph
+separates the two roles: ``S`` recovers the fraudulent accounts and ``T`` the
+boosted products.  The script also runs the undirected densest subgraph on
+the same data to show that ignoring direction mixes the roles together.
+
+Run with::
+
+    python examples/rating_fraud.py
+"""
+
+from __future__ import annotations
+
+from repro import densest_subgraph
+from repro.datasets.casestudy import precision_recall, rating_fraud_case
+from repro.undirected import charikar_peel
+
+
+def main() -> None:
+    case = rating_fraud_case(
+        n_users=400,
+        n_products=200,
+        n_fraud_users=12,
+        n_boosted_products=8,
+        seed=7,
+    )
+    graph = case.graph
+    print(f"rating graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
+    print(f"planted ring: {len(case.true_s)} fraudulent users x {len(case.true_t)} boosted products\n")
+
+    result = densest_subgraph(graph, method="core-approx")
+    s_precision, s_recall = precision_recall(result.s_nodes, case.true_s)
+    t_precision, t_recall = precision_recall(result.t_nodes, case.true_t)
+
+    print("[directed densest subgraph: core-approx]")
+    print(f"  density = {result.density:.3f}, |S| = {result.s_size}, |T| = {result.t_size}")
+    print(f"  fraud-user recovery:  precision = {s_precision:.2f}, recall = {s_recall:.2f}")
+    print(f"  boosted-product recovery: precision = {t_precision:.2f}, recall = {t_recall:.2f}\n")
+
+    undirected = charikar_peel(graph)
+    mixed_precision, _ = precision_recall(undirected.nodes, case.true_s)
+    print("[undirected densest subgraph: charikar peel]")
+    print(f"  edge density = {undirected.density:.3f}, |H| = {undirected.size}")
+    print(
+        "  the undirected answer mixes users and products into one set "
+        f"(only {mixed_precision:.0%} of it are fraudulent users), so the roles are lost"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``setup.cfg``; this file exists so that
+legacy editable installs (``pip install -e .`` with older setuptools/pip
+stacks that lack the ``wheel`` package, as in the offline evaluation
+environment) keep working.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,31 @@
+"""Benchmark harness: workload construction, runners, and table printers.
+
+The modules here contain everything the ``benchmarks/`` directory needs that
+is *not* a pytest-benchmark fixture: dataset/algorithm matrices, result
+collection, and plain-text table/series rendering so each experiment prints
+the same kind of rows the paper's tables and figures report.
+"""
+
+from repro.bench.harness import (
+    ExperimentRecord,
+    format_series,
+    format_table,
+    run_method_on_dataset,
+)
+from repro.bench.workloads import (
+    approx_method_matrix,
+    edge_fraction_subgraph,
+    exact_method_matrix,
+    quality_reference_density,
+)
+
+__all__ = [
+    "ExperimentRecord",
+    "run_method_on_dataset",
+    "format_table",
+    "format_series",
+    "exact_method_matrix",
+    "approx_method_matrix",
+    "edge_fraction_subgraph",
+    "quality_reference_density",
+]

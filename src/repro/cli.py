@@ -1,0 +1,164 @@
+"""Command-line interface: ``dds-repro`` (or ``python -m repro``).
+
+Sub-commands
+------------
+``find``      run a DDS algorithm on an edge-list file or a named dataset
+``core``      compute an [x, y]-core or the maximum-product core
+``datasets``  list the registered synthetic datasets
+``summary``   print structural statistics of a graph
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.core.api import available_methods, densest_subgraph
+from repro.core.topk import top_k_densest
+from repro.core.xycore import max_xy_core, xy_core
+from repro.datasets.registry import dataset_specs, load_dataset
+from repro.graph.io import read_edge_list
+from repro.graph.properties import graph_summary
+
+
+def _load_graph(args: argparse.Namespace):
+    if args.dataset is not None:
+        return load_dataset(args.dataset)
+    if args.edge_list is not None:
+        return read_edge_list(args.edge_list)
+    raise SystemExit("either --dataset or --edge-list is required")
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", help="name of a registered synthetic dataset")
+    parser.add_argument("--edge-list", help="path to a whitespace-separated edge-list file")
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = densest_subgraph(graph, method=args.method)
+    payload = {
+        "method": result.method,
+        "density": result.density,
+        "edge_count": result.edge_count,
+        "s_size": result.s_size,
+        "t_size": result.t_size,
+        "is_exact": result.is_exact,
+    }
+    if args.show_nodes:
+        payload["s_nodes"] = [str(node) for node in result.s_nodes]
+        payload["t_nodes"] = [str(node) for node in result.t_nodes]
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_core(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    if args.x is not None and args.y is not None:
+        core = xy_core(graph, args.x, args.y)
+    else:
+        core = max_xy_core(graph)
+    payload = {
+        "x": core.x,
+        "y": core.y,
+        "s_size": len(core.s_nodes),
+        "t_size": len(core.t_nodes),
+        "empty": core.is_empty,
+    }
+    if args.show_nodes:
+        payload["s_nodes"] = [str(graph.label_of(i)) for i in core.s_nodes]
+        payload["t_nodes"] = [str(graph.label_of(i)) for i in core.t_nodes]
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    results = top_k_densest(graph, args.k, method=args.method, min_density=args.min_density)
+    payload = [
+        {
+            "rank": rank,
+            "density": result.density,
+            "edge_count": result.edge_count,
+            "s_size": result.s_size,
+            "t_size": result.t_size,
+        }
+        for rank, result in enumerate(results, start=1)
+    ]
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_datasets(_: argparse.Namespace) -> int:
+    for spec in dataset_specs():
+        print(f"{spec.name:18s} [{spec.tier:6s}] {spec.description} (analogue: {spec.paper_analogue})")
+    return 0
+
+
+def _cmd_summary(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    print(json.dumps(graph_summary(graph), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="dds-repro",
+        description="Densest subgraph discovery on directed graphs (SIGMOD 2020 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    find = subparsers.add_parser("find", help="run a DDS algorithm")
+    _add_graph_source(find)
+    find.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto"] + available_methods(),
+        help="algorithm to run (default: auto)",
+    )
+    find.add_argument("--show-nodes", action="store_true", help="include the node lists")
+    find.set_defaults(handler=_cmd_find)
+
+    core = subparsers.add_parser("core", help="compute an [x, y]-core")
+    _add_graph_source(core)
+    core.add_argument("--x", type=int, default=None, help="required out-degree into T")
+    core.add_argument("--y", type=int, default=None, help="required in-degree from S")
+    core.add_argument("--show-nodes", action="store_true", help="include the node lists")
+    core.set_defaults(handler=_cmd_core)
+
+    topk = subparsers.add_parser("top-k", help="greedy edge-disjoint top-k dense pairs")
+    _add_graph_source(topk)
+    topk.add_argument("--k", type=int, default=3, help="number of pairs to extract")
+    topk.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto"] + available_methods(),
+        help="algorithm used for each round (default: auto)",
+    )
+    topk.add_argument(
+        "--min-density", type=float, default=0.0, help="stop once the best density drops below this"
+    )
+    topk.set_defaults(handler=_cmd_topk)
+
+    datasets = subparsers.add_parser("datasets", help="list registered datasets")
+    datasets.set_defaults(handler=_cmd_datasets)
+
+    summary = subparsers.add_parser("summary", help="print graph statistics")
+    _add_graph_source(summary)
+    summary.set_defaults(handler=_cmd_summary)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point (returns a process exit code)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,81 @@
+"""Top-level entry point: :func:`densest_subgraph`.
+
+This is the one function most downstream users need.  It dispatches to the
+individual algorithms by name and picks a sensible default automatically:
+exact CoreExact on small graphs, CoreApprox on large ones.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.approx_core import core_approx, inc_approx
+from repro.core.approx_peel import peel_approx
+from repro.core.bruteforce import brute_force_dds
+from repro.core.exact_core import core_exact
+from repro.core.exact_dc import dc_exact
+from repro.core.exact_flow import flow_exact
+from repro.core.results import DDSResult
+from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.graph.digraph import DiGraph
+
+#: Above this node count ``method="auto"`` switches from exact to approximate.
+AUTO_EXACT_NODE_LIMIT = 400
+
+_METHODS: dict[str, Callable[..., DDSResult]] = {
+    "flow-exact": flow_exact,
+    "dc-exact": dc_exact,
+    "core-exact": core_exact,
+    "core-approx": core_approx,
+    "inc-approx": inc_approx,
+    "peel-approx": peel_approx,
+    "brute-force": brute_force_dds,
+}
+
+
+def available_methods() -> list[str]:
+    """Names accepted by :func:`densest_subgraph` (besides ``"auto"``)."""
+    return sorted(_METHODS)
+
+
+def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResult:
+    """Find the (exact or approximate) directed densest subgraph of ``graph``.
+
+    Parameters
+    ----------
+    graph:
+        Input :class:`~repro.graph.DiGraph` with at least one edge.
+    method:
+        One of ``"auto"``, ``"core-exact"``, ``"dc-exact"``, ``"flow-exact"``,
+        ``"core-approx"``, ``"inc-approx"``, ``"peel-approx"``,
+        ``"brute-force"``.  ``"auto"`` uses CoreExact when the graph has at
+        most :data:`AUTO_EXACT_NODE_LIMIT` nodes and CoreApprox otherwise.
+    **kwargs:
+        Forwarded to the chosen algorithm (e.g. ``epsilon=`` for
+        ``peel-approx`` or ``tolerance=`` for the exact solvers).
+
+    Returns
+    -------
+    DDSResult
+        The pair ``(S, T)``, its density, and per-algorithm statistics.
+
+    Examples
+    --------
+    >>> from repro.graph import complete_bipartite_digraph
+    >>> result = densest_subgraph(complete_bipartite_digraph(2, 3), method="core-exact")
+    >>> round(result.density, 4)
+    2.4495
+    """
+    if graph.num_edges == 0:
+        raise EmptyGraphError("densest_subgraph requires a graph with at least one edge")
+    if method == "auto":
+        chosen = "core-exact" if graph.num_nodes <= AUTO_EXACT_NODE_LIMIT else "core-approx"
+        result = _METHODS[chosen](graph, **kwargs)
+        result.stats["auto_selected"] = chosen
+        return result
+    solver = _METHODS.get(method)
+    if solver is None:
+        raise AlgorithmError(
+            f"unknown method {method!r}; available: {', '.join(available_methods())} or 'auto'"
+        )
+    return solver(graph, **kwargs)

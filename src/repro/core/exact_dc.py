@@ -1,0 +1,369 @@
+"""Divide-and-conquer exact DDS solvers (``DCExact`` and the core of ``CoreExact``).
+
+Instead of examining all ``O(n^2)`` candidate ratios ``|S|/|T| = i/j``, the
+driver recursively subdivides the ratio interval ``[1/n, n]``.  Processing an
+interval ``[lo, hi]`` probes the surrogate objective at the geometric
+midpoint ``c = sqrt(lo*hi)`` and then removes from further consideration a
+*skip region* around ``c`` that provably cannot contain the ratio of any pair
+better than the incumbent:
+
+* **window skip** — writing every pair's surrogate at ``c`` as
+  ``rho(P) / cosh(delta_P)`` with ``delta_P = ln(r_P / c) / 2``, any ratio
+  ``r`` with ``cosh(|ln(r/c)|/2) <= incumbent / upper(val(c))`` is covered:
+  a pair at such a ratio has ``rho <= val(c) * cosh <= incumbent``.
+* **ratio-skipping lemma** — let ``P'`` be the pair extracted at the highest
+  successful guess (a near-maximiser of the surrogate, within
+  ``eps = upper - surrogate(P')``) and ``c' = |S'|/|T'|`` its ratio.  For any
+  pair ``Q`` whose ratio lies strictly between ``c`` and ``c'``:
+  ``rho(Q) = surrogate_c(Q) * cosh(delta_Q) <= (surrogate_c(P') + eps) *
+  cosh(delta_{P'}) = rho(P') + eps * cosh(delta_{P'})``, because
+  ``|delta_Q| <= |delta_{P'}|``.  Whenever ``eps * cosh(delta_{P'})`` is below
+  the minimum gap between distinct achievable densities, every such ``Q`` is
+  no better than ``P'`` — whose true density has already been folded into the
+  incumbent — so the whole open interval ``(c, c')`` can be skipped.
+
+Whatever is not covered by the skip region is pushed back as (at most two)
+child intervals together with a tightened conditional upper bound
+``min(parent_upper, f(lo,hi) * upper(val(c)))`` which is valid whenever the
+optimal ratio lies inside the child.  Intervals containing at most a handful
+of distinct candidate ratios are leaves: each not-yet-examined ratio gets one
+full-precision fixed-ratio search.
+
+``CoreExact`` is the same driver with ``use_core_restriction`` switched on:
+each interval's search space is shrunk to the [x, y]-core that must contain
+any optimum beating the incumbent whose ratio falls in that interval
+(:func:`repro.core.bounds.containing_core`).  All skip arguments remain sound
+under the restriction because whenever they could cut off the true optimum,
+the containment lemma places that optimum inside the restricted core, which
+forces the incumbent to already be optimal (the detailed argument is spelled
+out in DESIGN.md and exercised by the brute-force comparison property tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Any
+
+from repro.core.approx_peel import peel_fixed_ratio
+from repro.core.bounds import containing_core, core_based_bounds
+from repro.core.density import (
+    directed_density_from_indices,
+    exactness_tolerance,
+    global_density_upper_bound,
+    interval_relaxation_factor,
+)
+from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.ratio import (
+    candidate_ratios_in_interval,
+    count_candidate_ratios_in_interval,
+)
+from repro.core.results import DDSResult
+from repro.core.subproblem import STSubproblem
+from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.graph.digraph import DiGraph
+
+#: Intervals containing at most this many distinct candidate ratios are leaves.
+LEAF_RATIO_COUNT = 2
+
+#: Soft precision (relative to the incumbent) used by interior probes; probes
+#: that turn out to beat the incumbent are automatically refined further.
+PROBE_COARSE_FRACTION = 0.01
+
+
+@dataclass
+class _SearchState:
+    """Mutable incumbent + instrumentation shared across the recursion."""
+
+    best_s: list[int] = field(default_factory=list)
+    best_t: list[int] = field(default_factory=list)
+    best_density: float = 0.0
+    flow_calls: int = 0
+    ratios_examined: int = 0
+    intervals_processed: int = 0
+    intervals_pruned: int = 0
+    leaf_ratios: int = 0
+    examined_exact_ratios: set[Fraction] = field(default_factory=set)
+    network_nodes: list[int] = field(default_factory=list)
+    network_arcs: list[int] = field(default_factory=list)
+
+    def offer(self, s_nodes: list[int], t_nodes: list[int], density: float) -> None:
+        """Adopt ``(S, T)`` as the incumbent if it is strictly denser."""
+        if density > self.best_density and s_nodes and t_nodes:
+            self.best_density = density
+            self.best_s = list(s_nodes)
+            self.best_t = list(t_nodes)
+
+    def absorb_outcome(self, outcome: Any) -> None:
+        """Merge instrumentation and incumbent information from a probe."""
+        self.flow_calls += outcome.flow_calls
+        self.network_nodes.extend(outcome.network_nodes)
+        self.network_arcs.extend(outcome.network_arcs)
+        if outcome.found_pair:
+            self.offer(outcome.best_s, outcome.best_t, outcome.best_density)
+
+    def stats(self) -> dict[str, Any]:
+        """Instrumentation dictionary stored on the final result."""
+        return {
+            "flow_calls": self.flow_calls,
+            "ratios_examined": self.ratios_examined,
+            "intervals_processed": self.intervals_processed,
+            "intervals_pruned": self.intervals_pruned,
+            "leaf_ratios": self.leaf_ratios,
+            "network_nodes": self.network_nodes,
+            "network_arcs": self.network_arcs,
+        }
+
+
+def _skip_region(
+    probe_ratio: float,
+    value_upper: float,
+    incumbent: float,
+    last_s: list[int],
+    last_t: list[int],
+    last_surrogate: float,
+    density_gap: float,
+) -> tuple[float, float]:
+    """The ratio window around ``probe_ratio`` that cannot beat the incumbent.
+
+    Returns ``(left_edge, right_edge)``: every candidate ratio strictly inside
+    the open-ended region between the edges is provably unable to host a pair
+    denser than the incumbent (window skip and/or ratio-skipping lemma — see
+    the module docstring).  When nothing can be skipped both edges equal
+    ``probe_ratio``.
+    """
+    left_edge = probe_ratio
+    right_edge = probe_ratio
+    if value_upper > 0 and incumbent >= value_upper:
+        # Window skip: r with cosh(|ln(r / c)| / 2) <= incumbent / value_upper.
+        half_width = 2.0 * math.acosh(incumbent / value_upper)
+        left_edge = probe_ratio * math.exp(-half_width)
+        right_edge = probe_ratio * math.exp(half_width)
+    if last_s and last_t and last_surrogate > 0:
+        maximiser_ratio = len(last_s) / len(last_t)
+        epsilon = max(value_upper - last_surrogate, 0.0)
+        delta = 0.5 * abs(math.log(maximiser_ratio / probe_ratio))
+        if epsilon * math.cosh(delta) < density_gap:
+            # Ratio-skipping lemma: the open interval between the probe ratio
+            # and the maximiser's ratio cannot beat the incumbent.
+            if maximiser_ratio > probe_ratio:
+                right_edge = max(right_edge, maximiser_ratio)
+            else:
+                left_edge = min(left_edge, maximiser_ratio)
+    return left_edge, right_edge
+
+
+def _seed_incumbent_with_peeling(graph: DiGraph, state: _SearchState) -> None:
+    """Cheap incumbent: one two-sided peel at ratio 1 (linear time)."""
+    subproblem = STSubproblem.from_graph(graph)
+    s_nodes, t_nodes, density = peel_fixed_ratio(subproblem, 1.0)
+    state.offer(s_nodes, t_nodes, density)
+
+
+def _seed_incumbent_with_core(graph: DiGraph, state: _SearchState) -> float:
+    """Incumbent from the max-product [x, y]-core; returns the core upper bound."""
+    bounds = core_based_bounds(graph)
+    if not bounds.is_trivial:
+        state.offer(bounds.core.s_nodes, bounds.core.t_nodes, bounds.core_density)
+        return bounds.upper
+    return math.inf
+
+
+def _dc_driver(
+    graph: DiGraph,
+    method: str,
+    use_core_restriction: bool,
+    seed_with_core: bool,
+    tolerance: float | None,
+    leaf_ratio_count: int,
+) -> DDSResult:
+    if graph.num_edges == 0:
+        raise EmptyGraphError(f"{method} requires a graph with at least one edge")
+    n = graph.num_nodes
+    tolerance = tolerance if tolerance is not None else exactness_tolerance(graph)
+    if tolerance <= 0:
+        raise AlgorithmError("tolerance must be positive")
+    density_gap = exactness_tolerance(graph)
+    # Interior probes refine until the ratio-skipping slack ``eps * cosh`` can
+    # drop below the density gap even for maximisers whose ratio sits at the
+    # far end of the ratio range (cosh bounded by the full-interval factor).
+    fine_tolerance = min(tolerance, density_gap / (2.0 * interval_relaxation_factor(1.0 / n, float(n))))
+
+    state = _SearchState()
+    global_upper = global_density_upper_bound(graph)
+    if seed_with_core:
+        core_upper = _seed_incumbent_with_core(graph, state)
+        global_upper = min(global_upper, core_upper)
+    else:
+        _seed_incumbent_with_peeling(graph, state)
+
+    full_subproblem = STSubproblem.from_graph(graph)
+    # An interval whose (i, j) pair count is at most this is cheap enough to
+    # expand into distinct ratios; a single ratio point can account for up to
+    # n pairs (all multiples), so the threshold must scale with n.
+    distinct_check_limit = max(4 * n, 4 * leaf_ratio_count)
+
+    def subproblem_for_interval(lo: float, hi: float) -> STSubproblem:
+        if not use_core_restriction:
+            return full_subproblem
+        core = containing_core(graph, state.best_density, lo, hi)
+        if core.is_empty:
+            return STSubproblem(graph=graph, s_candidates=[], t_candidates=[], edges=[])
+        return STSubproblem.from_graph(graph, core.s_nodes, core.t_nodes)
+
+    def solve_leaf(ratios: list[Fraction], subproblem: STSubproblem, upper_bound: float) -> None:
+        for ratio in ratios:
+            if ratio in state.examined_exact_ratios:
+                continue
+            state.examined_exact_ratios.add(ratio)
+            state.ratios_examined += 1
+            state.leaf_ratios += 1
+            outcome = maximize_fixed_ratio(
+                subproblem,
+                float(ratio),
+                lower=state.best_density,
+                upper=max(upper_bound, state.best_density),
+                tolerance=tolerance,
+            )
+            state.absorb_outcome(outcome)
+
+    # Depth-first traversal of the ratio-interval tree.  Each entry carries a
+    # certified upper bound on the optimum *conditional on the optimal ratio
+    # lying inside the interval* — the only conditioning exactness needs.
+    stack: list[tuple[float, float, float]] = [(1.0 / n, float(n), global_upper)]
+    while stack:
+        lo, hi, upper_bound = stack.pop()
+        if lo > hi:
+            continue
+        state.intervals_processed += 1
+        pair_count = count_candidate_ratios_in_interval(lo, hi, n)
+        if pair_count == 0:
+            continue
+
+        subproblem = subproblem_for_interval(lo, hi)
+        if subproblem.is_empty:
+            # The containing core is empty: no pair in this interval can beat
+            # the incumbent, so the interval is solved.
+            state.intervals_pruned += 1
+            continue
+
+        probe_ratio = math.sqrt(lo * hi)
+        degenerate = probe_ratio <= lo * (1.0 + 1e-12) or probe_ratio >= hi / (1.0 + 1e-12)
+        distinct_ratios: list[Fraction] | None = None
+        if pair_count <= distinct_check_limit or degenerate:
+            distinct_ratios = candidate_ratios_in_interval(lo, hi, n)
+            if all(ratio in state.examined_exact_ratios for ratio in distinct_ratios):
+                continue
+        is_leaf = degenerate or (
+            distinct_ratios is not None and len(distinct_ratios) <= leaf_ratio_count
+        )
+        if is_leaf:
+            solve_leaf(distinct_ratios or [], subproblem, upper_bound)
+            continue
+
+        # ------------------------------------------------------ interior probe
+        # Stage 1: a coarse probe — enough to prune intervals whose surrogate
+        # optimum is clearly dominated by the incumbent.
+        state.ratios_examined += 1
+        incumbent_at_entry = state.best_density
+        coarse_gap = max(PROBE_COARSE_FRACTION * max(incumbent_at_entry, 1.0), 10 * tolerance)
+        outcome = maximize_fixed_ratio(
+            subproblem,
+            probe_ratio,
+            lower=0.0,
+            upper=max(upper_bound, 0.0),
+            tolerance=fine_tolerance,
+            coarse_gap=coarse_gap,
+            refine_above=incumbent_at_entry,
+        )
+        state.absorb_outcome(outcome)
+        value_upper = outcome.upper
+        last_s, last_t = outcome.last_s, outcome.last_t
+        last_surrogate = outcome.last_surrogate
+
+        left_edge, right_edge = _skip_region(
+            probe_ratio,
+            value_upper,
+            state.best_density,
+            last_s,
+            last_t,
+            last_surrogate,
+            density_gap,
+        )
+
+        if left_edge > lo or right_edge < hi:
+            # Stage 2: the coarse probe did not settle the whole interval —
+            # refine the bracket until the ratio-skipping lemma's slack
+            # condition has a chance to fire, then recompute the skip region.
+            refined = maximize_fixed_ratio(
+                subproblem,
+                probe_ratio,
+                lower=outcome.lower,
+                upper=outcome.upper,
+                tolerance=fine_tolerance,
+            )
+            state.absorb_outcome(refined)
+            value_upper = min(value_upper, refined.upper)
+            if refined.found_maximiser and refined.last_surrogate >= last_surrogate:
+                last_s, last_t = refined.last_s, refined.last_t
+                last_surrogate = refined.last_surrogate
+            left_edge, right_edge = _skip_region(
+                probe_ratio,
+                value_upper,
+                state.best_density,
+                last_s,
+                last_t,
+                last_surrogate,
+                density_gap,
+            )
+
+        child_upper = min(upper_bound, interval_relaxation_factor(lo, hi) * value_upper)
+        pushed_any = False
+        if left_edge > lo:
+            stack.append((lo, min(left_edge, hi), child_upper))
+            pushed_any = True
+        if right_edge < hi:
+            stack.append((max(right_edge, lo), hi, child_upper))
+            pushed_any = True
+        if not pushed_any:
+            state.intervals_pruned += 1
+
+    if not state.best_s or not state.best_t:
+        raise AlgorithmError(f"{method} failed to find any non-empty pair")
+
+    density = directed_density_from_indices(graph, state.best_s, state.best_t)
+    stats = state.stats()
+    stats["tolerance"] = tolerance
+    stats["use_core_restriction"] = use_core_restriction
+    return DDSResult(
+        s_nodes=graph.labels_of(state.best_s),
+        t_nodes=graph.labels_of(state.best_t),
+        density=density,
+        edge_count=graph.count_edges_between(state.best_s, state.best_t),
+        method=method,
+        is_exact=True,
+        stats=stats,
+    )
+
+
+def dc_exact(
+    graph: DiGraph,
+    tolerance: float | None = None,
+    leaf_ratio_count: int = LEAF_RATIO_COUNT,
+    seed_with_core: bool = False,
+) -> DDSResult:
+    """Exact DDS via divide-and-conquer over the ratio interval (``DCExact``).
+
+    ``seed_with_core`` switches the incumbent initialisation from a cheap
+    peel to the CoreApprox core (used by the E11 ablation); the search space
+    itself is never core-restricted here — that is :func:`core_exact`'s job.
+    """
+    return _dc_driver(
+        graph,
+        method="dc-exact",
+        use_core_restriction=False,
+        seed_with_core=seed_with_core,
+        tolerance=tolerance,
+        leaf_ratio_count=leaf_ratio_count,
+    )

@@ -1,0 +1,99 @@
+"""``FlowExact`` — the baseline exact DDS algorithm (all candidate ratios).
+
+This is the reproduction of the state-of-the-art *prior* to the paper: for
+every distinct candidate ratio ``a = i/j`` (``1 <= i, j <= n``) run a binary
+search over the guess ``g``, each step of which is one min-cut computation on
+the decision network.  For the ratio equal to ``|S*|/|T*|`` the surrogate is
+tight, so the best pair extracted over all ratios is the exact DDS.
+
+The algorithm needs ``Theta(n^2)`` binary searches and is therefore only
+usable on small graphs — exactly the behaviour the paper's evaluation
+highlights and that experiments E2/E6 reproduce.
+"""
+
+from __future__ import annotations
+
+from repro.core.density import (
+    directed_density_from_indices,
+    exactness_tolerance,
+    global_density_upper_bound,
+)
+from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.ratio import all_candidate_ratios
+from repro.core.results import DDSResult
+from repro.core.subproblem import STSubproblem
+from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.graph.digraph import DiGraph
+
+#: FlowExact runs one binary search per distinct ratio; above this node count
+#: that is hopeless in pure Python, so we refuse instead of hanging.
+DEFAULT_NODE_LIMIT = 300
+
+
+def flow_exact(
+    graph: DiGraph,
+    node_limit: int = DEFAULT_NODE_LIMIT,
+    tolerance: float | None = None,
+) -> DDSResult:
+    """Exact DDS via exhaustive ratio enumeration (baseline ``Exact``).
+
+    Parameters
+    ----------
+    graph:
+        Input digraph with at least one edge.
+    node_limit:
+        Guard against accidentally running the quadratic-ratio baseline on a
+        large graph; raise :class:`AlgorithmError` above this size.
+    tolerance:
+        Binary-search stopping gap; defaults to the provably-exact
+        :func:`~repro.core.density.exactness_tolerance`.
+    """
+    if graph.num_edges == 0:
+        raise EmptyGraphError("flow_exact requires a graph with at least one edge")
+    n = graph.num_nodes
+    if n > node_limit:
+        raise AlgorithmError(
+            f"flow_exact enumerates O(n^2) ratios and is limited to n <= {node_limit}; "
+            f"got n = {n}. Use dc_exact/core_exact instead."
+        )
+
+    tolerance = tolerance if tolerance is not None else exactness_tolerance(graph)
+    upper = global_density_upper_bound(graph)
+    subproblem = STSubproblem.from_graph(graph)
+
+    best_s: list[int] = []
+    best_t: list[int] = []
+    best_density = 0.0
+    flow_calls = 0
+    ratios = all_candidate_ratios(n)
+
+    for ratio in ratios:
+        outcome = maximize_fixed_ratio(
+            subproblem,
+            float(ratio),
+            lower=0.0,
+            upper=upper,
+            tolerance=tolerance,
+        )
+        flow_calls += outcome.flow_calls
+        if outcome.best_density > best_density:
+            best_density = outcome.best_density
+            best_s, best_t = outcome.best_s, outcome.best_t
+
+    if not best_s or not best_t:
+        raise AlgorithmError("flow_exact failed to find any non-empty pair")
+
+    density = directed_density_from_indices(graph, best_s, best_t)
+    return DDSResult(
+        s_nodes=graph.labels_of(best_s),
+        t_nodes=graph.labels_of(best_t),
+        density=density,
+        edge_count=graph.count_edges_between(best_s, best_t),
+        method="flow-exact",
+        is_exact=True,
+        stats={
+            "flow_calls": flow_calls,
+            "ratios_examined": len(ratios),
+            "tolerance": tolerance,
+        },
+    )

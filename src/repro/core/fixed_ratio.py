@@ -1,0 +1,169 @@
+"""Binary-search maximisation of the fixed-ratio surrogate objective.
+
+For a ratio ``a`` define
+
+    val(a) = max over non-empty S, T of  |E'(S,T)| / D_a(S,T),
+    D_a(S,T) = (|S|/sqrt(a) + sqrt(a)*|T|) / 2.
+
+``val(a)`` is a lower bound on ``rho_opt`` for every ``a`` and equals
+``rho_opt`` when ``a`` is the optimal ratio ``|S*|/|T*|`` (AM–GM).  The
+function below brackets ``val(a)`` with a binary search whose decision step
+is one min-cut on the network of :mod:`repro.core.flow_network`.
+
+Two refinements keep the number of max-flow calls small:
+
+* **Dinkelbach acceleration** — whenever a guess succeeds, the extracted pair
+  is itself a feasible witness, so the lower bracket jumps to that pair's
+  surrogate value rather than merely to the guess; convergence towards
+  ``val(a)`` from below is then typically a handful of cuts.
+* **coarse / early stopping** — the divide-and-conquer driver often only
+  needs a *valid upper bound* on ``val(a)`` (any failed guess provides one),
+  so it can ask the search to stop at a coarse gap unless the probe is
+  actually beating the incumbent (``refine_above``), and can stop outright
+  once the bracket crosses a pruning threshold (``stop_when_*``).
+
+The search keeps track of two extracted pairs: the one with the best *true*
+density (for the incumbent) and the one extracted at the highest successful
+guess (the surrogate near-maximiser the ratio-skipping lemma needs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.density import directed_density_from_indices, surrogate_density
+from repro.core.flow_network import build_decision_network, decision_cut_is_improving
+from repro.core.results import FixedRatioOutcome
+from repro.core.subproblem import STSubproblem
+from repro.exceptions import AlgorithmError
+from repro.flow.dinic import DinicSolver
+
+NetworkObserver = Callable[[int, int], None]
+
+
+def maximize_fixed_ratio(
+    subproblem: STSubproblem,
+    ratio: float,
+    lower: float,
+    upper: float,
+    tolerance: float,
+    coarse_gap: float | None = None,
+    refine_above: float | None = None,
+    stop_when_upper_below: float | None = None,
+    stop_when_lower_above: float | None = None,
+    network_observer: NetworkObserver | None = None,
+) -> FixedRatioOutcome:
+    """Bracket ``val(ratio)`` within ``tolerance`` (or until an early stop fires).
+
+    Parameters
+    ----------
+    subproblem:
+        The (possibly core-restricted) search space.
+    ratio:
+        The probe ratio ``a``.
+    lower, upper:
+        Initial bracket; ``lower`` must not exceed ``val(ratio)`` *if the
+        caller wants extraction* — passing a larger ``lower`` is allowed and
+        simply means "only look for pairs with surrogate density above it".
+        ``upper`` must be a true upper bound on ``val(ratio)``.
+    tolerance:
+        Hard stop once ``upper - lower < tolerance``.
+    coarse_gap:
+        Optional soft stop: once ``upper - lower < coarse_gap`` the search
+        stops *unless* the best surrogate seen exceeds ``refine_above`` (in
+        which case it keeps refining down to ``tolerance``).
+    network_observer:
+        Optional callback ``(num_nodes, num_arcs)`` invoked for every network
+        built (feeds experiment E7).
+
+    Returns
+    -------
+    FixedRatioOutcome
+        Final bracket, best-true-density pair, surrogate near-maximiser, and
+        instrumentation.  ``outcome.upper`` is always a certified upper bound
+        on ``val(ratio)`` and ``outcome.lower`` a certified lower bound.
+    """
+    if lower < 0 or upper < 0:
+        raise AlgorithmError("bounds must be non-negative")
+    if tolerance <= 0:
+        raise AlgorithmError(f"tolerance must be > 0, got {tolerance}")
+    if subproblem.is_empty:
+        return FixedRatioOutcome(
+            ratio=ratio,
+            lower=0.0,
+            upper=0.0,
+            best_s=[],
+            best_t=[],
+            best_density=0.0,
+            flow_calls=0,
+        )
+
+    graph = subproblem.graph
+    low = float(lower)
+    high = max(float(upper), low)
+    best_s: list[int] = []
+    best_t: list[int] = []
+    best_density = 0.0
+    last_s: list[int] = []
+    last_t: list[int] = []
+    last_surrogate = 0.0
+    flow_calls = 0
+    network_nodes: list[int] = []
+    network_arcs: list[int] = []
+
+    while high - low >= tolerance:
+        if coarse_gap is not None and high - low < coarse_gap:
+            if refine_above is None or last_surrogate <= refine_above:
+                break
+        if stop_when_upper_below is not None and high < stop_when_upper_below:
+            break
+        if stop_when_lower_above is not None and low > stop_when_lower_above:
+            break
+
+        guess = (low + high) / 2.0
+        decision = build_decision_network(subproblem, ratio, guess)
+        if network_observer is not None:
+            network_observer(decision.num_nodes, decision.num_arcs)
+        network_nodes.append(decision.num_nodes)
+        network_arcs.append(decision.num_arcs)
+
+        solver = DinicSolver(decision.network, decision.source, decision.sink)
+        cut_value = solver.max_flow()
+        flow_calls += 1
+
+        extracted = False
+        if decision_cut_is_improving(cut_value, decision.total_capacity):
+            s_side, t_side = decision.extract_pair(solver.min_cut_source_side())
+            if s_side and t_side:
+                extracted = True
+                edges = graph.count_edges_between(s_side, t_side)
+                surrogate = surrogate_density(edges, len(s_side), len(t_side), ratio)
+                density = directed_density_from_indices(graph, s_side, t_side)
+                if density > best_density:
+                    best_density = density
+                    best_s, best_t = s_side, t_side
+                if surrogate >= last_surrogate:
+                    last_surrogate = surrogate
+                    last_s, last_t = s_side, t_side
+                # Dinkelbach jump: the extracted pair certifies a surrogate
+                # value at least `surrogate`, which is never below the guess.
+                low = max(guess, surrogate)
+            else:
+                extracted = False
+        if not extracted:
+            high = guess
+
+    return FixedRatioOutcome(
+        ratio=ratio,
+        lower=low,
+        upper=high,
+        best_s=best_s,
+        best_t=best_t,
+        best_density=best_density,
+        flow_calls=flow_calls,
+        last_s=last_s,
+        last_t=last_t,
+        last_surrogate=last_surrogate,
+        network_nodes=network_nodes,
+        network_arcs=network_arcs,
+    )

@@ -1,0 +1,142 @@
+"""Reduction from the fixed-ratio density decision to minimum s-t cut.
+
+For a sub-problem with edge set ``E'`` (``m' = |E'|``), a ratio ``a > 0`` and
+a guess ``g >= 0`` we build the following network:
+
+* a source ``s`` and a sink ``t``;
+* an *out-copy* node ``o_u`` for every S-candidate ``u`` and an *in-copy*
+  node ``i_v`` for every T-candidate ``v``;
+* arcs ``s -> o_u`` with capacity ``2 * dout'(u)`` (out-degree inside ``E'``);
+* arcs ``o_u -> i_v`` with capacity ``2`` for every edge ``(u, v) ∈ E'``;
+* arcs ``o_u -> t`` with capacity ``g / sqrt(a)``;
+* arcs ``i_v -> t`` with capacity ``g * sqrt(a)``.
+
+**Correctness.**  Identify a cut with indicator vectors ``x`` (``x_u = 1``
+iff ``o_u`` is on the source side) and ``y`` (likewise for ``i_v``).  The cut
+capacity is
+
+    sum_u 2*dout'(u)*(1 - x_u)  +  sum_{(u,v)} 2*x_u*(1 - y_v)
+        +  (g/sqrt(a)) * sum_u x_u  +  (g*sqrt(a)) * sum_v y_v.
+
+Using the per-edge identity ``(1 - x_u) + x_u*(1 - y_v) = 1 - x_u*y_v`` the
+first two terms collapse to ``2m' - 2|E'(S,T)|`` where ``S = {u : x_u = 1}``
+and ``T = {v : y_v = 1}``, so
+
+    cut(x, y) = 2m' - [ 2|E'(S,T)| - g*(|S|/sqrt(a) + sqrt(a)*|T|) ].
+
+Hence ``mincut = 2m' - max_{S,T} F_a,g(S,T)`` with
+``F = 2|E'| - 2g*D_a`` and ``D_a`` the surrogate denominator.  Because
+``F(∅, ∅) = 0`` we always have ``mincut <= 2m'``, and ``mincut < 2m'`` holds
+iff some pair has surrogate density ``|E'(S,T)| / D_a(S,T) > g``.  The source
+side of a minimum cut then exhibits such a pair.  Since
+``D_a >= sqrt(|S||T|)`` (AM–GM), any exhibited pair also has *true* density
+``> g`` — for every ratio ``a`` — while for ``a = |S*|/|T*|`` the test is
+tight, which is what makes the all-ratios sweep exact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.subproblem import STSubproblem
+from repro.exceptions import AlgorithmError
+from repro.flow.network import FlowNetwork
+
+#: Slack used when comparing a min-cut value against ``2m'``; the comparison
+#: involves sums of ``O(m)`` floats so the tolerance scales with ``m``.
+CUT_RELATIVE_TOLERANCE = 1e-9
+
+
+@dataclass
+class DecisionNetwork:
+    """A built decision network plus the bookkeeping to read the answer back."""
+
+    network: FlowNetwork
+    source: int
+    sink: int
+    s_nodes: list[int]  # graph indices, aligned with network nodes 2..2+|S|
+    t_nodes: list[int]  # graph indices, aligned with network nodes 2+|S|..
+    total_capacity: float  # the 2m' reference value
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of network nodes (for instrumentation)."""
+        return self.network.num_nodes
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored network arcs (for instrumentation)."""
+        return self.network.num_arcs
+
+    def extract_pair(self, source_side: list[int]) -> tuple[list[int], list[int]]:
+        """Map the source side of a cut back to graph-index sets ``(S, T)``."""
+        s_offset = 2
+        t_offset = 2 + len(self.s_nodes)
+        side = set(source_side)
+        s_selected = [
+            self.s_nodes[position]
+            for position in range(len(self.s_nodes))
+            if (s_offset + position) in side
+        ]
+        t_selected = [
+            self.t_nodes[position]
+            for position in range(len(self.t_nodes))
+            if (t_offset + position) in side
+        ]
+        return s_selected, t_selected
+
+
+def build_decision_network(
+    subproblem: STSubproblem, ratio: float, guess: float
+) -> DecisionNetwork:
+    """Build the min-cut decision network for ``(ratio, guess)``.
+
+    Node layout: ``0 = source``, ``1 = sink``, then one node per S candidate
+    (in ``subproblem.s_candidates`` order), then one node per T candidate.
+    """
+    if ratio <= 0:
+        raise AlgorithmError(f"ratio must be > 0, got {ratio}")
+    if guess < 0:
+        raise AlgorithmError(f"guess must be >= 0, got {guess}")
+
+    s_nodes = subproblem.s_candidates
+    t_nodes = subproblem.t_candidates
+    s_position = {u: index for index, u in enumerate(s_nodes)}
+    t_position = {v: index for index, v in enumerate(t_nodes)}
+
+    network = FlowNetwork(2 + len(s_nodes) + len(t_nodes))
+    source, sink = 0, 1
+    s_offset = 2
+    t_offset = 2 + len(s_nodes)
+
+    out_degree = subproblem.out_degrees()
+    root = math.sqrt(ratio)
+    s_penalty = guess / root
+    t_penalty = guess * root
+
+    total_capacity = 0.0
+    for u in s_nodes:
+        capacity = 2.0 * out_degree[u]
+        network.add_edge(source, s_offset + s_position[u], capacity)
+        total_capacity += capacity
+        network.add_edge(s_offset + s_position[u], sink, s_penalty)
+    for v in t_nodes:
+        network.add_edge(t_offset + t_position[v], sink, t_penalty)
+    for u, v in subproblem.edges:
+        network.add_edge(s_offset + s_position[u], t_offset + t_position[v], 2.0)
+
+    return DecisionNetwork(
+        network=network,
+        source=source,
+        sink=sink,
+        s_nodes=list(s_nodes),
+        t_nodes=list(t_nodes),
+        total_capacity=total_capacity,
+    )
+
+
+def decision_cut_is_improving(cut_value: float, total_capacity: float) -> bool:
+    """Whether ``cut_value`` is strictly below ``2m'`` beyond float tolerance."""
+    slack = CUT_RELATIVE_TOLERANCE * max(total_capacity, 1.0)
+    return cut_value < total_capacity - slack

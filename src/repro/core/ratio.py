@@ -1,0 +1,96 @@
+"""Candidate-ratio machinery for the exact DDS algorithms.
+
+The DDS optimum ``(S*, T*)`` has ``|S*|/|T*| = i/j`` for some integers
+``1 <= i, j <= n``.  The baseline exact algorithm examines every distinct
+candidate ratio; the divide-and-conquer algorithm recursively subdivides the
+ratio interval ``[1/n, n]`` and needs to count (and, near the leaves,
+enumerate) the candidate ratios falling inside an interval.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+from typing import Iterator
+
+from repro.utils.validation import require, require_positive, require_positive_int
+
+
+def all_candidate_ratios(n: int) -> list[Fraction]:
+    """All distinct ratios ``i/j`` with ``1 <= i, j <= n``, ascending.
+
+    The count is ``O(n^2)`` (asymptotically ``(6/pi^2) n^2`` after reduction),
+    which is why the baseline exact algorithm does not scale and the paper's
+    divide-and-conquer strategy matters.
+    """
+    require_positive_int(n, "n")
+    ratios = {Fraction(i, j) for i in range(1, n + 1) for j in range(1, n + 1)}
+    return sorted(ratios)
+
+
+def count_candidate_ratios_in_interval(low: float, high: float, n: int) -> int:
+    """Number of pairs ``(i, j)`` with ``low <= i/j <= high`` and ``1 <= i, j <= n``.
+
+    Counting pairs (rather than distinct reduced fractions) is an upper bound
+    on the number of distinct ratios, which is all the divide-and-conquer
+    recursion needs to decide whether an interval is a leaf.
+    """
+    require_positive(high, "high")
+    require(low > 0, "low must be positive")
+    require(low <= high, "low must not exceed high")
+    require_positive_int(n, "n")
+    total = 0
+    for j in range(1, n + 1):
+        i_low = math.ceil(low * j - 1e-12)
+        i_high = math.floor(high * j + 1e-12)
+        i_low = max(i_low, 1)
+        i_high = min(i_high, n)
+        if i_high >= i_low:
+            total += i_high - i_low + 1
+    return total
+
+
+def candidate_ratios_in_interval(low: float, high: float, n: int) -> list[Fraction]:
+    """Distinct candidate ratios ``i/j`` inside ``[low, high]``, ascending."""
+    require_positive(high, "high")
+    require(low > 0, "low must be positive")
+    require(low <= high, "low must not exceed high")
+    require_positive_int(n, "n")
+    ratios: set[Fraction] = set()
+    for j in range(1, n + 1):
+        i_low = max(math.ceil(low * j - 1e-12), 1)
+        i_high = min(math.floor(high * j + 1e-12), n)
+        for i in range(i_low, i_high + 1):
+            ratios.add(Fraction(i, j))
+    return sorted(ratios)
+
+
+def geometric_ratio_grid(n: int, epsilon: float) -> list[float]:
+    """Geometric grid covering ``[1/n, n]`` with multiplicative step ``1 + epsilon``.
+
+    Every possible optimal ratio ``a* in [1/n, n]`` is within a multiplicative
+    factor ``(1 + epsilon)`` of some grid point, which is exactly what the
+    peeling approximation needs for its ``2 * sqrt(1 + epsilon)`` guarantee.
+    The grid always contains 1.0 and both endpoints.
+    """
+    require_positive_int(n, "n")
+    require_positive(epsilon, "epsilon")
+    low = 1.0 / n
+    high = float(n)
+    grid = [1.0]
+    value = 1.0
+    while value > low:
+        value /= 1.0 + epsilon
+        grid.append(max(value, low))
+    value = 1.0
+    while value < high:
+        value *= 1.0 + epsilon
+        grid.append(min(value, high))
+    return sorted(set(grid))
+
+
+def iter_ratio_blocks(ratios: list[Fraction], block_size: int) -> Iterator[list[Fraction]]:
+    """Yield consecutive blocks of candidate ratios (used by benchmark sweeps)."""
+    require_positive_int(block_size, "block_size")
+    for start in range(0, len(ratios), block_size):
+        yield ratios[start : start + block_size]

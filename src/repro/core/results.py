@@ -1,0 +1,119 @@
+"""Result objects returned by every DDS algorithm.
+
+All algorithms — exact, approximate, and baseline — return the same
+:class:`DDSResult` structure so that benchmark harnesses, examples, and tests
+can treat them uniformly.  ``stats`` carries per-algorithm instrumentation
+(number of max-flow calls, flow-network sizes, ratios examined, ...) used by
+experiments E6 and E7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.graph.digraph import NodeLabel
+
+
+@dataclass
+class DDSResult:
+    """A directed densest-subgraph answer: the pair ``(S, T)`` plus metadata.
+
+    Attributes
+    ----------
+    s_nodes / t_nodes:
+        Node labels of the two sides.  The sets may overlap.
+    density:
+        ``|E(S, T)| / sqrt(|S| * |T|)``, computed directly on the input graph.
+    edge_count:
+        ``|E(S, T)|``.
+    method:
+        Name of the algorithm that produced the result.
+    is_exact:
+        Whether the algorithm guarantees optimality.
+    approximation_ratio:
+        Worst-case guarantee ``density >= rho_opt / approximation_ratio``
+        (1.0 for exact algorithms).
+    stats:
+        Free-form instrumentation (flow calls, ratios, timings, ...).
+    """
+
+    s_nodes: list[NodeLabel]
+    t_nodes: list[NodeLabel]
+    density: float
+    edge_count: int
+    method: str
+    is_exact: bool
+    approximation_ratio: float = 1.0
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def s_size(self) -> int:
+        """``|S|``."""
+        return len(self.s_nodes)
+
+    @property
+    def t_size(self) -> int:
+        """``|T|``."""
+        return len(self.t_nodes)
+
+    @property
+    def ratio(self) -> float:
+        """``|S| / |T|`` (0.0 when ``T`` is empty)."""
+        if not self.t_nodes:
+            return 0.0
+        return len(self.s_nodes) / len(self.t_nodes)
+
+    def summary(self) -> dict[str, Any]:
+        """Compact dictionary used by the benchmark table printers."""
+        return {
+            "method": self.method,
+            "density": round(self.density, 6),
+            "|S|": self.s_size,
+            "|T|": self.t_size,
+            "edges": self.edge_count,
+            "exact": self.is_exact,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DDSResult(method={self.method!r}, density={self.density:.4f}, "
+            f"|S|={self.s_size}, |T|={self.t_size}, edges={self.edge_count})"
+        )
+
+
+@dataclass
+class FixedRatioOutcome:
+    """Outcome of maximising the ratio-``a`` surrogate objective.
+
+    ``lower``/``upper`` bracket the surrogate optimum ``val(a)``;
+    ``best_s`` / ``best_t`` (graph node indices) are the extracted pair with
+    the highest *true* density, while ``last_s`` / ``last_t`` are the pair
+    extracted at the highest successful guess — the (near-)maximiser of the
+    surrogate, which the divide-and-conquer ratio-skipping lemma needs —
+    together with its surrogate value ``last_surrogate``.  ``flow_calls`` and
+    ``network_nodes`` feed experiments E6/E7.
+    """
+
+    ratio: float
+    lower: float
+    upper: float
+    best_s: list[int]
+    best_t: list[int]
+    best_density: float
+    flow_calls: int
+    last_s: list[int] = field(default_factory=list)
+    last_t: list[int] = field(default_factory=list)
+    last_surrogate: float = 0.0
+    network_nodes: list[int] = field(default_factory=list)
+    network_arcs: list[int] = field(default_factory=list)
+
+    @property
+    def found_pair(self) -> bool:
+        """Whether any pair beating the initial lower bound was extracted."""
+        return bool(self.best_s) and bool(self.best_t)
+
+    @property
+    def found_maximiser(self) -> bool:
+        """Whether a surrogate (near-)maximiser was extracted."""
+        return bool(self.last_s) and bool(self.last_t)

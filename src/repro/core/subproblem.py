@@ -1,0 +1,111 @@
+"""Restriction of the DDS search to candidate S/T vertex sets.
+
+Both the flow-based exact algorithms and the peeling algorithms never need
+the whole graph — they need the bipartite-like structure
+``(S_candidates, T_candidates, E ∩ (S_candidates × T_candidates))``.
+:class:`STSubproblem` materialises exactly that once and lets the solvers
+reuse it, which is also where the core-based pruning plugs in: CoreExact
+simply builds sub-problems from [x, y]-cores instead of from ``V × V``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.graph.digraph import DiGraph
+
+
+@dataclass
+class STSubproblem:
+    """Candidate S-side nodes, candidate T-side nodes, and the edges between them.
+
+    Node identifiers are **graph internal indices** throughout; conversion to
+    labels happens only when a final :class:`~repro.core.results.DDSResult` is
+    assembled.
+    """
+
+    graph: DiGraph
+    s_candidates: list[int]
+    t_candidates: list[int]
+    edges: list[tuple[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def from_graph(
+        cls,
+        graph: DiGraph,
+        s_candidates: Sequence[int] | None = None,
+        t_candidates: Sequence[int] | None = None,
+    ) -> "STSubproblem":
+        """Build a sub-problem; ``None`` candidate sets default to all nodes.
+
+        Vertices with no outgoing edge into the T candidates (resp. no
+        incoming edge from the S candidates) are dropped immediately — they
+        can never appear in an optimal ``S`` (resp. ``T``) because removing
+        them strictly increases the density.
+        """
+        all_nodes = list(range(graph.num_nodes))
+        s_list = list(s_candidates) if s_candidates is not None else all_nodes
+        t_list = list(t_candidates) if t_candidates is not None else all_nodes
+        t_set = set(t_list)
+        s_set = set(s_list)
+
+        edges = [
+            (u, v)
+            for u in s_list
+            for v in graph.out_adj[u]
+            if v in t_set
+        ]
+        useful_s = {u for u, _ in edges}
+        useful_t = {v for _, v in edges}
+        s_kept = [u for u in s_list if u in useful_s]
+        t_kept = [v for v in t_list if v in useful_t]
+        # Edges are already restricted to s_list x t_list; restricting the
+        # candidate lists to the useful vertices does not drop any edge.
+        del s_set
+        return cls(graph=graph, s_candidates=s_kept, t_candidates=t_kept, edges=edges)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        """Number of edges available to the sub-problem."""
+        return len(self.edges)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no edge (hence no non-trivial pair) remains."""
+        return not self.edges or not self.s_candidates or not self.t_candidates
+
+    def out_degrees(self) -> dict[int, int]:
+        """Out-degree (within the sub-problem) of every S candidate."""
+        degrees = {u: 0 for u in self.s_candidates}
+        for u, _ in self.edges:
+            degrees[u] += 1
+        return degrees
+
+    def in_degrees(self) -> dict[int, int]:
+        """In-degree (within the sub-problem) of every T candidate."""
+        degrees = {v: 0 for v in self.t_candidates}
+        for _, v in self.edges:
+            degrees[v] += 1
+        return degrees
+
+    def restricted_to(
+        self, s_allowed: Sequence[int], t_allowed: Sequence[int]
+    ) -> "STSubproblem":
+        """Sub-problem further restricted to the given candidate index sets."""
+        s_set = set(s_allowed)
+        t_set = set(t_allowed)
+        edges = [(u, v) for u, v in self.edges if u in s_set and v in t_set]
+        useful_s = {u for u, _ in edges}
+        useful_t = {v for _, v in edges}
+        return STSubproblem(
+            graph=self.graph,
+            s_candidates=[u for u in self.s_candidates if u in useful_s],
+            t_candidates=[v for v in self.t_candidates if v in useful_t],
+            edges=edges,
+        )
+
+    def size_signature(self) -> tuple[int, int, int]:
+        """``(|S candidates|, |T candidates|, |edges|)`` — used by instrumentation."""
+        return (len(self.s_candidates), len(self.t_candidates), len(self.edges))

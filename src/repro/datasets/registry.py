@@ -1,0 +1,186 @@
+"""The dataset registry: named, seeded, laptop-scale synthetic graphs.
+
+Every entry documents which of the paper's real datasets it stands in for and
+which structural regime it reproduces.  Tiers:
+
+* ``small``  — exact algorithms (including the quadratic-ratio baseline) are
+  feasible; used by experiments E2, E4, E6, E7, E8, E11, E12;
+* ``medium`` — DC/Core exact still run, the baseline does not; used by E3, E4;
+* ``large``  — approximation algorithms only; used by E3, E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.exceptions import DatasetError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    gnm_random_digraph,
+    planted_dds_digraph,
+    powerlaw_digraph,
+    rmat_digraph,
+)
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Metadata + builder for one named dataset."""
+
+    name: str
+    tier: str
+    description: str
+    paper_analogue: str
+    builder: Callable[[], DiGraph]
+
+
+def _planted(n_background: int, degree: float, s: int, t: int, p: float, seed: int) -> DiGraph:
+    graph, _, _ = planted_dds_digraph(
+        n_background=n_background,
+        background_degree=degree,
+        s_size=s,
+        t_size=t,
+        p_dense=p,
+        seed=seed,
+    )
+    return graph
+
+
+def _build_specs() -> dict[str, DatasetSpec]:
+    specs = [
+        # ------------------------------------------------------------ small
+        DatasetSpec(
+            name="foodweb-tiny",
+            tier="small",
+            description="30-node sparse background with a planted 4x5 dense block",
+            paper_analogue="maayan-foodweb (smallest real dataset)",
+            builder=lambda: _planted(30, 1.5, 4, 5, 0.95, seed=11),
+        ),
+        DatasetSpec(
+            name="social-tiny",
+            tier="small",
+            description="40-node heavy-tailed digraph (power-law weights)",
+            paper_analogue="moreno-blogs style tiny social graph",
+            builder=lambda: powerlaw_digraph(40, average_degree=3.0, exponent=2.3, seed=12),
+        ),
+        DatasetSpec(
+            name="flights-small",
+            tier="small",
+            description="150-node heavy-tailed digraph, average degree 5",
+            paper_analogue="openflights",
+            builder=lambda: powerlaw_digraph(150, average_degree=5.0, exponent=2.3, seed=13),
+        ),
+        DatasetSpec(
+            name="advogato-small",
+            tier="small",
+            description="200-node sparse trust-network background with a planted 8x12 block",
+            paper_analogue="advogato trust network",
+            builder=lambda: _planted(200, 3.0, 8, 12, 0.8, seed=14),
+        ),
+        DatasetSpec(
+            name="er-small",
+            tier="small",
+            description="150-node uniform random digraph with 900 edges",
+            paper_analogue="uniform-random control (hardest case for core pruning)",
+            builder=lambda: gnm_random_digraph(150, 900, seed=15),
+        ),
+        # ----------------------------------------------------------- medium
+        DatasetSpec(
+            name="amazon-medium",
+            tier="medium",
+            description="1200-node heavy-tailed digraph, average degree 5",
+            paper_analogue="amazon co-purchase",
+            builder=lambda: powerlaw_digraph(1200, average_degree=5.0, exponent=2.4, seed=21),
+        ),
+        DatasetSpec(
+            name="wiki-talk-medium",
+            tier="medium",
+            description="2000-node strongly skewed digraph (exponent 2.1)",
+            paper_analogue="wiki-talk communication graph",
+            builder=lambda: powerlaw_digraph(2000, average_degree=4.0, exponent=2.1, seed=22),
+        ),
+        DatasetSpec(
+            name="planted-medium",
+            tier="medium",
+            description="1500-node sparse background with a planted 15x25 block (p=0.7)",
+            paper_analogue="rating networks with an injected dense block",
+            builder=lambda: _planted(1500, 4.0, 15, 25, 0.7, seed=23),
+        ),
+        DatasetSpec(
+            name="rmat-medium",
+            tier="medium",
+            description="R-MAT digraph with 2^11 nodes, edge factor 6",
+            paper_analogue="synthetic R-MAT used in the scalability study",
+            builder=lambda: rmat_digraph(11, edge_factor=6, seed=24),
+        ),
+        DatasetSpec(
+            name="er-medium",
+            tier="medium",
+            description="1500-node uniform random digraph with 9000 edges",
+            paper_analogue="uniform-random control at medium scale",
+            builder=lambda: gnm_random_digraph(1500, 9000, seed=25),
+        ),
+        # ------------------------------------------------------------ large
+        DatasetSpec(
+            name="web-large",
+            tier="large",
+            description="6000-node heavy-tailed digraph, average degree 5",
+            paper_analogue="web crawls (uk-2002 style), scaled down",
+            builder=lambda: powerlaw_digraph(6000, average_degree=5.0, exponent=2.2, seed=31),
+        ),
+        DatasetSpec(
+            name="citation-large",
+            tier="large",
+            description="R-MAT digraph with 2^13 nodes, edge factor 5",
+            paper_analogue="citation/patent graphs, scaled down",
+            builder=lambda: rmat_digraph(13, edge_factor=5, seed=32),
+        ),
+        DatasetSpec(
+            name="planted-large",
+            tier="large",
+            description="5000-node sparse background with a planted 20x30 block (p=0.6)",
+            paper_analogue="large rating network with an injected dense block",
+            builder=lambda: _planted(5000, 4.0, 20, 30, 0.6, seed=33),
+        ),
+    ]
+    return {spec.name: spec for spec in specs}
+
+
+_SPECS = _build_specs()
+
+
+def dataset_specs() -> list[DatasetSpec]:
+    """All registered dataset specifications (stable order)."""
+    return list(_SPECS.values())
+
+
+def dataset_names(tier: str | None = None) -> list[str]:
+    """Registered dataset names, optionally filtered by tier."""
+    if tier is None:
+        return list(_SPECS)
+    return [name for name, spec in _SPECS.items() if spec.tier == tier]
+
+
+def exact_dataset_names() -> list[str]:
+    """Datasets small enough for the exact-algorithm experiments."""
+    return dataset_names("small")
+
+
+def large_dataset_names() -> list[str]:
+    """Datasets used by the approximation-only experiments."""
+    return dataset_names("medium") + dataset_names("large")
+
+
+@lru_cache(maxsize=None)
+def _cached_build(name: str) -> DiGraph:
+    return _SPECS[name].builder()
+
+
+def load_dataset(name: str) -> DiGraph:
+    """Materialise the named dataset (deterministic; a fresh copy every call)."""
+    if name not in _SPECS:
+        known = ", ".join(sorted(_SPECS))
+        raise DatasetError(f"unknown dataset {name!r}; known datasets: {known}")
+    return _cached_build(name).copy()

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the ``repro`` package.
+
+All errors raised intentionally by this library derive from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by the ``repro`` package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graphs or illegal graph operations."""
+
+
+class EmptyGraphError(GraphError):
+    """Raised when an algorithm that needs edges receives an edgeless graph."""
+
+
+class ParseError(GraphError):
+    """Raised when an on-disk graph file cannot be parsed."""
+
+
+class FlowError(ReproError):
+    """Raised for malformed flow networks or inconsistent flow states."""
+
+
+class AlgorithmError(ReproError):
+    """Raised when an algorithm is invoked with invalid parameters."""
+
+
+class DatasetError(ReproError):
+    """Raised when a named dataset is unknown or cannot be materialised."""

@@ -1,0 +1,30 @@
+"""Max-flow / min-cut substrate.
+
+The DDS exact algorithms reduce the density decision problem to a minimum
+``s``–``t`` cut.  This subpackage provides the flow machinery from scratch:
+
+* :class:`FlowNetwork` — an arc-list residual network with float capacities,
+* :func:`dinic_max_flow` / :class:`DinicSolver` — the primary solver
+  (Dinic's blocking-flow algorithm, ``O(V^2 E)`` worst case, much faster on
+  the unit-capacity-heavy networks produced by the density reduction),
+* :func:`push_relabel_max_flow` / :class:`PushRelabelSolver` — FIFO
+  push–relabel with the gap heuristic, an alternative solver with a better
+  worst-case bound,
+* :func:`edmonds_karp_max_flow` — a simple reference solver used to
+  cross-check the other two in the test suite.
+"""
+
+from repro.flow.dinic import DinicSolver, dinic_max_flow
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
+from repro.flow.network import INFINITY, FlowNetwork
+from repro.flow.push_relabel import PushRelabelSolver, push_relabel_max_flow
+
+__all__ = [
+    "FlowNetwork",
+    "INFINITY",
+    "DinicSolver",
+    "dinic_max_flow",
+    "edmonds_karp_max_flow",
+    "PushRelabelSolver",
+    "push_relabel_max_flow",
+]

@@ -1,0 +1,119 @@
+"""Dinic's maximum-flow algorithm (the primary solver).
+
+Dinic builds a BFS level graph from the source and repeatedly finds blocking
+flows with an iterative DFS that remembers, per node, how far into its arc
+list it has advanced ("current-arc" optimisation).  On the networks produced
+by the DDS density reduction — thousands of unit-capacity arcs plus a handful
+of ``O(g)`` capacity arcs — it is far faster than Edmonds–Karp and entirely
+adequate for the graph sizes the exact algorithms target.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import FlowError
+from repro.flow.network import EPSILON, FlowNetwork
+
+
+class DinicSolver:
+    """Stateful Dinic solver bound to one :class:`FlowNetwork`.
+
+    The solver mutates the network's residual capacities; call
+    :meth:`FlowNetwork.reset_flow` to reuse the network for another run.
+    """
+
+    def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
+        if source == sink:
+            raise FlowError("source and sink must differ")
+        network._check_node(source)
+        network._check_node(sink)
+        self.network = network
+        self.source = source
+        self.sink = sink
+        self._levels = [0] * network.num_nodes
+        self._iters = [0] * network.num_nodes
+
+    # ------------------------------------------------------------------
+    def max_flow(self) -> float:
+        """Run Dinic to completion and return the max-flow value."""
+        total = 0.0
+        while self._build_levels():
+            self._iters = [0] * self.network.num_nodes
+            while True:
+                pushed = self._blocking_path()
+                if pushed <= EPSILON:
+                    break
+                total += pushed
+        return total
+
+    def min_cut_source_side(self) -> list[int]:
+        """Source side of a minimum cut (valid after :meth:`max_flow`)."""
+        reachable = self.network.residual_reachable(self.source)
+        return [node for node, flag in enumerate(reachable) if flag]
+
+    # ------------------------------------------------------------------
+    def _build_levels(self) -> bool:
+        """BFS from the source over positive-residual arcs; True if sink reached."""
+        levels = [-1] * self.network.num_nodes
+        levels[self.source] = 0
+        queue = deque([self.source])
+        heads = self.network.heads
+        caps = self.network.arc_capacities
+        targets = self.network.arc_targets
+        while queue:
+            node = queue.popleft()
+            for arc_index in heads[node]:
+                if caps[arc_index] > EPSILON:
+                    target = targets[arc_index]
+                    if levels[target] < 0:
+                        levels[target] = levels[node] + 1
+                        queue.append(target)
+        self._levels = levels
+        return levels[self.sink] >= 0
+
+    def _blocking_path(self) -> float:
+        """Push one augmenting path along the level graph (iterative DFS)."""
+        heads = self.network.heads
+        caps = self.network.arc_capacities
+        targets = self.network.arc_targets
+        levels = self._levels
+        iters = self._iters
+        sink = self.sink
+
+        path: list[int] = []  # arc indices along the current path
+        node = self.source
+        while True:
+            if node == sink:
+                # Found an augmenting path: push the bottleneck.
+                bottleneck = min(caps[arc] for arc in path)
+                for arc in path:
+                    caps[arc] -= bottleneck
+                    caps[arc ^ 1] += bottleneck
+                return bottleneck
+            advanced = False
+            while iters[node] < len(heads[node]):
+                arc_index = heads[node][iters[node]]
+                target = targets[arc_index]
+                if caps[arc_index] > EPSILON and levels[target] == levels[node] + 1:
+                    path.append(arc_index)
+                    node = target
+                    advanced = True
+                    break
+                iters[node] += 1
+            if advanced:
+                continue
+            # Dead end: retreat (or give up if we are back at the source).
+            levels[node] = -1
+            if not path:
+                return 0.0
+            last_arc = path.pop()
+            node = targets[last_arc ^ 1]
+            iters[node] += 1
+        # unreachable
+        raise AssertionError  # pragma: no cover
+
+
+def dinic_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
+    """Convenience wrapper: run Dinic on ``network`` and return the flow value."""
+    return DinicSolver(network, source, sink).max_flow()

@@ -1,0 +1,61 @@
+"""Edmonds–Karp maximum flow (reference implementation).
+
+This solver exists purely as an independent implementation against which
+Dinic is cross-checked in the unit and property tests.  It is the textbook
+BFS-augmenting-path algorithm; no attempt is made to optimise it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.exceptions import FlowError
+from repro.flow.network import EPSILON, FlowNetwork
+
+
+def edmonds_karp_max_flow(network: FlowNetwork, source: int, sink: int) -> float:
+    """Compute the maximum ``source``–``sink`` flow with Edmonds–Karp."""
+    if source == sink:
+        raise FlowError("source and sink must differ")
+    network._check_node(source)
+    network._check_node(sink)
+
+    heads = network.heads
+    caps = network.arc_capacities
+    targets = network.arc_targets
+    total = 0.0
+
+    while True:
+        # BFS to find the shortest augmenting path; remember the arc used to
+        # reach every node so the path can be reconstructed.
+        parent_arc = [-1] * network.num_nodes
+        parent_arc[source] = -2
+        queue = deque([source])
+        found = False
+        while queue and not found:
+            node = queue.popleft()
+            for arc_index in heads[node]:
+                target = targets[arc_index]
+                if parent_arc[target] == -1 and caps[arc_index] > EPSILON:
+                    parent_arc[target] = arc_index
+                    if target == sink:
+                        found = True
+                        break
+                    queue.append(target)
+        if not found:
+            return total
+
+        # Compute the bottleneck along the path and push it.
+        bottleneck = float("inf")
+        node = sink
+        while node != source:
+            arc_index = parent_arc[node]
+            bottleneck = min(bottleneck, caps[arc_index])
+            node = targets[arc_index ^ 1]
+        node = sink
+        while node != source:
+            arc_index = parent_arc[node]
+            caps[arc_index] -= bottleneck
+            caps[arc_index ^ 1] += bottleneck
+            node = targets[arc_index ^ 1]
+        total += bottleneck

@@ -1,0 +1,168 @@
+"""Residual flow-network representation shared by all max-flow solvers.
+
+The network stores arcs in a flat list where arc ``i`` and arc ``i ^ 1`` are
+mutual residuals (the classic pairing trick), so pushing flow on an arc and
+its reverse is an O(1) index operation.  Capacities are floats because the
+DDS reduction uses capacities such as ``g / sqrt(a)``; all solvers treat
+residual capacities below :data:`EPSILON` as zero to keep floating-point
+noise from creating phantom augmenting paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import FlowError
+
+#: Capacity used for "uncuttable" arcs.
+INFINITY = float("inf")
+
+#: Residual capacities smaller than this are treated as zero.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class Arc:
+    """Read-only view of one arc (used for inspection and debugging)."""
+
+    source: int
+    target: int
+    capacity: float
+    flow: float
+
+
+class FlowNetwork:
+    """A directed flow network over nodes ``0 .. num_nodes-1``.
+
+    Examples
+    --------
+    >>> net = FlowNetwork(4)
+    >>> _ = net.add_edge(0, 1, 3.0)
+    >>> _ = net.add_edge(1, 3, 2.0)
+    >>> from repro.flow import dinic_max_flow
+    >>> dinic_max_flow(net, 0, 3)
+    2.0
+    """
+
+    __slots__ = ("num_nodes", "_heads", "_to", "_cap", "_sources")
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 0:
+            raise FlowError(f"num_nodes must be >= 0, got {num_nodes}")
+        self.num_nodes = num_nodes
+        self._heads: list[list[int]] = [[] for _ in range(num_nodes)]
+        self._to: list[int] = []
+        self._cap: list[float] = []
+        self._sources: list[int] = []
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add_node(self) -> int:
+        """Append a new node and return its index."""
+        self._heads.append([])
+        self.num_nodes += 1
+        return self.num_nodes - 1
+
+    def add_edge(self, source: int, target: int, capacity: float) -> int:
+        """Add arc ``source -> target`` with ``capacity`` (reverse gets 0).
+
+        Returns the arc index, which can be passed to :meth:`arc_flow`.
+        """
+        self._check_node(source)
+        self._check_node(target)
+        if capacity < 0:
+            raise FlowError(f"capacity must be >= 0, got {capacity}")
+        arc_index = len(self._to)
+        self._to.append(target)
+        self._cap.append(float(capacity))
+        self._sources.append(source)
+        self._heads[source].append(arc_index)
+        self._to.append(source)
+        self._cap.append(0.0)
+        self._sources.append(target)
+        self._heads[target].append(arc_index + 1)
+        return arc_index
+
+    # ------------------------------------------------------------------
+    # solver-facing accessors (kept as raw lists for speed)
+    # ------------------------------------------------------------------
+    @property
+    def heads(self) -> list[list[int]]:
+        """Outgoing arc indices per node (includes residual arcs)."""
+        return self._heads
+
+    @property
+    def arc_targets(self) -> list[int]:
+        """Target node of every arc."""
+        return self._to
+
+    @property
+    def arc_capacities(self) -> list[float]:
+        """Mutable residual capacities of every arc."""
+        return self._cap
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of stored arcs (2x the number of added edges)."""
+        return len(self._to)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def arcs(self) -> Iterator[Arc]:
+        """Iterate over the forward arcs with their current flow."""
+        for index in range(0, len(self._to), 2):
+            original = self._original_capacity(index)
+            residual = self._cap[index]
+            yield Arc(
+                source=self._sources[index],
+                target=self._to[index],
+                capacity=original,
+                flow=original - residual,
+            )
+
+    def arc_flow(self, arc_index: int) -> float:
+        """Flow currently routed on the forward arc ``arc_index``."""
+        if arc_index % 2 != 0:
+            raise FlowError("arc_flow expects the index returned by add_edge (even)")
+        return self._original_capacity(arc_index) - self._cap[arc_index]
+
+    def reset_flow(self) -> None:
+        """Restore all residual capacities to the original capacities."""
+        for index in range(0, len(self._cap), 2):
+            original = self._original_capacity(index)
+            self._cap[index] = original
+            self._cap[index + 1] = 0.0
+
+    def residual_reachable(self, source: int) -> list[bool]:
+        """Nodes reachable from ``source`` using arcs with positive residual capacity.
+
+        After a max-flow computation this is exactly the source side of a
+        minimum cut.
+        """
+        self._check_node(source)
+        seen = [False] * self.num_nodes
+        seen[source] = True
+        stack = [source]
+        while stack:
+            node = stack.pop()
+            for arc_index in self._heads[node]:
+                if self._cap[arc_index] > EPSILON:
+                    target = self._to[arc_index]
+                    if not seen[target]:
+                        seen[target] = True
+                        stack.append(target)
+        return seen
+
+    def _original_capacity(self, forward_index: int) -> float:
+        residual = self._cap[forward_index]
+        pushed_back = self._cap[forward_index + 1]
+        if residual == INFINITY:
+            return INFINITY
+        return residual + pushed_back
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise FlowError(f"node {node} out of range [0, {self.num_nodes})")

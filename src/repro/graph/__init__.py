@@ -1,0 +1,65 @@
+"""Directed-graph substrate used by every algorithm in the library.
+
+The central type is :class:`repro.graph.DiGraph`, a simple, unweighted
+directed graph with arbitrary hashable node labels and a contiguous internal
+index space that the algorithms operate on.  Everything else in this
+subpackage is convenience machinery around it: builders, file I/O, random
+generators, and structural property reports.
+"""
+
+from repro.graph.builders import (
+    graph_from_edge_list,
+    induced_subgraph,
+    largest_weakly_connected_component,
+    relabel_to_integers,
+    remove_self_loops,
+    reverse_graph,
+    st_induced_subgraph,
+)
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import (
+    chung_lu_digraph,
+    complete_bipartite_digraph,
+    cycle_digraph,
+    gnm_random_digraph,
+    gnp_random_digraph,
+    path_digraph,
+    planted_dds_digraph,
+    powerlaw_digraph,
+    rmat_digraph,
+    star_digraph,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.properties import (
+    degree_statistics,
+    graph_summary,
+    reciprocity,
+    weakly_connected_components,
+)
+
+__all__ = [
+    "DiGraph",
+    "graph_from_edge_list",
+    "induced_subgraph",
+    "st_induced_subgraph",
+    "largest_weakly_connected_component",
+    "relabel_to_integers",
+    "remove_self_loops",
+    "reverse_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "gnp_random_digraph",
+    "gnm_random_digraph",
+    "chung_lu_digraph",
+    "powerlaw_digraph",
+    "planted_dds_digraph",
+    "rmat_digraph",
+    "complete_bipartite_digraph",
+    "star_digraph",
+    "path_digraph",
+    "cycle_digraph",
+    "degree_statistics",
+    "graph_summary",
+    "reciprocity",
+    "weakly_connected_components",
+]

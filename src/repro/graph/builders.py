@@ -1,0 +1,114 @@
+"""Convenience builders and transformations for :class:`~repro.graph.DiGraph`."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+from repro.graph.digraph import DiGraph, NodeLabel
+
+
+def graph_from_edge_list(
+    pairs: Iterable[tuple[NodeLabel, NodeLabel]],
+    allow_self_loops: bool = False,
+) -> DiGraph:
+    """Build a :class:`DiGraph` from an iterable of ``(u, v)`` pairs.
+
+    Duplicate edges are collapsed; self-loops are dropped unless
+    ``allow_self_loops`` is set.
+    """
+    return DiGraph.from_edges(pairs, allow_self_loops=allow_self_loops)
+
+
+def relabel_to_integers(graph: DiGraph) -> tuple[DiGraph, dict[NodeLabel, int]]:
+    """Return a copy whose labels are ``0..n-1`` plus the old->new mapping."""
+    mapping = {label: index for index, label in enumerate(graph.nodes())}
+    relabeled = DiGraph(allow_self_loops=graph.allow_self_loops)
+    for label in graph.nodes():
+        relabeled.add_node(mapping[label])
+    for u, v in graph.edges():
+        relabeled.add_edge(mapping[u], mapping[v])
+    return relabeled, mapping
+
+
+def remove_self_loops(graph: DiGraph) -> DiGraph:
+    """Return a copy of ``graph`` with all self-loops removed."""
+    cleaned = DiGraph(allow_self_loops=False)
+    for label in graph.nodes():
+        cleaned.add_node(label)
+    for u, v in graph.edges():
+        if u != v:
+            cleaned.add_edge(u, v)
+    return cleaned
+
+
+def reverse_graph(graph: DiGraph) -> DiGraph:
+    """Return the graph with all edge directions reversed."""
+    return graph.reverse()
+
+
+def induced_subgraph(graph: DiGraph, labels: Iterable[NodeLabel]) -> DiGraph:
+    """Node-induced subgraph on ``labels``."""
+    return graph.subgraph(labels)
+
+
+def st_induced_subgraph(
+    graph: DiGraph,
+    sources: Sequence[NodeLabel],
+    targets: Sequence[NodeLabel],
+) -> DiGraph:
+    """Subgraph keeping only edges that go from ``sources`` into ``targets``.
+
+    The node set of the result is ``sources ∪ targets`` (so isolated nodes of
+    either side are preserved); the edge set is ``E ∩ (sources × targets)``.
+    This is the "(S, T)-induced" subgraph the DDS algorithms repeatedly build
+    when they restrict a flow network to an [x, y]-core.
+    """
+    source_idx = graph.indices_of(sources)
+    target_idx = graph.indices_of(targets)
+    sub = DiGraph(allow_self_loops=graph.allow_self_loops)
+    for label in sources:
+        sub.add_node(label)
+    for label in targets:
+        sub.add_node(label)
+    for ui, vi in graph.edges_between(source_idx, target_idx):
+        sub.add_edge(graph.label_of(ui), graph.label_of(vi))
+    return sub
+
+
+def weakly_connected_node_sets(graph: DiGraph) -> list[list[NodeLabel]]:
+    """Weakly connected components as lists of labels (largest first)."""
+    n = graph.num_nodes
+    seen = [False] * n
+    out_adj = graph.out_adj
+    in_adj = graph.in_adj
+    components: list[list[NodeLabel]] = []
+    for start in range(n):
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        component = [start]
+        while queue:
+            node = queue.popleft()
+            for neighbor in out_adj[node]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    component.append(neighbor)
+                    queue.append(neighbor)
+            for neighbor in in_adj[node]:
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    component.append(neighbor)
+                    queue.append(neighbor)
+        components.append(graph.labels_of(component))
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def largest_weakly_connected_component(graph: DiGraph) -> DiGraph:
+    """Node-induced subgraph on the largest weakly connected component."""
+    if graph.num_nodes == 0:
+        return graph.copy()
+    components = weakly_connected_node_sets(graph)
+    return graph.subgraph(components[0])

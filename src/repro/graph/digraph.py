@@ -1,0 +1,329 @@
+"""A simple, unweighted, directed graph with label/index duality.
+
+Design notes
+------------
+The densest-subgraph algorithms in :mod:`repro.core` spend essentially all of
+their time iterating adjacency lists of induced subgraphs, so the class keeps
+two representations:
+
+* a *label* view for users (any hashable node identifiers, insertion order
+  preserved), and
+* an *index* view for algorithms (nodes ``0..n-1``, adjacency as
+  ``list[list[int]]``), built lazily and cached.
+
+The graph is **simple**: parallel edges are collapsed and self-loops are kept
+only if explicitly allowed (the DDS density definition permits self-loops,
+because a vertex may belong to both ``S`` and ``T``; the paper's datasets are
+simple graphs, so loops are dropped by default but can be retained).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Iterator, Sequence
+
+from repro.exceptions import GraphError
+
+NodeLabel = Hashable
+
+
+class DiGraph:
+    """An unweighted simple directed graph.
+
+    Parameters
+    ----------
+    allow_self_loops:
+        When ``False`` (default) edges of the form ``(u, u)`` are silently
+        dropped, matching the data model of the paper's datasets.
+
+    Examples
+    --------
+    >>> g = DiGraph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    >>> g.num_nodes, g.num_edges
+    (3, 3)
+    >>> sorted(g.successors("a"))
+    ['b', 'c']
+    """
+
+    __slots__ = (
+        "_allow_self_loops",
+        "_labels",
+        "_index_of",
+        "_out_sets",
+        "_in_sets",
+        "_num_edges",
+        "_out_adj_cache",
+        "_in_adj_cache",
+    )
+
+    def __init__(self, allow_self_loops: bool = False) -> None:
+        self._allow_self_loops = bool(allow_self_loops)
+        self._labels: list[NodeLabel] = []
+        self._index_of: dict[NodeLabel, int] = {}
+        self._out_sets: list[set[int]] = []
+        self._in_sets: list[set[int]] = []
+        self._num_edges = 0
+        self._out_adj_cache: list[list[int]] | None = None
+        self._in_adj_cache: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[NodeLabel, NodeLabel]],
+        nodes: Iterable[NodeLabel] | None = None,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Build a graph from an iterable of ``(source, target)`` pairs.
+
+        ``nodes`` may list additional isolated nodes (or fix the node order).
+        """
+        graph = cls(allow_self_loops=allow_self_loops)
+        if nodes is not None:
+            for node in nodes:
+                graph.add_node(node)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def add_node(self, label: NodeLabel) -> int:
+        """Add a node (no-op if present) and return its internal index."""
+        index = self._index_of.get(label)
+        if index is not None:
+            return index
+        index = len(self._labels)
+        self._labels.append(label)
+        self._index_of[label] = index
+        self._out_sets.append(set())
+        self._in_sets.append(set())
+        self._invalidate_cache()
+        return index
+
+    def add_edge(self, u: NodeLabel, v: NodeLabel) -> bool:
+        """Add the directed edge ``u -> v``.
+
+        Returns ``True`` if the edge was new, ``False`` if it already existed
+        or was a rejected self-loop.
+        """
+        ui = self.add_node(u)
+        vi = self.add_node(v)
+        if ui == vi and not self._allow_self_loops:
+            return False
+        if vi in self._out_sets[ui]:
+            return False
+        self._out_sets[ui].add(vi)
+        self._in_sets[vi].add(ui)
+        self._num_edges += 1
+        self._invalidate_cache()
+        return True
+
+    def remove_edge(self, u: NodeLabel, v: NodeLabel) -> None:
+        """Remove the directed edge ``u -> v`` (raises if absent)."""
+        ui = self._require_index(u)
+        vi = self._require_index(v)
+        if vi not in self._out_sets[ui]:
+            raise GraphError(f"edge {u!r} -> {v!r} does not exist")
+        self._out_sets[ui].discard(vi)
+        self._in_sets[vi].discard(ui)
+        self._num_edges -= 1
+        self._invalidate_cache()
+
+    def copy(self) -> "DiGraph":
+        """Return a deep copy of this graph (labels shared, structure copied)."""
+        clone = DiGraph(allow_self_loops=self._allow_self_loops)
+        clone._labels = list(self._labels)
+        clone._index_of = dict(self._index_of)
+        clone._out_sets = [set(adj) for adj in self._out_sets]
+        clone._in_sets = [set(adj) for adj in self._in_sets]
+        clone._num_edges = self._num_edges
+        return clone
+
+    # ------------------------------------------------------------------
+    # basic queries (label view)
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes ``n``."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m``."""
+        return self._num_edges
+
+    @property
+    def allow_self_loops(self) -> bool:
+        """Whether self-loops are stored."""
+        return self._allow_self_loops
+
+    def nodes(self) -> list[NodeLabel]:
+        """All node labels in insertion order."""
+        return list(self._labels)
+
+    def edges(self) -> Iterator[tuple[NodeLabel, NodeLabel]]:
+        """Iterate over ``(source, target)`` label pairs."""
+        for ui, targets in enumerate(self._out_sets):
+            u = self._labels[ui]
+            for vi in targets:
+                yield (u, self._labels[vi])
+
+    def has_node(self, label: NodeLabel) -> bool:
+        """Whether ``label`` is a node of this graph."""
+        return label in self._index_of
+
+    def has_edge(self, u: NodeLabel, v: NodeLabel) -> bool:
+        """Whether the directed edge ``u -> v`` exists."""
+        ui = self._index_of.get(u)
+        vi = self._index_of.get(v)
+        if ui is None or vi is None:
+            return False
+        return vi in self._out_sets[ui]
+
+    def successors(self, label: NodeLabel) -> list[NodeLabel]:
+        """Out-neighbours of ``label`` (as labels)."""
+        ui = self._require_index(label)
+        return [self._labels[vi] for vi in self._out_sets[ui]]
+
+    def predecessors(self, label: NodeLabel) -> list[NodeLabel]:
+        """In-neighbours of ``label`` (as labels)."""
+        vi = self._require_index(label)
+        return [self._labels[ui] for ui in self._in_sets[vi]]
+
+    def out_degree(self, label: NodeLabel) -> int:
+        """Out-degree of ``label``."""
+        return len(self._out_sets[self._require_index(label)])
+
+    def in_degree(self, label: NodeLabel) -> int:
+        """In-degree of ``label``."""
+        return len(self._in_sets[self._require_index(label)])
+
+    # ------------------------------------------------------------------
+    # index view (used by algorithms)
+    # ------------------------------------------------------------------
+    def index_of(self, label: NodeLabel) -> int:
+        """Internal index of ``label`` (raises :class:`GraphError` if absent)."""
+        return self._require_index(label)
+
+    def label_of(self, index: int) -> NodeLabel:
+        """Label of internal node ``index``."""
+        return self._labels[index]
+
+    def labels_of(self, indices: Iterable[int]) -> list[NodeLabel]:
+        """Labels of a sequence of internal indices, preserving order."""
+        return [self._labels[i] for i in indices]
+
+    def indices_of(self, labels: Iterable[NodeLabel]) -> list[int]:
+        """Internal indices of a sequence of labels, preserving order."""
+        return [self._require_index(label) for label in labels]
+
+    @property
+    def out_adj(self) -> list[list[int]]:
+        """Out-adjacency lists indexed by internal node index (cached)."""
+        if self._out_adj_cache is None:
+            self._out_adj_cache = [sorted(adj) for adj in self._out_sets]
+        return self._out_adj_cache
+
+    @property
+    def in_adj(self) -> list[list[int]]:
+        """In-adjacency lists indexed by internal node index (cached)."""
+        if self._in_adj_cache is None:
+            self._in_adj_cache = [sorted(adj) for adj in self._in_sets]
+        return self._in_adj_cache
+
+    def out_degrees(self) -> list[int]:
+        """Out-degrees indexed by internal node index."""
+        return [len(adj) for adj in self._out_sets]
+
+    def in_degrees(self) -> list[int]:
+        """In-degrees indexed by internal node index."""
+        return [len(adj) for adj in self._in_sets]
+
+    def max_out_degree(self) -> int:
+        """Maximum out-degree (0 for an empty graph)."""
+        return max((len(adj) for adj in self._out_sets), default=0)
+
+    def max_in_degree(self) -> int:
+        """Maximum in-degree (0 for an empty graph)."""
+        return max((len(adj) for adj in self._in_sets), default=0)
+
+    def edge_indices(self) -> Iterator[tuple[int, int]]:
+        """Iterate over edges as ``(source_index, target_index)`` pairs."""
+        for ui, targets in enumerate(self._out_sets):
+            for vi in targets:
+                yield (ui, vi)
+
+    # ------------------------------------------------------------------
+    # subgraph extraction
+    # ------------------------------------------------------------------
+    def count_edges_between(self, sources: Sequence[int], targets: Sequence[int]) -> int:
+        """Number of edges from index-set ``sources`` into index-set ``targets``.
+
+        This is ``|E(S, T)|`` in the paper's notation and is the quantity the
+        Kannan–Vinay density is built from.
+        """
+        target_set = set(targets)
+        count = 0
+        for ui in sources:
+            out = self._out_sets[ui]
+            if len(out) <= len(target_set):
+                count += sum(1 for vi in out if vi in target_set)
+            else:
+                count += sum(1 for vi in target_set if vi in out)
+        return count
+
+    def edges_between(
+        self, sources: Sequence[int], targets: Sequence[int]
+    ) -> list[tuple[int, int]]:
+        """All edges (as index pairs) from ``sources`` into ``targets``."""
+        target_set = set(targets)
+        found: list[tuple[int, int]] = []
+        for ui in sources:
+            for vi in self._out_sets[ui]:
+                if vi in target_set:
+                    found.append((ui, vi))
+        return found
+
+    def subgraph(self, labels: Iterable[NodeLabel]) -> "DiGraph":
+        """Node-induced subgraph on ``labels`` (keeps isolated nodes)."""
+        keep = [self._require_index(label) for label in labels]
+        keep_set = set(keep)
+        sub = DiGraph(allow_self_loops=self._allow_self_loops)
+        for index in keep:
+            sub.add_node(self._labels[index])
+        for ui in keep:
+            for vi in self._out_sets[ui]:
+                if vi in keep_set:
+                    sub.add_edge(self._labels[ui], self._labels[vi])
+        return sub
+
+    def reverse(self) -> "DiGraph":
+        """Graph with every edge direction flipped."""
+        rev = DiGraph(allow_self_loops=self._allow_self_loops)
+        for label in self._labels:
+            rev.add_node(label)
+        for ui, vi in self.edge_indices():
+            rev.add_edge(self._labels[vi], self._labels[ui])
+        return rev
+
+    # ------------------------------------------------------------------
+    # dunder / misc
+    # ------------------------------------------------------------------
+    def __contains__(self, label: NodeLabel) -> bool:
+        return label in self._index_of
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DiGraph(n={self.num_nodes}, m={self.num_edges})"
+
+    def _require_index(self, label: NodeLabel) -> int:
+        index = self._index_of.get(label)
+        if index is None:
+            raise GraphError(f"node {label!r} is not in the graph")
+        return index
+
+    def _invalidate_cache(self) -> None:
+        self._out_adj_cache = None
+        self._in_adj_cache = None

@@ -1,0 +1,75 @@
+"""Plain-text edge-list I/O.
+
+The format is the de-facto standard used by SNAP / KONECT dumps: one edge per
+line, whitespace- (or custom-delimiter-) separated source and target, with
+``#`` or ``%`` comment lines ignored.  Node identifiers are kept as strings
+unless ``as_int=True``.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+from repro.exceptions import ParseError
+from repro.graph.digraph import DiGraph
+
+PathLike = Union[str, os.PathLike]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def read_edge_list(
+    path: PathLike,
+    delimiter: str | None = None,
+    as_int: bool = True,
+    allow_self_loops: bool = False,
+) -> DiGraph:
+    """Read a directed edge list from ``path``.
+
+    Parameters
+    ----------
+    path:
+        File containing one ``source target`` pair per line.
+    delimiter:
+        Field separator; ``None`` splits on arbitrary whitespace.
+    as_int:
+        Convert node identifiers to ``int`` when possible.
+    allow_self_loops:
+        Keep self-loops instead of dropping them.
+
+    Raises
+    ------
+    ParseError
+        If any non-comment line does not contain at least two fields.
+    """
+    graph = DiGraph(allow_self_loops=allow_self_loops)
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith(_COMMENT_PREFIXES):
+                continue
+            parts = line.split(delimiter)
+            if len(parts) < 2:
+                raise ParseError(f"{path}:{line_number}: expected 'source target', got {line!r}")
+            source, target = parts[0], parts[1]
+            if as_int:
+                try:
+                    graph.add_edge(int(source), int(target))
+                    continue
+                except ValueError:
+                    pass
+            graph.add_edge(source, target)
+    return graph
+
+
+def write_edge_list(graph: DiGraph, path: PathLike, delimiter: str = "\t") -> None:
+    """Write ``graph`` as a directed edge list (one ``u<delimiter>v`` per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(f"# directed edge list: n={graph.num_nodes} m={graph.num_edges}\n")
+        for u, v in sorted(graph.edges(), key=str):
+            handle.write(f"{u}{delimiter}{v}\n")

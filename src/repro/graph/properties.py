@@ -1,0 +1,74 @@
+"""Structural property reports: degree statistics, components, reciprocity.
+
+These feed experiment E1 (the dataset-statistics table) and the README's
+dataset overview.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.builders import weakly_connected_node_sets
+from repro.graph.digraph import DiGraph, NodeLabel
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Summary of the out- and in-degree distributions of a digraph."""
+
+    max_out_degree: int
+    max_in_degree: int
+    mean_out_degree: float
+    mean_in_degree: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict view (used by the benchmark table printers)."""
+        return {
+            "max_out_degree": self.max_out_degree,
+            "max_in_degree": self.max_in_degree,
+            "mean_out_degree": self.mean_out_degree,
+            "mean_in_degree": self.mean_in_degree,
+        }
+
+
+def degree_statistics(graph: DiGraph) -> DegreeStatistics:
+    """Compute :class:`DegreeStatistics` for ``graph``."""
+    n = graph.num_nodes
+    if n == 0:
+        return DegreeStatistics(0, 0, 0.0, 0.0)
+    out_degrees = graph.out_degrees()
+    in_degrees = graph.in_degrees()
+    return DegreeStatistics(
+        max_out_degree=max(out_degrees),
+        max_in_degree=max(in_degrees),
+        mean_out_degree=sum(out_degrees) / n,
+        mean_in_degree=sum(in_degrees) / n,
+    )
+
+
+def weakly_connected_components(graph: DiGraph) -> list[list[NodeLabel]]:
+    """Weakly connected components as label lists, largest first."""
+    return weakly_connected_node_sets(graph)
+
+
+def reciprocity(graph: DiGraph) -> float:
+    """Fraction of edges ``(u, v)`` whose reverse ``(v, u)`` also exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    reciprocal = sum(1 for u, v in graph.edges() if graph.has_edge(v, u))
+    return reciprocal / graph.num_edges
+
+
+def graph_summary(graph: DiGraph) -> dict[str, float]:
+    """One-row summary used by the E1 dataset table."""
+    stats = degree_statistics(graph)
+    components = weakly_connected_components(graph)
+    summary: dict[str, float] = {
+        "nodes": graph.num_nodes,
+        "edges": graph.num_edges,
+        "components": len(components),
+        "largest_component": len(components[0]) if components else 0,
+        "reciprocity": round(reciprocity(graph), 4),
+    }
+    summary.update(stats.as_dict())
+    return summary

@@ -1,0 +1,30 @@
+"""Undirected densest-subgraph companion algorithms.
+
+The DDS problem generalises the classic undirected edge-densest subgraph
+problem, and the paper's motivation rests on the observation that ignoring
+edge directions loses the hub/authority structure of the answer.  This
+subpackage implements the standard undirected toolkit — k-cores, Charikar's
+1/2-approximation peel, and Goldberg's exact max-flow algorithm — so the
+benchmarks can quantify exactly that gap (experiment E12) and so the library
+is usable for undirected inputs as well.
+
+Undirected graphs are represented as symmetric :class:`~repro.graph.DiGraph`
+objects (both arc directions present); :func:`symmetrize` converts any
+digraph into that form.
+"""
+
+from repro.undirected.charikar import charikar_peel
+from repro.undirected.goldberg import goldberg_exact
+from repro.undirected.kcore import core_decomposition, k_core, max_core
+from repro.undirected.models import UndirectedResult, edge_density, symmetrize
+
+__all__ = [
+    "UndirectedResult",
+    "edge_density",
+    "symmetrize",
+    "k_core",
+    "max_core",
+    "core_decomposition",
+    "charikar_peel",
+    "goldberg_exact",
+]

@@ -1,0 +1,62 @@
+"""Charikar's greedy 1/2-approximation for the undirected densest subgraph.
+
+Repeatedly remove the minimum-degree vertex and return the densest
+intermediate subgraph; the classic argument shows its edge density is at
+least half the optimum.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.digraph import DiGraph
+from repro.exceptions import EmptyGraphError
+from repro.undirected.models import UndirectedResult, symmetrize, undirected_edge_count
+
+
+def charikar_peel(graph: DiGraph) -> UndirectedResult:
+    """Greedy peel of the undirected view of ``graph`` (1/2-approximation)."""
+    symmetric = symmetrize(graph)
+    if symmetric.num_edges == 0:
+        raise EmptyGraphError("charikar_peel requires a graph with at least one edge")
+    n = symmetric.num_nodes
+    adjacency = symmetric.out_adj
+    degrees = [len(neighbors) for neighbors in adjacency]
+    alive = [True] * n
+    edge_count = symmetric.num_edges // 2
+    alive_count = n
+
+    heap = [(degrees[node], node) for node in range(n)]
+    heapq.heapify(heap)
+
+    removals: list[int] = []
+    best_density = edge_count / alive_count
+    best_step = 0
+
+    while alive_count > 1:
+        degree, node = heapq.heappop(heap)
+        if not alive[node] or degree != degrees[node]:
+            continue
+        alive[node] = False
+        alive_count -= 1
+        removals.append(node)
+        for neighbor in adjacency[node]:
+            if alive[neighbor]:
+                degrees[neighbor] -= 1
+                edge_count -= 1
+                heapq.heappush(heap, (degrees[neighbor], neighbor))
+        density = edge_count / alive_count
+        if density > best_density:
+            best_density = density
+            best_step = len(removals)
+
+    survivors = set(range(n)) - set(removals[:best_step])
+    nodes = symmetric.labels_of(sorted(survivors))
+    return UndirectedResult(
+        nodes=nodes,
+        density=best_density,
+        edge_count=undirected_edge_count(symmetric, nodes),
+        method="charikar-peel",
+        is_exact=False,
+        stats={"steps": len(removals)},
+    )

@@ -1,0 +1,63 @@
+"""Classic k-core decomposition on the undirected view of a graph.
+
+The k-core is the largest induced subgraph in which every vertex has degree
+at least ``k``.  The decomposition assigns every vertex its core number (the
+largest ``k`` for which it survives); we use the standard "peel the current
+minimum-degree vertex" algorithm with a lazy heap, whose invariant is that
+the core number of the vertex being removed is the maximum of the minimum
+degrees seen so far.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.graph.digraph import DiGraph, NodeLabel
+from repro.undirected.models import symmetrize
+from repro.utils.validation import require_non_negative_int
+
+
+def core_decomposition(graph: DiGraph) -> dict[NodeLabel, int]:
+    """Core number of every vertex of the undirected view of ``graph``."""
+    symmetric = symmetrize(graph)
+    n = symmetric.num_nodes
+    if n == 0:
+        return {}
+    adjacency = symmetric.out_adj
+    degrees = [len(neighbors) for neighbors in adjacency]
+    removed = [False] * n
+    core = [0] * n
+
+    heap = [(degrees[node], node) for node in range(n)]
+    heapq.heapify(heap)
+    current_floor = 0
+
+    while heap:
+        degree, node = heapq.heappop(heap)
+        if removed[node] or degree != degrees[node]:
+            continue
+        removed[node] = True
+        current_floor = max(current_floor, degree)
+        core[node] = current_floor
+        for neighbor in adjacency[node]:
+            if not removed[neighbor]:
+                degrees[neighbor] -= 1
+                heapq.heappush(heap, (degrees[neighbor], neighbor))
+
+    return {symmetric.label_of(index): core[index] for index in range(n)}
+
+
+def k_core(graph: DiGraph, k: int) -> list[NodeLabel]:
+    """Vertices of the undirected k-core (possibly empty)."""
+    require_non_negative_int(k, "k")
+    numbers = core_decomposition(graph)
+    return [label for label, core_number in numbers.items() if core_number >= k]
+
+
+def max_core(graph: DiGraph) -> tuple[int, list[NodeLabel]]:
+    """``(k_max, vertices of the k_max-core)`` of the undirected view."""
+    numbers = core_decomposition(graph)
+    if not numbers:
+        return 0, []
+    k_max = max(numbers.values())
+    return k_max, [label for label, core_number in numbers.items() if core_number >= k_max]

@@ -1,0 +1,55 @@
+"""Shared types and helpers for the undirected companion algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.graph.digraph import DiGraph, NodeLabel
+
+
+@dataclass
+class UndirectedResult:
+    """An undirected densest-subgraph answer (single vertex set)."""
+
+    nodes: list[NodeLabel]
+    density: float
+    edge_count: int
+    method: str
+    is_exact: bool
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of vertices in the answer."""
+        return len(self.nodes)
+
+
+def symmetrize(graph: DiGraph) -> DiGraph:
+    """Return the undirected view of ``graph`` as a symmetric digraph.
+
+    For every edge ``(u, v)`` both arcs ``u -> v`` and ``v -> u`` are present
+    in the result, so undirected degree equals out-degree equals in-degree.
+    """
+    symmetric = DiGraph(allow_self_loops=False)
+    for label in graph.nodes():
+        symmetric.add_node(label)
+    for u, v in graph.edges():
+        symmetric.add_edge(u, v)
+        symmetric.add_edge(v, u)
+    return symmetric
+
+
+def undirected_edge_count(symmetric_graph: DiGraph, nodes: Sequence[NodeLabel]) -> int:
+    """Number of undirected edges inside ``nodes`` of a symmetric digraph."""
+    indices = symmetric_graph.indices_of(nodes)
+    directed = symmetric_graph.count_edges_between(indices, indices)
+    return directed // 2
+
+
+def edge_density(symmetric_graph: DiGraph, nodes: Iterable[NodeLabel]) -> float:
+    """Classic undirected edge density ``|E(H)| / |V(H)|`` of the induced subgraph."""
+    node_list = list(nodes)
+    if not node_list:
+        return 0.0
+    return undirected_edge_count(symmetric_graph, node_list) / len(node_list)

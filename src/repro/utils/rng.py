@@ -1,0 +1,26 @@
+"""Deterministic random-number-generator helpers.
+
+All generators in :mod:`repro.graph.generators` and all synthetic datasets in
+:mod:`repro.datasets` accept either a seed or a ready-made
+:class:`random.Random`; this module centralises the conversion so experiments
+are reproducible bit-for-bit across runs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Union
+
+RngLike = Union[int, random.Random, None]
+
+
+def make_rng(seed: RngLike = None) -> random.Random:
+    """Return a :class:`random.Random` from a seed, an existing RNG, or None.
+
+    Passing an existing RNG returns it unchanged (so callers can thread one
+    generator through a pipeline); passing an integer builds a fresh seeded
+    generator; passing ``None`` builds an unseeded generator.
+    """
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)

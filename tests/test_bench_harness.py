@@ -1,0 +1,81 @@
+"""Tests for the benchmark harness and workload helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ExperimentRecord, format_series, format_table, run_method_on_dataset
+from repro.bench.workloads import (
+    approx_method_matrix,
+    edge_fraction_subgraph,
+    exact_method_matrix,
+    quality_reference_density,
+)
+from repro.graph.generators import complete_bipartite_digraph, gnm_random_digraph
+
+
+class TestHarness:
+    def test_run_method_on_dataset(self):
+        g = complete_bipartite_digraph(2, 3)
+        record = run_method_on_dataset("E0", "toy", g, "core-approx")
+        assert isinstance(record, ExperimentRecord)
+        assert record.seconds >= 0.0
+        row = record.row()
+        assert row["dataset"] == "toy"
+        assert row["method"] == "core-approx"
+        assert row["density"] > 0
+
+    def test_format_table(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy", "c": 3}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "a" in text and "b" in text and "c" in text
+        assert "22" in text
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_series(self):
+        text = format_series("fraction", "seconds", [(0.2, 1.5), (1.0, 3.25)], title="scale")
+        assert "scale" in text
+        assert "0.2" in text
+        assert "3.2500" in text
+
+
+class TestWorkloads:
+    def test_method_matrices(self):
+        assert exact_method_matrix() == ["flow-exact", "dc-exact", "core-exact"]
+        assert exact_method_matrix(include_baseline=False) == ["dc-exact", "core-exact"]
+        assert "core-approx" in approx_method_matrix()
+
+    def test_edge_fraction_subgraph(self):
+        g = gnm_random_digraph(50, 400, seed=1)
+        half = edge_fraction_subgraph(g, 0.5, seed=2)
+        assert half.num_nodes == g.num_nodes
+        assert 0 < half.num_edges < g.num_edges
+        full = edge_fraction_subgraph(g, 1.0, seed=2)
+        assert full.num_edges == g.num_edges
+
+    def test_edge_fraction_never_empty(self):
+        g = gnm_random_digraph(10, 5, seed=1)
+        tiny = edge_fraction_subgraph(g, 0.01, seed=3)
+        assert tiny.num_edges >= 1
+
+    def test_edge_fraction_validation(self):
+        g = gnm_random_digraph(5, 5, seed=1)
+        with pytest.raises(ValueError):
+            edge_fraction_subgraph(g, 0.0)
+        with pytest.raises(ValueError):
+            edge_fraction_subgraph(g, 1.5)
+
+    def test_quality_reference_small_graph_uses_exact(self):
+        g = complete_bipartite_digraph(2, 3)
+        density, method = quality_reference_density(g)
+        assert method == "core-exact"
+        assert density == pytest.approx(6 ** 0.5)
+
+    def test_quality_reference_large_graph_uses_best_approx(self):
+        g = gnm_random_digraph(40, 160, seed=4)
+        density, method = quality_reference_density(g, exact_node_limit=10)
+        assert method in approx_method_matrix()
+        assert density > 0

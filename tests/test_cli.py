@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph.digraph import DiGraph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def edge_list_file(tmp_path):
+    graph = DiGraph.from_edges([(0, 1), (0, 2), (1, 2), (3, 0)])
+    path = tmp_path / "graph.txt"
+    write_edge_list(graph, path)
+    return path
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_find_defaults(self):
+        args = build_parser().parse_args(["find", "--dataset", "foodweb-tiny"])
+        assert args.method == "auto"
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["find", "--dataset", "x", "--method", "nope"])
+
+
+class TestCommands:
+    def test_find_on_edge_list(self, edge_list_file, capsys):
+        exit_code = main(["find", "--edge-list", str(edge_list_file), "--method", "core-exact"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_exact"] is True
+        assert payload["density"] > 0
+
+    def test_find_on_dataset_with_nodes(self, capsys):
+        exit_code = main(
+            ["find", "--dataset", "foodweb-tiny", "--method", "core-approx", "--show-nodes"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["s_nodes"]
+        assert payload["t_nodes"]
+
+    def test_find_without_source_errors(self):
+        with pytest.raises(SystemExit):
+            main(["find", "--method", "core-approx"])
+
+    def test_core_command_max_core(self, edge_list_file, capsys):
+        exit_code = main(["core", "--edge-list", str(edge_list_file)])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["x"] >= 1
+        assert payload["y"] >= 1
+
+    def test_core_command_specific_orders(self, edge_list_file, capsys):
+        exit_code = main(["core", "--edge-list", str(edge_list_file), "--x", "1", "--y", "1"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["x"] == 1 and payload["y"] == 1
+
+    def test_topk_command(self, edge_list_file, capsys):
+        exit_code = main(
+            ["top-k", "--edge-list", str(edge_list_file), "--k", "2", "--method", "core-exact"]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 1 <= len(payload) <= 2
+        assert payload[0]["rank"] == 1
+        assert payload[0]["density"] >= payload[-1]["density"]
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "foodweb-tiny" in out
+        assert "web-large" in out
+
+    def test_summary_command(self, edge_list_file, capsys):
+        assert main(["summary", "--edge-list", str(edge_list_file)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["nodes"] == 4
+        assert payload["edges"] == 4

@@ -1,0 +1,107 @@
+"""Unit and property tests for core-derived bounds and DDS containment."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import containing_core, containing_core_orders, core_based_bounds
+from repro.core.bruteforce import brute_force_dds
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_bipartite_digraph, gnm_random_digraph
+
+
+class TestCoreBasedBounds:
+    def test_bipartite_bounds(self):
+        g = complete_bipartite_digraph(3, 4)
+        bounds = core_based_bounds(g)
+        # max xy = 4*3 = 12, optimum density = sqrt(12).
+        assert bounds.lower == pytest.approx(math.sqrt(12))
+        assert bounds.upper == pytest.approx(2 * math.sqrt(12))
+        assert bounds.core_density == pytest.approx(math.sqrt(12))
+
+    def test_trivial_bounds_for_edgeless_graph(self):
+        g = DiGraph.from_edges([], nodes=[1, 2])
+        bounds = core_based_bounds(g)
+        assert bounds.is_trivial
+        assert bounds.lower == 0.0
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_bounds_bracket_optimum(self, seed):
+        """sqrt(max xy) <= rho_opt <= 2*sqrt(max xy) on small random digraphs."""
+        g = gnm_random_digraph(7, 18, seed=seed)
+        if g.num_edges == 0:
+            return
+        optimum = brute_force_dds(g).density
+        bounds = core_based_bounds(g)
+        assert bounds.lower <= optimum + 1e-9
+        assert optimum <= bounds.upper + 1e-9
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_core_is_half_approximation(self, seed):
+        g = gnm_random_digraph(7, 20, seed=seed)
+        if g.num_edges == 0:
+            return
+        optimum = brute_force_dds(g).density
+        bounds = core_based_bounds(g)
+        assert bounds.core_density >= optimum / 2.0 - 1e-9
+
+
+class TestContainment:
+    def test_orders_monotone_in_density(self):
+        x1, y1 = containing_core_orders(2.0, 0.5, 2.0)
+        x2, y2 = containing_core_orders(6.0, 0.5, 2.0)
+        assert x2 >= x1 and y2 >= y1
+
+    def test_orders_zero_for_zero_density(self):
+        assert containing_core_orders(0.0, 0.5, 2.0) == (0, 0)
+
+    def test_orders_invalid_interval(self):
+        with pytest.raises(ValueError):
+            containing_core_orders(1.0, 2.0, 1.0)
+        with pytest.raises(ValueError):
+            containing_core_orders(-1.0, 0.5, 2.0)
+
+    def test_containing_core_with_zero_orders_is_whole_graph(self):
+        g = gnm_random_digraph(8, 20, seed=1)
+        core = containing_core(g, 0.0, 0.1, 10.0)
+        assert len(core.s_nodes) == g.num_nodes
+        assert len(core.t_nodes) == g.num_nodes
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_optimum_contained_in_core(self, seed):
+        """The brute-force DDS survives inside the containing core.
+
+        Uses a density lower bound <= rho_opt (here: half the optimum) and a
+        ratio window that contains the optimal ratio — exactly the conditions
+        CoreExact instantiates.
+        """
+        g = gnm_random_digraph(7, 20, seed=seed)
+        if g.num_edges == 0:
+            return
+        best = brute_force_dds(g)
+        ratio = best.s_size / best.t_size
+        core = containing_core(g, best.density / 2.0, ratio / 2.0, ratio * 2.0)
+        s_indices = set(g.indices_of(best.s_nodes))
+        t_indices = set(g.indices_of(best.t_nodes))
+        assert s_indices <= set(core.s_nodes)
+        assert t_indices <= set(core.t_nodes)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_optimum_contained_with_exact_density(self, seed):
+        """Containment also holds with the tightest allowed bound (rho_opt itself)."""
+        g = gnm_random_digraph(6, 15, seed=seed)
+        if g.num_edges == 0:
+            return
+        best = brute_force_dds(g)
+        ratio = best.s_size / best.t_size
+        core = containing_core(g, best.density, ratio, ratio)
+        assert set(g.indices_of(best.s_nodes)) <= set(core.s_nodes)
+        assert set(g.indices_of(best.t_nodes)) <= set(core.t_nodes)

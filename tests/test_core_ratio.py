@@ -1,0 +1,125 @@
+"""Unit and property tests for candidate-ratio machinery."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ratio import (
+    all_candidate_ratios,
+    candidate_ratios_in_interval,
+    count_candidate_ratios_in_interval,
+    geometric_ratio_grid,
+    iter_ratio_blocks,
+)
+from repro.exceptions import AlgorithmError
+
+
+class TestAllCandidateRatios:
+    def test_small_case(self):
+        ratios = all_candidate_ratios(2)
+        assert ratios == [Fraction(1, 2), Fraction(1, 1), Fraction(2, 1)]
+
+    def test_count_matches_distinct_pairs(self):
+        n = 6
+        expected = {Fraction(i, j) for i in range(1, n + 1) for j in range(1, n + 1)}
+        assert set(all_candidate_ratios(n)) == expected
+
+    def test_sorted(self):
+        ratios = all_candidate_ratios(7)
+        assert ratios == sorted(ratios)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(AlgorithmError):
+            all_candidate_ratios(0)
+
+
+class TestIntervalCounting:
+    def test_full_interval_counts_all_pairs(self):
+        n = 5
+        assert count_candidate_ratios_in_interval(1.0 / n, float(n), n) == n * n
+
+    def test_point_interval(self):
+        # The single ratio 1 is realised by the pairs (1,1)..(4,4).
+        assert count_candidate_ratios_in_interval(1.0, 1.0, 4) == 4
+
+    def test_enumeration_matches_count_upper_bound(self):
+        n = 8
+        low, high = 0.4, 1.7
+        distinct = candidate_ratios_in_interval(low, high, n)
+        pair_count = count_candidate_ratios_in_interval(low, high, n)
+        assert len(distinct) <= pair_count
+        for ratio in distinct:
+            assert low - 1e-9 <= float(ratio) <= high + 1e-9
+
+    def test_enumeration_complete(self):
+        n = 6
+        low, high = 0.5, 2.0
+        expected = {
+            Fraction(i, j)
+            for i in range(1, n + 1)
+            for j in range(1, n + 1)
+            if low <= i / j <= high
+        }
+        assert set(candidate_ratios_in_interval(low, high, n)) == expected
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(AlgorithmError):
+            count_candidate_ratios_in_interval(2.0, 1.0, 5)
+        with pytest.raises(AlgorithmError):
+            candidate_ratios_in_interval(0.0, 1.0, 5)
+
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.05, max_value=12.0),
+        st.floats(min_value=0.05, max_value=12.0),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_enumeration_matches_bruteforce(self, n, a, b):
+        low, high = min(a, b), max(a, b)
+        expected = {
+            Fraction(i, j)
+            for i in range(1, n + 1)
+            for j in range(1, n + 1)
+            if low - 1e-12 <= i / j <= high + 1e-12
+        }
+        assert set(candidate_ratios_in_interval(low, high, n)) == expected
+
+
+class TestGeometricGrid:
+    def test_grid_covers_endpoints_and_one(self):
+        grid = geometric_ratio_grid(10, epsilon=0.5)
+        assert grid[0] == pytest.approx(0.1)
+        assert grid[-1] == pytest.approx(10.0)
+        assert 1.0 in grid
+
+    def test_grid_step_bounded(self):
+        epsilon = 0.3
+        grid = geometric_ratio_grid(50, epsilon=epsilon)
+        for previous, current in zip(grid, grid[1:]):
+            assert current / previous <= 1.0 + epsilon + 1e-9
+
+    def test_every_ratio_close_to_grid_point(self):
+        n, epsilon = 20, 0.4
+        grid = geometric_ratio_grid(n, epsilon)
+        for ratio in all_candidate_ratios(n):
+            value = float(ratio)
+            assert any(
+                value / (1 + epsilon) <= point <= value * (1 + epsilon) for point in grid
+            )
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(AlgorithmError):
+            geometric_ratio_grid(10, epsilon=0.0)
+
+
+def test_iter_ratio_blocks():
+    ratios = all_candidate_ratios(4)
+    blocks = list(iter_ratio_blocks(ratios, 3))
+    assert sum(len(block) for block in blocks) == len(ratios)
+    assert all(len(block) <= 3 for block in blocks)
+    with pytest.raises(AlgorithmError):
+        list(iter_ratio_blocks(ratios, 0))

@@ -1,0 +1,199 @@
+"""Unit tests for STSubproblem, the decision network, and the fixed-ratio solver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bruteforce import brute_force_dds
+from repro.core.density import exactness_tolerance, global_density_upper_bound
+from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.flow_network import build_decision_network, decision_cut_is_improving
+from repro.core.subproblem import STSubproblem
+from repro.exceptions import AlgorithmError
+from repro.flow.dinic import DinicSolver
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import complete_bipartite_digraph, gnm_random_digraph
+
+
+class TestSTSubproblem:
+    def test_from_graph_defaults_to_all_nodes(self):
+        g = gnm_random_digraph(10, 25, seed=1)
+        sub = STSubproblem.from_graph(g)
+        assert sub.num_edges == g.num_edges
+        assert not sub.is_empty
+
+    def test_useless_vertices_dropped(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        g.add_node(99)  # isolated
+        sub = STSubproblem.from_graph(g)
+        # Node 2 has no outgoing edge -> not an S candidate; node 0 has no
+        # incoming edge -> not a T candidate; 99 appears on neither side.
+        assert g.index_of(99) not in sub.s_candidates
+        assert g.index_of(99) not in sub.t_candidates
+        assert g.index_of(2) not in sub.s_candidates
+        assert g.index_of(0) not in sub.t_candidates
+
+    def test_candidate_restriction(self):
+        g = complete_bipartite_digraph(3, 3)
+        s_idx = g.indices_of(["s0", "s1"])
+        t_idx = g.indices_of(["t0"])
+        sub = STSubproblem.from_graph(g, s_idx, t_idx)
+        assert sub.num_edges == 2
+        assert set(sub.s_candidates) == set(s_idx)
+        assert set(sub.t_candidates) == set(t_idx)
+
+    def test_degrees(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        sub = STSubproblem.from_graph(g)
+        dout = sub.out_degrees()
+        din = sub.in_degrees()
+        assert dout[g.index_of(0)] == 2
+        assert din[g.index_of(2)] == 2
+
+    def test_restricted_to(self):
+        g = gnm_random_digraph(10, 30, seed=2)
+        sub = STSubproblem.from_graph(g)
+        smaller = sub.restricted_to(sub.s_candidates[:3], sub.t_candidates[:3])
+        assert smaller.num_edges <= sub.num_edges
+        for u, v in smaller.edges:
+            assert u in sub.s_candidates[:3]
+            assert v in sub.t_candidates[:3]
+
+    def test_empty_subproblem(self):
+        g = DiGraph.from_edges([(0, 1)])
+        sub = STSubproblem.from_graph(g, s_candidates=[g.index_of(1)], t_candidates=[g.index_of(0)])
+        assert sub.is_empty
+        assert sub.size_signature() == (0, 0, 0)
+
+
+class TestDecisionNetwork:
+    def test_structure(self):
+        g = complete_bipartite_digraph(2, 2)
+        sub = STSubproblem.from_graph(g)
+        decision = build_decision_network(sub, ratio=1.0, guess=1.0)
+        # source + sink + 2 S copies + 2 T copies
+        assert decision.num_nodes == 6
+        assert decision.total_capacity == pytest.approx(2.0 * sub.num_edges)
+
+    def test_invalid_parameters(self):
+        g = complete_bipartite_digraph(2, 2)
+        sub = STSubproblem.from_graph(g)
+        with pytest.raises(AlgorithmError):
+            build_decision_network(sub, ratio=0.0, guess=1.0)
+        with pytest.raises(AlgorithmError):
+            build_decision_network(sub, ratio=1.0, guess=-1.0)
+
+    def test_decision_above_and_below_optimum(self):
+        """mincut < 2m iff the guess is below the surrogate optimum."""
+        g = complete_bipartite_digraph(2, 3)
+        sub = STSubproblem.from_graph(g)
+        optimum = math.sqrt(6)  # density of the full bipartite block, ratio 2/3
+        ratio = 2.0 / 3.0
+        for guess, expect_improving in [(optimum * 0.8, True), (optimum * 1.2, False)]:
+            decision = build_decision_network(sub, ratio, guess)
+            solver = DinicSolver(decision.network, decision.source, decision.sink)
+            cut = solver.max_flow()
+            assert decision_cut_is_improving(cut, decision.total_capacity) is expect_improving
+
+    def test_extracted_pair_beats_guess(self):
+        g = gnm_random_digraph(9, 30, seed=4)
+        sub = STSubproblem.from_graph(g)
+        best = brute_force_dds(g)
+        ratio = best.s_size / best.t_size
+        guess = best.density * 0.9
+        decision = build_decision_network(sub, ratio, guess)
+        solver = DinicSolver(decision.network, decision.source, decision.sink)
+        cut = solver.max_flow()
+        assert decision_cut_is_improving(cut, decision.total_capacity)
+        s_side, t_side = decision.extract_pair(solver.min_cut_source_side())
+        assert s_side and t_side
+        density = g.count_edges_between(s_side, t_side) / math.sqrt(len(s_side) * len(t_side))
+        assert density > guess
+
+
+class TestMaximizeFixedRatio:
+    def test_exact_value_at_optimal_ratio(self):
+        g = complete_bipartite_digraph(2, 3)
+        sub = STSubproblem.from_graph(g)
+        outcome = maximize_fixed_ratio(
+            sub, ratio=2.0 / 3.0, lower=0.0, upper=5.0, tolerance=1e-9
+        )
+        assert outcome.found_pair
+        assert outcome.best_density == pytest.approx(math.sqrt(6))
+        assert outcome.lower <= math.sqrt(6) + 1e-9
+        assert math.sqrt(6) <= outcome.upper + 1e-9
+
+    def test_upper_bound_certificate(self):
+        """The returned bracket always contains the surrogate optimum."""
+        g = gnm_random_digraph(9, 30, seed=5)
+        sub = STSubproblem.from_graph(g)
+        best = brute_force_dds(g)
+        ratio = best.s_size / best.t_size
+        outcome = maximize_fixed_ratio(
+            sub, ratio, lower=0.0, upper=global_density_upper_bound(g), tolerance=1e-9
+        )
+        # At the optimal ratio the surrogate optimum equals rho_opt.
+        assert outcome.lower <= best.density + 1e-9
+        assert outcome.upper >= best.density - 1e-9
+        assert outcome.best_density == pytest.approx(best.density)
+
+    def test_lower_bound_above_value_extracts_nothing(self):
+        g = complete_bipartite_digraph(2, 3)
+        sub = STSubproblem.from_graph(g)
+        outcome = maximize_fixed_ratio(
+            sub, ratio=2.0 / 3.0, lower=10.0, upper=12.0, tolerance=1e-6
+        )
+        assert not outcome.found_pair
+        assert outcome.flow_calls > 0
+
+    def test_empty_subproblem_shortcut(self):
+        g = DiGraph.from_edges([(0, 1)])
+        sub = STSubproblem.from_graph(g, s_candidates=[g.index_of(1)], t_candidates=[])
+        outcome = maximize_fixed_ratio(sub, 1.0, lower=0.0, upper=1.0, tolerance=1e-6)
+        assert outcome.flow_calls == 0
+        assert not outcome.found_pair
+
+    def test_coarse_gap_stops_early(self):
+        g = gnm_random_digraph(12, 50, seed=6)
+        sub = STSubproblem.from_graph(g)
+        fine = maximize_fixed_ratio(sub, 1.0, 0.0, 10.0, tolerance=exactness_tolerance(g))
+        coarse = maximize_fixed_ratio(
+            sub, 1.0, 0.0, 10.0, tolerance=exactness_tolerance(g), coarse_gap=0.5
+        )
+        assert coarse.flow_calls <= fine.flow_calls
+        assert coarse.upper - coarse.lower <= 0.5 + 1e-9
+
+    def test_invalid_parameters(self):
+        g = complete_bipartite_digraph(2, 2)
+        sub = STSubproblem.from_graph(g)
+        with pytest.raises(AlgorithmError):
+            maximize_fixed_ratio(sub, 1.0, lower=-1.0, upper=1.0, tolerance=1e-6)
+        with pytest.raises(AlgorithmError):
+            maximize_fixed_ratio(sub, 1.0, lower=0.0, upper=1.0, tolerance=0.0)
+
+    def test_network_observer_called(self):
+        g = complete_bipartite_digraph(2, 3)
+        sub = STSubproblem.from_graph(g)
+        sizes: list[tuple[int, int]] = []
+        maximize_fixed_ratio(
+            sub,
+            1.0,
+            0.0,
+            5.0,
+            tolerance=1e-3,
+            network_observer=lambda nodes, arcs: sizes.append((nodes, arcs)),
+        )
+        assert sizes
+        assert all(nodes == 7 for nodes, _ in sizes)
+
+    def test_maximiser_tracking(self):
+        g = complete_bipartite_digraph(3, 3)
+        sub = STSubproblem.from_graph(g)
+        outcome = maximize_fixed_ratio(sub, 1.0, 0.0, 5.0, tolerance=1e-9)
+        assert outcome.found_maximiser
+        # At ratio 1 the whole 3x3 block is the surrogate maximiser.
+        assert len(outcome.last_s) == 3
+        assert len(outcome.last_t) == 3
+        assert outcome.last_surrogate == pytest.approx(3.0)

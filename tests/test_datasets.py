@@ -1,0 +1,85 @@
+"""Tests for the dataset registry and case-study generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.casestudy import hub_authority_case, precision_recall, rating_fraud_case
+from repro.datasets.registry import (
+    dataset_names,
+    dataset_specs,
+    exact_dataset_names,
+    large_dataset_names,
+    load_dataset,
+)
+from repro.exceptions import DatasetError
+
+
+class TestRegistry:
+    def test_all_specs_have_metadata(self):
+        for spec in dataset_specs():
+            assert spec.name
+            assert spec.tier in {"small", "medium", "large"}
+            assert spec.description
+            assert spec.paper_analogue
+
+    def test_tier_filters(self):
+        assert set(exact_dataset_names()) == set(dataset_names("small"))
+        assert set(large_dataset_names()) == set(dataset_names("medium")) | set(
+            dataset_names("large")
+        )
+        assert set(dataset_names()) >= set(exact_dataset_names())
+
+    def test_unknown_dataset(self):
+        with pytest.raises(DatasetError):
+            load_dataset("does-not-exist")
+
+    def test_load_is_deterministic(self):
+        a = load_dataset("foodweb-tiny")
+        b = load_dataset("foodweb-tiny")
+        assert set(a.edges()) == set(b.edges())
+
+    def test_load_returns_independent_copies(self):
+        a = load_dataset("foodweb-tiny")
+        edges_before = load_dataset("foodweb-tiny").num_edges
+        a.add_edge("brand-new-u", "brand-new-v")
+        assert load_dataset("foodweb-tiny").num_edges == edges_before
+
+    @pytest.mark.parametrize("name", dataset_names("small"))
+    def test_small_datasets_materialise(self, name):
+        graph = load_dataset(name)
+        assert graph.num_edges > 0
+        assert graph.num_nodes <= 400
+
+    def test_medium_and_large_sizes_are_tiered(self):
+        small = max(load_dataset(name).num_nodes for name in dataset_names("small"))
+        medium = min(load_dataset(name).num_nodes for name in dataset_names("medium"))
+        assert small <= medium
+
+
+class TestCaseStudies:
+    def test_rating_fraud_structure(self):
+        case = rating_fraud_case(n_users=50, n_products=30, n_fraud_users=5, n_boosted_products=4, seed=1)
+        assert case.graph.num_edges > 0
+        assert len(case.true_s) == 5
+        assert len(case.true_t) == 4
+        # The graph is bipartite user -> product: products never rate.
+        for product in case.true_t:
+            assert case.graph.out_degree(product) == 0
+
+    def test_hub_authority_structure(self):
+        case = hub_authority_case(n_pages=60, n_hubs=4, n_authorities=6, seed=2)
+        assert len(case.true_s) == 4
+        assert len(case.true_t) == 6
+        assert case.graph.num_nodes == 60
+
+    def test_precision_recall(self):
+        precision, recall = precision_recall(["a", "b", "c"], ["b", "c", "d", "e"])
+        assert precision == pytest.approx(2 / 3)
+        assert recall == pytest.approx(0.5)
+        assert precision_recall([], ["a"]) == (0.0, 0.0)
+
+    def test_case_studies_deterministic(self):
+        a = rating_fraud_case(seed=3)
+        b = rating_fraud_case(seed=3)
+        assert set(a.graph.edges()) == set(b.graph.edges())

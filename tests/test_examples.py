@@ -1,0 +1,39 @@
+"""Smoke tests that run every example script end-to-end."""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_has_expected_scripts():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    assert "quickstart.py" in names
+    assert "rating_fraud.py" in names
+    assert "hub_authority_roles.py" in names
+    assert "scalability_study.py" in names
+    assert len(names) >= 4
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS, ids=lambda path: path.name)
+def test_example_runs_cleanly(script, capsys, monkeypatch):
+    """Every example must run as __main__ without raising and produce output."""
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_reports_influencer_block(capsys, monkeypatch):
+    script = EXAMPLES_DIR / "quickstart.py"
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "influencer_a" in out
+    assert "core-exact" in out

@@ -1,0 +1,177 @@
+"""Unit and property tests for the max-flow substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import FlowError
+from repro.flow.dinic import DinicSolver, dinic_max_flow
+from repro.flow.edmonds_karp import edmonds_karp_max_flow
+from repro.flow.network import INFINITY, FlowNetwork
+
+
+def _random_network(n: int, m: int, seed: int) -> FlowNetwork:
+    rng = random.Random(seed)
+    network = FlowNetwork(n)
+    for _ in range(m):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v:
+            network.add_edge(u, v, rng.randint(1, 10))
+    return network
+
+
+class TestFlowNetwork:
+    def test_add_edge_and_arc_count(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 2.0)
+        net.add_edge(1, 2, 3.0)
+        assert net.num_arcs == 4  # each edge stores a residual partner
+
+    def test_negative_capacity_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            net.add_edge(0, 1, -1.0)
+
+    def test_node_out_of_range(self):
+        net = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            net.add_edge(0, 5, 1.0)
+
+    def test_add_node(self):
+        net = FlowNetwork(1)
+        new = net.add_node()
+        assert new == 1
+        net.add_edge(0, 1, 1.0)
+
+    def test_arc_flow_and_reset(self):
+        net = FlowNetwork(3)
+        arc = net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        flow = dinic_max_flow(net, 0, 2)
+        assert flow == pytest.approx(3.0)
+        assert net.arc_flow(arc) == pytest.approx(3.0)
+        net.reset_flow()
+        assert net.arc_flow(arc) == pytest.approx(0.0)
+
+    def test_arcs_iteration_reports_flow(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 4.0)
+        dinic_max_flow(net, 0, 1)
+        arcs = list(net.arcs())
+        assert len(arcs) == 1
+        assert arcs[0].capacity == pytest.approx(4.0)
+        assert arcs[0].flow == pytest.approx(4.0)
+
+
+class TestDinicBasics:
+    def test_single_path(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 2, 2.0)
+        net.add_edge(2, 3, 5.0)
+        assert dinic_max_flow(net, 0, 3) == pytest.approx(2.0)
+
+    def test_parallel_paths(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 3.0)
+        net.add_edge(1, 3, 3.0)
+        net.add_edge(0, 2, 4.0)
+        net.add_edge(2, 3, 2.0)
+        assert dinic_max_flow(net, 0, 3) == pytest.approx(5.0)
+
+    def test_classic_textbook_network(self):
+        # CLRS-style example with a known max flow of 23.
+        net = FlowNetwork(6)
+        net.add_edge(0, 1, 16)
+        net.add_edge(0, 2, 13)
+        net.add_edge(1, 2, 10)
+        net.add_edge(2, 1, 4)
+        net.add_edge(1, 3, 12)
+        net.add_edge(3, 2, 9)
+        net.add_edge(2, 4, 14)
+        net.add_edge(4, 3, 7)
+        net.add_edge(3, 5, 20)
+        net.add_edge(4, 5, 4)
+        assert dinic_max_flow(net, 0, 5) == pytest.approx(23.0)
+
+    def test_disconnected_sink(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, 5.0)
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(0.0)
+
+    def test_infinite_capacity_edge(self):
+        net = FlowNetwork(3)
+        net.add_edge(0, 1, INFINITY)
+        net.add_edge(1, 2, 7.0)
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(7.0)
+
+    def test_source_equals_sink_rejected(self):
+        net = FlowNetwork(2)
+        with pytest.raises(FlowError):
+            DinicSolver(net, 0, 0)
+
+    def test_min_cut_separates_source_from_sink(self):
+        net = FlowNetwork(4)
+        net.add_edge(0, 1, 1.0)
+        net.add_edge(1, 2, 10.0)
+        net.add_edge(2, 3, 10.0)
+        solver = DinicSolver(net, 0, 3)
+        solver.max_flow()
+        side = solver.min_cut_source_side()
+        assert 0 in side
+        assert 3 not in side
+
+    def test_min_cut_value_matches_crossing_capacity(self):
+        net = _random_network(8, 20, seed=1)
+        solver = DinicSolver(net, 0, 7)
+        flow = solver.max_flow()
+        source_side = set(solver.min_cut_source_side())
+        net.reset_flow()
+        crossing = sum(
+            arc.capacity
+            for arc in net.arcs()
+            if arc.source in source_side and arc.target not in source_side
+        )
+        assert flow == pytest.approx(crossing)
+
+
+class TestSolverAgreement:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_dinic_matches_edmonds_karp(self, seed):
+        net_a = _random_network(10, 30, seed=seed)
+        net_b = _random_network(10, 30, seed=seed)
+        assert dinic_max_flow(net_a, 0, 9) == pytest.approx(
+            edmonds_karp_max_flow(net_b, 0, 9)
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_dinic_matches_networkx(self, seed):
+        networkx = pytest.importorskip("networkx")
+        rng = random.Random(seed)
+        nx_graph = networkx.DiGraph()
+        net = FlowNetwork(9)
+        nx_graph.add_nodes_from(range(9))
+        for _ in range(25):
+            u, v = rng.randrange(9), rng.randrange(9)
+            if u == v:
+                continue
+            capacity = rng.randint(1, 9)
+            if not nx_graph.has_edge(u, v):
+                nx_graph.add_edge(u, v, capacity=capacity)
+                net.add_edge(u, v, capacity)
+        expected = networkx.maximum_flow_value(nx_graph, 0, 8) if nx_graph.number_of_edges() else 0
+        assert dinic_max_flow(net, 0, 8) == pytest.approx(float(expected))
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_dinic_equals_edmonds_karp(self, seed):
+        net_a = _random_network(7, 16, seed=seed)
+        net_b = _random_network(7, 16, seed=seed)
+        flow_a = dinic_max_flow(net_a, 0, 6)
+        flow_b = edmonds_karp_max_flow(net_b, 0, 6)
+        assert flow_a == pytest.approx(flow_b)

@@ -1,0 +1,75 @@
+"""Unit tests for graph builders and transformations."""
+
+from __future__ import annotations
+
+from repro.graph.builders import (
+    graph_from_edge_list,
+    induced_subgraph,
+    largest_weakly_connected_component,
+    relabel_to_integers,
+    remove_self_loops,
+    reverse_graph,
+    st_induced_subgraph,
+    weakly_connected_node_sets,
+)
+from repro.graph.digraph import DiGraph
+
+
+def test_graph_from_edge_list_dedupes():
+    g = graph_from_edge_list([(1, 2), (1, 2), (2, 1)])
+    assert g.num_edges == 2
+
+
+def test_relabel_to_integers():
+    g = DiGraph.from_edges([("a", "b"), ("b", "c")])
+    relabeled, mapping = relabel_to_integers(g)
+    assert set(relabeled.nodes()) == {0, 1, 2}
+    assert relabeled.num_edges == 2
+    assert relabeled.has_edge(mapping["a"], mapping["b"])
+
+
+def test_remove_self_loops():
+    g = DiGraph.from_edges([(1, 1), (1, 2)], allow_self_loops=True)
+    cleaned = remove_self_loops(g)
+    assert cleaned.num_edges == 1
+    assert not cleaned.has_edge(1, 1)
+
+
+def test_reverse_graph():
+    g = DiGraph.from_edges([(1, 2)])
+    assert reverse_graph(g).has_edge(2, 1)
+
+
+def test_induced_subgraph():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+    sub = induced_subgraph(g, [1, 3])
+    assert sub.num_edges == 1
+    assert sub.has_edge(1, 3)
+
+
+def test_st_induced_subgraph_keeps_only_forward_edges():
+    g = DiGraph.from_edges([(1, 2), (2, 1), (1, 3), (3, 2)])
+    sub = st_induced_subgraph(g, sources=[1], targets=[2, 3])
+    assert set(sub.nodes()) == {1, 2, 3}
+    assert set(sub.edges()) == {(1, 2), (1, 3)}
+
+
+def test_weakly_connected_components_ordering():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+    g.add_node(99)
+    components = weakly_connected_node_sets(g)
+    sizes = [len(c) for c in components]
+    assert sizes == sorted(sizes, reverse=True)
+    assert sizes == [3, 2, 1]
+
+
+def test_largest_weakly_connected_component():
+    g = DiGraph.from_edges([(1, 2), (2, 3), (10, 11)])
+    largest = largest_weakly_connected_component(g)
+    assert set(largest.nodes()) == {1, 2, 3}
+    assert largest.num_edges == 2
+
+
+def test_largest_component_of_empty_graph():
+    g = DiGraph()
+    assert largest_weakly_connected_component(g).num_nodes == 0

@@ -1,0 +1,138 @@
+"""Unit tests for the random-graph generators."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import AlgorithmError
+from repro.graph.generators import (
+    chung_lu_digraph,
+    complete_bipartite_digraph,
+    cycle_digraph,
+    expected_planted_density,
+    gnm_random_digraph,
+    gnp_random_digraph,
+    path_digraph,
+    planted_dds_digraph,
+    powerlaw_digraph,
+    rmat_digraph,
+    star_digraph,
+)
+
+
+class TestUniformGenerators:
+    def test_gnp_zero_probability(self):
+        g = gnp_random_digraph(10, 0.0, seed=1)
+        assert g.num_nodes == 10
+        assert g.num_edges == 0
+
+    def test_gnp_full_probability(self):
+        g = gnp_random_digraph(5, 1.0, seed=1)
+        assert g.num_edges == 5 * 4
+
+    def test_gnp_determinism(self):
+        a = gnp_random_digraph(20, 0.2, seed=42)
+        b = gnp_random_digraph(20, 0.2, seed=42)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_gnp_rejects_bad_probability(self):
+        with pytest.raises(AlgorithmError):
+            gnp_random_digraph(5, 1.5)
+
+    def test_gnm_exact_edge_count(self):
+        g = gnm_random_digraph(15, 60, seed=2)
+        assert g.num_nodes == 15
+        assert g.num_edges == 60
+
+    def test_gnm_caps_at_max_edges(self):
+        g = gnm_random_digraph(4, 100, seed=2)
+        assert g.num_edges == 4 * 3
+
+    def test_gnm_no_self_loops(self):
+        g = gnm_random_digraph(10, 50, seed=3)
+        assert all(u != v for u, v in g.edges())
+
+
+class TestHeavyTailedGenerators:
+    def test_chung_lu_respects_zero_weights(self):
+        g = chung_lu_digraph([0.0, 5.0, 5.0], [5.0, 5.0, 0.0], seed=1)
+        assert g.out_degree(0) == 0
+        assert g.in_degree(2) == 0
+
+    def test_chung_lu_length_mismatch(self):
+        with pytest.raises(AlgorithmError):
+            chung_lu_digraph([1.0], [1.0, 2.0])
+
+    def test_powerlaw_reasonable_size(self):
+        g = powerlaw_digraph(200, average_degree=4.0, exponent=2.5, seed=7)
+        assert g.num_nodes == 200
+        # Expected edge count is ~ n * average_degree (heavy-tailed, so allow slack).
+        assert 100 <= g.num_edges <= 3000
+
+    def test_powerlaw_determinism(self):
+        a = powerlaw_digraph(100, seed=11)
+        b = powerlaw_digraph(100, seed=11)
+        assert set(a.edges()) == set(b.edges())
+
+    def test_powerlaw_rejects_bad_exponent(self):
+        with pytest.raises(AlgorithmError):
+            powerlaw_digraph(10, exponent=0.9)
+
+    def test_rmat_size_and_skew(self):
+        g = rmat_digraph(8, edge_factor=8, seed=5)
+        assert g.num_nodes == 256
+        assert 0 < g.num_edges <= 8 * 256
+        # The recursive-matrix construction concentrates edges on low ids.
+        assert g.max_out_degree() >= 4
+
+    def test_rmat_partition_must_sum_to_one(self):
+        with pytest.raises(AlgorithmError):
+            rmat_digraph(4, partition=(0.5, 0.5, 0.5, 0.5))
+
+
+class TestPlantedGenerator:
+    def test_planted_block_is_dense(self):
+        graph, planted_s, planted_t = planted_dds_digraph(
+            n_background=50, background_degree=2.0, s_size=5, t_size=6, p_dense=1.0, seed=3
+        )
+        s_idx = graph.indices_of(planted_s)
+        t_idx = graph.indices_of(planted_t)
+        assert graph.count_edges_between(s_idx, t_idx) == 5 * 6
+        assert graph.num_nodes == 50 + 5 + 6
+
+    def test_expected_planted_density(self):
+        assert expected_planted_density(4, 9, 1.0) == pytest.approx(6.0)
+        assert expected_planted_density(0, 9, 1.0) == 0.0
+        assert expected_planted_density(4, 9, 0.5) == pytest.approx(3.0)
+
+    def test_planted_density_dominates_background(self):
+        graph, planted_s, planted_t = planted_dds_digraph(
+            n_background=80, background_degree=2.0, s_size=6, t_size=8, p_dense=0.95, seed=9
+        )
+        s_idx = graph.indices_of(planted_s)
+        t_idx = graph.indices_of(planted_t)
+        block_density = graph.count_edges_between(s_idx, t_idx) / math.sqrt(6 * 8)
+        overall_density = graph.num_edges / math.sqrt(graph.num_nodes**2)
+        assert block_density > 2 * overall_density
+
+
+class TestDeterministicFamilies:
+    def test_complete_bipartite(self):
+        g = complete_bipartite_digraph(3, 4)
+        assert g.num_nodes == 7
+        assert g.num_edges == 12
+        assert g.out_degree("s0") == 4
+        assert g.in_degree("t0") == 3
+
+    def test_star_outward_and_inward(self):
+        out_star = star_digraph(5, outward=True)
+        in_star = star_digraph(5, outward=False)
+        assert out_star.out_degree("hub") == 5
+        assert in_star.in_degree("hub") == 5
+
+    def test_path_and_cycle(self):
+        assert path_digraph(5).num_edges == 4
+        assert cycle_digraph(5).num_edges == 5
+        assert cycle_digraph(1).num_edges == 0

@@ -1,0 +1,90 @@
+"""Unit tests for edge-list I/O and structural property reports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ParseError
+from repro.graph.digraph import DiGraph
+from repro.graph.generators import gnm_random_digraph
+from repro.graph.io import read_edge_list, write_edge_list
+from repro.graph.properties import (
+    degree_statistics,
+    graph_summary,
+    reciprocity,
+    weakly_connected_components,
+)
+
+
+class TestEdgeListIO:
+    def test_roundtrip(self, tmp_path):
+        original = gnm_random_digraph(20, 60, seed=4)
+        path = tmp_path / "graph.txt"
+        write_edge_list(original, path)
+        loaded = read_edge_list(path)
+        assert set(loaded.edges()) == set(original.edges())
+        assert loaded.num_edges == original.num_edges
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n% konect comment\n\n1 2\n2 3\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+        assert g.has_edge(1, 2)
+
+    def test_string_labels(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("alice bob\nbob carol\n")
+        g = read_edge_list(path)
+        assert g.has_edge("alice", "bob")
+
+    def test_custom_delimiter(self, tmp_path):
+        path = tmp_path / "graph.csv"
+        path.write_text("1,2\n2,3\n")
+        g = read_edge_list(path, delimiter=",")
+        assert g.num_edges == 2
+
+    def test_malformed_line_raises(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("1 2\nonlyonefield\n")
+        with pytest.raises(ParseError):
+            read_edge_list(path)
+
+    def test_write_creates_parent_directories(self, tmp_path):
+        g = DiGraph.from_edges([(1, 2)])
+        path = tmp_path / "nested" / "dir" / "graph.txt"
+        write_edge_list(g, path)
+        assert path.exists()
+
+
+class TestProperties:
+    def test_degree_statistics(self):
+        g = DiGraph.from_edges([(0, 1), (0, 2), (1, 2)])
+        stats = degree_statistics(g)
+        assert stats.max_out_degree == 2
+        assert stats.max_in_degree == 2
+        assert stats.mean_out_degree == pytest.approx(1.0)
+
+    def test_degree_statistics_empty(self):
+        stats = degree_statistics(DiGraph())
+        assert stats.max_out_degree == 0
+        assert stats.mean_in_degree == 0.0
+
+    def test_reciprocity(self):
+        g = DiGraph.from_edges([(1, 2), (2, 1), (2, 3)])
+        assert reciprocity(g) == pytest.approx(2 / 3)
+        assert reciprocity(DiGraph()) == 0.0
+
+    def test_weakly_connected_components(self):
+        g = DiGraph.from_edges([(1, 2), (3, 4)])
+        components = weakly_connected_components(g)
+        assert len(components) == 2
+
+    def test_graph_summary_keys(self):
+        g = DiGraph.from_edges([(1, 2), (2, 3)])
+        summary = graph_summary(g)
+        assert summary["nodes"] == 3
+        assert summary["edges"] == 2
+        assert summary["components"] == 1
+        assert "max_out_degree" in summary
+        assert "reciprocity" in summary
