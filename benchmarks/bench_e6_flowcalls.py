@@ -4,15 +4,28 @@ the table explaining *why* the divide-and-conquer wins).
 FlowExact performs one full binary search per candidate ratio (Theta(n^2)
 searches); DCExact examines only the ratios its recursion cannot skip;
 CoreExact additionally shrinks every network.  The printed table reports, per
-small dataset: candidate-ratio count, ratios actually examined, and total
-min-cut computations.
+small dataset: candidate-ratio count, ratios actually examined, total
+min-cut computations, and the number of decision networks actually built
+(with the retune path: one per fixed-ratio search, not one per min-cut).
+
+Besides the pytest-benchmark entry points this module doubles as a CI smoke
+check::
+
+    PYTHONPATH=src python benchmarks/bench_e6_flowcalls.py --smoke
+
+which fails (exit code 1) whenever the flow-call counts regress past the
+recorded bounds or an algorithm stops building exactly one network per
+fixed-ratio search.
 """
 
 from __future__ import annotations
 
+import sys
+
 import pytest
 from conftest import emit
 
+from repro.bench.baselines import SEED_FLOW_CALLS
 from repro.bench.harness import format_table
 from repro.core.api import densest_subgraph
 from repro.core.ratio import all_candidate_ratios
@@ -21,6 +34,10 @@ from repro.datasets.registry import dataset_names, load_dataset
 _rows: list[dict] = []
 
 BASELINE_DATASETS = ["foodweb-tiny", "social-tiny"]
+
+#: Flow-call upper bounds recorded from the seed implementation; the smoke
+#: run fails when an algorithm needs more min-cuts than the seed did.
+SMOKE_FLOW_CALL_BOUNDS = SEED_FLOW_CALLS
 
 
 @pytest.mark.parametrize("dataset", BASELINE_DATASETS)
@@ -36,6 +53,7 @@ def test_e6_flow_exact_counts(benchmark, dataset):
             "candidate_ratios": len(all_candidate_ratios(graph.num_nodes)),
             "ratios_examined": result.stats["ratios_examined"],
             "flow_calls": result.stats["flow_calls"],
+            "networks_built": result.stats["networks_built"],
         }
     )
 
@@ -54,6 +72,7 @@ def test_e6_dc_core_counts(benchmark, dataset, method):
             "candidate_ratios": len(all_candidate_ratios(graph.num_nodes)),
             "ratios_examined": result.stats["ratios_examined"],
             "flow_calls": result.stats["flow_calls"],
+            "networks_built": result.stats["networks_built"],
             "intervals_pruned": result.stats["intervals_pruned"],
         }
     )
@@ -67,3 +86,45 @@ def test_e6_emit_table(benchmark):
     for row in _rows:
         if row["method"] != "flow-exact":
             assert row["ratios_examined"] < row["candidate_ratios"]
+
+
+def run_smoke() -> int:
+    """Fast flow-call regression gate (used by CI; no pytest required)."""
+    failures: list[str] = []
+    rows: list[dict] = []
+    for (dataset, method), bound in SMOKE_FLOW_CALL_BOUNDS.items():
+        graph = load_dataset(dataset)
+        result = densest_subgraph(graph, method=method)
+        stats = result.stats
+        rows.append(
+            {
+                "dataset": dataset,
+                "method": method,
+                "flow_calls": stats["flow_calls"],
+                "seed_bound": bound,
+                "networks_built": stats["networks_built"],
+                "fixed_ratio_searches": stats["fixed_ratio_searches"],
+            }
+        )
+        if stats["flow_calls"] > bound:
+            failures.append(
+                f"{dataset}/{method}: flow_calls {stats['flow_calls']} > seed bound {bound}"
+            )
+        if stats["networks_built"] != stats["fixed_ratio_searches"]:
+            failures.append(
+                f"{dataset}/{method}: networks_built {stats['networks_built']} != "
+                f"fixed_ratio_searches {stats['fixed_ratio_searches']}"
+            )
+    print(format_table(rows, title="E6 smoke: flow-call regression gate"))
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    if not failures:
+        print("OK: no flow-call regressions")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv[1:]:
+        sys.exit(run_smoke())
+    print("usage: bench_e6_flowcalls.py --smoke  (or run under pytest for the full table)")
+    sys.exit(2)

@@ -33,6 +33,10 @@ class ExperimentRecord:
             "|S|": self.result.s_size,
             "|T|": self.result.t_size,
         }
+        # Flow-engine instrumentation, when the method ran min-cuts.
+        for key in ("flow_solver", "flow_calls", "networks_built", "arcs_pushed"):
+            if key in self.result.stats:
+                row[key] = self.result.stats[key]
         row.update(self.extra)
         return row
 

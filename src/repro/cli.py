@@ -17,6 +17,7 @@ from typing import Sequence
 
 from repro.core.api import available_methods, densest_subgraph
 from repro.core.topk import top_k_densest
+from repro.flow.registry import available_flow_solvers
 from repro.core.xycore import max_xy_core, xy_core
 from repro.datasets.registry import dataset_specs, load_dataset
 from repro.graph.io import read_edge_list
@@ -36,9 +37,16 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--edge-list", help="path to a whitespace-separated edge-list file")
 
 
+def _method_kwargs(args: argparse.Namespace) -> dict:
+    kwargs = {}
+    if getattr(args, "flow_solver", None) is not None:
+        kwargs["flow_solver"] = args.flow_solver
+    return kwargs
+
+
 def _cmd_find(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    result = densest_subgraph(graph, method=args.method)
+    result = densest_subgraph(graph, method=args.method, **_method_kwargs(args))
     payload = {
         "method": result.method,
         "density": result.density,
@@ -47,6 +55,8 @@ def _cmd_find(args: argparse.Namespace) -> int:
         "t_size": result.t_size,
         "is_exact": result.is_exact,
     }
+    if "flow_solver" in result.stats:
+        payload["flow_solver"] = result.stats["flow_solver"]
     if args.show_nodes:
         payload["s_nodes"] = [str(node) for node in result.s_nodes]
         payload["t_nodes"] = [str(node) for node in result.t_nodes]
@@ -76,7 +86,9 @@ def _cmd_core(args: argparse.Namespace) -> int:
 
 def _cmd_topk(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    results = top_k_densest(graph, args.k, method=args.method, min_density=args.min_density)
+    results = top_k_densest(
+        graph, args.k, method=args.method, min_density=args.min_density, **_method_kwargs(args)
+    )
     payload = [
         {
             "rank": rank,
@@ -120,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="algorithm to run (default: auto)",
     )
     find.add_argument("--show-nodes", action="store_true", help="include the node lists")
+    find.add_argument(
+        "--flow-solver",
+        default=None,
+        choices=available_flow_solvers(),
+        help="max-flow backend for the flow-backed exact methods (default: dinic)",
+    )
     find.set_defaults(handler=_cmd_find)
 
     core = subparsers.add_parser("core", help="compute an [x, y]-core")
@@ -140,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     topk.add_argument(
         "--min-density", type=float, default=0.0, help="stop once the best density drops below this"
+    )
+    topk.add_argument(
+        "--flow-solver",
+        default=None,
+        choices=available_flow_solvers(),
+        help="max-flow backend for the flow-backed exact methods (default: dinic)",
     )
     topk.set_defaults(handler=_cmd_topk)
 

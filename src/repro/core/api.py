@@ -32,6 +32,9 @@ _METHODS: dict[str, Callable[..., DDSResult]] = {
     "brute-force": brute_force_dds,
 }
 
+#: Methods that run min-cuts and therefore accept ``flow_solver=``.
+FLOW_BACKED_METHODS = frozenset({"flow-exact", "dc-exact", "core-exact"})
+
 
 def available_methods() -> list[str]:
     """Names accepted by :func:`densest_subgraph` (besides ``"auto"``)."""
@@ -52,7 +55,11 @@ def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResul
         most :data:`AUTO_EXACT_NODE_LIMIT` nodes and CoreApprox otherwise.
     **kwargs:
         Forwarded to the chosen algorithm (e.g. ``epsilon=`` for
-        ``peel-approx`` or ``tolerance=`` for the exact solvers).
+        ``peel-approx``, ``tolerance=`` for the exact solvers, or
+        ``flow_solver=`` to pick the max-flow backend of the flow-backed
+        exact methods; the latter is dropped — and recorded as
+        ``flow_solver_ignored`` in the stats — when the chosen method
+        performs no min-cuts).
 
     Returns
     -------
@@ -70,12 +77,19 @@ def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResul
         raise EmptyGraphError("densest_subgraph requires a graph with at least one edge")
     if method == "auto":
         chosen = "core-exact" if graph.num_nodes <= AUTO_EXACT_NODE_LIMIT else "core-approx"
-        result = _METHODS[chosen](graph, **kwargs)
-        result.stats["auto_selected"] = chosen
-        return result
-    solver = _METHODS.get(method)
+    else:
+        chosen = method
+    solver = _METHODS.get(chosen)
     if solver is None:
         raise AlgorithmError(
             f"unknown method {method!r}; available: {', '.join(available_methods())} or 'auto'"
         )
-    return solver(graph, **kwargs)
+    ignored_flow_solver = None
+    if chosen not in FLOW_BACKED_METHODS and "flow_solver" in kwargs:
+        ignored_flow_solver = kwargs.pop("flow_solver")
+    result = solver(graph, **kwargs)
+    if method == "auto":
+        result.stats["auto_selected"] = chosen
+    if ignored_flow_solver is not None:
+        result.stats["flow_solver_ignored"] = ignored_flow_solver
+    return result

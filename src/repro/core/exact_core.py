@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from repro.core.exact_dc import LEAF_RATIO_COUNT, _dc_driver
 from repro.core.results import DDSResult
+from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
 
@@ -24,8 +25,13 @@ def core_exact(
     graph: DiGraph,
     tolerance: float | None = None,
     leaf_ratio_count: int = LEAF_RATIO_COUNT,
+    flow_solver: str = DEFAULT_SOLVER,
 ) -> DDSResult:
-    """Exact DDS with core-based pruning and core-restricted flow networks."""
+    """Exact DDS with core-based pruning and core-restricted flow networks.
+
+    ``flow_solver`` selects the max-flow backend by registry name
+    (see :mod:`repro.flow.registry`).
+    """
     return _dc_driver(
         graph,
         method="core-exact",
@@ -33,4 +39,5 @@ def core_exact(
         seed_with_core=True,
         tolerance=tolerance,
         leaf_ratio_count=leaf_ratio_count,
+        flow_solver=flow_solver,
     )

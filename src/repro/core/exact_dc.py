@@ -62,6 +62,8 @@ from repro.core.ratio import (
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.flow.engine import FlowEngine
+from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
 #: Intervals containing at most this many distinct candidate ratios are leaves.
@@ -76,11 +78,12 @@ PROBE_COARSE_FRACTION = 0.01
 class _SearchState:
     """Mutable incumbent + instrumentation shared across the recursion."""
 
+    engine: FlowEngine = field(default_factory=FlowEngine)
     best_s: list[int] = field(default_factory=list)
     best_t: list[int] = field(default_factory=list)
     best_density: float = 0.0
-    flow_calls: int = 0
     ratios_examined: int = 0
+    fixed_ratio_searches: int = 0
     intervals_processed: int = 0
     intervals_pruned: int = 0
     leaf_ratios: int = 0
@@ -97,7 +100,8 @@ class _SearchState:
 
     def absorb_outcome(self, outcome: Any) -> None:
         """Merge instrumentation and incumbent information from a probe."""
-        self.flow_calls += outcome.flow_calls
+        if outcome.flow_calls:
+            self.fixed_ratio_searches += 1
         self.network_nodes.extend(outcome.network_nodes)
         self.network_arcs.extend(outcome.network_arcs)
         if outcome.found_pair:
@@ -105,15 +109,17 @@ class _SearchState:
 
     def stats(self) -> dict[str, Any]:
         """Instrumentation dictionary stored on the final result."""
-        return {
-            "flow_calls": self.flow_calls,
+        stats = {
             "ratios_examined": self.ratios_examined,
+            "fixed_ratio_searches": self.fixed_ratio_searches,
             "intervals_processed": self.intervals_processed,
             "intervals_pruned": self.intervals_pruned,
             "leaf_ratios": self.leaf_ratios,
             "network_nodes": self.network_nodes,
             "network_arcs": self.network_arcs,
         }
+        stats.update(self.engine.stats())
+        return stats
 
 
 def _skip_region(
@@ -177,6 +183,7 @@ def _dc_driver(
     seed_with_core: bool,
     tolerance: float | None,
     leaf_ratio_count: int,
+    flow_solver: str = DEFAULT_SOLVER,
 ) -> DDSResult:
     if graph.num_edges == 0:
         raise EmptyGraphError(f"{method} requires a graph with at least one edge")
@@ -190,7 +197,7 @@ def _dc_driver(
     # far end of the ratio range (cosh bounded by the full-interval factor).
     fine_tolerance = min(tolerance, density_gap / (2.0 * interval_relaxation_factor(1.0 / n, float(n))))
 
-    state = _SearchState()
+    state = _SearchState(engine=FlowEngine(flow_solver))
     global_upper = global_density_upper_bound(graph)
     if seed_with_core:
         core_upper = _seed_incumbent_with_core(graph, state)
@@ -225,6 +232,7 @@ def _dc_driver(
                 lower=state.best_density,
                 upper=max(upper_bound, state.best_density),
                 tolerance=tolerance,
+                engine=state.engine,
             )
             state.absorb_outcome(outcome)
 
@@ -276,6 +284,7 @@ def _dc_driver(
             tolerance=fine_tolerance,
             coarse_gap=coarse_gap,
             refine_above=incumbent_at_entry,
+            engine=state.engine,
         )
         state.absorb_outcome(outcome)
         value_upper = outcome.upper
@@ -302,6 +311,7 @@ def _dc_driver(
                 lower=outcome.lower,
                 upper=outcome.upper,
                 tolerance=fine_tolerance,
+                engine=state.engine,
             )
             state.absorb_outcome(refined)
             value_upper = min(value_upper, refined.upper)
@@ -352,12 +362,15 @@ def dc_exact(
     tolerance: float | None = None,
     leaf_ratio_count: int = LEAF_RATIO_COUNT,
     seed_with_core: bool = False,
+    flow_solver: str = DEFAULT_SOLVER,
 ) -> DDSResult:
     """Exact DDS via divide-and-conquer over the ratio interval (``DCExact``).
 
     ``seed_with_core`` switches the incumbent initialisation from a cheap
     peel to the CoreApprox core (used by the E11 ablation); the search space
     itself is never core-restricted here — that is :func:`core_exact`'s job.
+    ``flow_solver`` selects the max-flow backend by registry name
+    (see :mod:`repro.flow.registry`).
     """
     return _dc_driver(
         graph,
@@ -366,4 +379,5 @@ def dc_exact(
         seed_with_core=seed_with_core,
         tolerance=tolerance,
         leaf_ratio_count=leaf_ratio_count,
+        flow_solver=flow_solver,
     )

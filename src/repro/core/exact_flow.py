@@ -23,6 +23,8 @@ from repro.core.ratio import all_candidate_ratios
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.flow.engine import FlowEngine
+from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
 #: FlowExact runs one binary search per distinct ratio; above this node count
@@ -34,6 +36,7 @@ def flow_exact(
     graph: DiGraph,
     node_limit: int = DEFAULT_NODE_LIMIT,
     tolerance: float | None = None,
+    flow_solver: str = DEFAULT_SOLVER,
 ) -> DDSResult:
     """Exact DDS via exhaustive ratio enumeration (baseline ``Exact``).
 
@@ -47,6 +50,9 @@ def flow_exact(
     tolerance:
         Binary-search stopping gap; defaults to the provably-exact
         :func:`~repro.core.density.exactness_tolerance`.
+    flow_solver:
+        Registry name of the max-flow solver executing the min-cuts
+        (see :mod:`repro.flow.registry`).
     """
     if graph.num_edges == 0:
         raise EmptyGraphError("flow_exact requires a graph with at least one edge")
@@ -60,11 +66,12 @@ def flow_exact(
     tolerance = tolerance if tolerance is not None else exactness_tolerance(graph)
     upper = global_density_upper_bound(graph)
     subproblem = STSubproblem.from_graph(graph)
+    engine = FlowEngine(flow_solver)
 
     best_s: list[int] = []
     best_t: list[int] = []
     best_density = 0.0
-    flow_calls = 0
+    fixed_ratio_searches = 0
     ratios = all_candidate_ratios(n)
 
     for ratio in ratios:
@@ -74,8 +81,10 @@ def flow_exact(
             lower=0.0,
             upper=upper,
             tolerance=tolerance,
+            engine=engine,
         )
-        flow_calls += outcome.flow_calls
+        if outcome.flow_calls:
+            fixed_ratio_searches += 1
         if outcome.best_density > best_density:
             best_density = outcome.best_density
             best_s, best_t = outcome.best_s, outcome.best_t
@@ -84,6 +93,12 @@ def flow_exact(
         raise AlgorithmError("flow_exact failed to find any non-empty pair")
 
     density = directed_density_from_indices(graph, best_s, best_t)
+    stats = {
+        "ratios_examined": len(ratios),
+        "fixed_ratio_searches": fixed_ratio_searches,
+        "tolerance": tolerance,
+    }
+    stats.update(engine.stats())
     return DDSResult(
         s_nodes=graph.labels_of(best_s),
         t_nodes=graph.labels_of(best_t),
@@ -91,9 +106,5 @@ def flow_exact(
         edge_count=graph.count_edges_between(best_s, best_t),
         method="flow-exact",
         is_exact=True,
-        stats={
-            "flow_calls": flow_calls,
-            "ratios_examined": len(ratios),
-            "tolerance": tolerance,
-        },
+        stats=stats,
     )

@@ -10,6 +10,15 @@ For a ratio ``a`` define
 function below brackets ``val(a)`` with a binary search whose decision step
 is one min-cut on the network of :mod:`repro.core.flow_network`.
 
+The decision network is built **once per search** and re-parameterised in
+place (:meth:`~repro.core.flow_network.DecisionNetwork.retune`) between
+binary-search iterations: only the guess-dependent penalty-arc capacities
+change with the guess, so network construction is O(m') per search instead
+of O(flow_calls * m').  Min-cuts run through a caller-supplied
+:class:`~repro.flow.engine.FlowEngine`, which picks the solver (registry
+name) and accumulates ``flow_calls`` / ``networks_built`` / ``arcs_pushed``
+across the whole algorithm run.
+
 Two refinements keep the number of max-flow calls small:
 
 * **Dinkelbach acceleration** — whenever a guess succeeds, the extracted pair
@@ -36,7 +45,7 @@ from repro.core.flow_network import build_decision_network, decision_cut_is_impr
 from repro.core.results import FixedRatioOutcome
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError
-from repro.flow.dinic import DinicSolver
+from repro.flow.engine import FlowEngine
 
 NetworkObserver = Callable[[int, int], None]
 
@@ -52,6 +61,7 @@ def maximize_fixed_ratio(
     stop_when_upper_below: float | None = None,
     stop_when_lower_above: float | None = None,
     network_observer: NetworkObserver | None = None,
+    engine: FlowEngine | None = None,
 ) -> FixedRatioOutcome:
     """Bracket ``val(ratio)`` within ``tolerance`` (or until an early stop fires).
 
@@ -74,7 +84,12 @@ def maximize_fixed_ratio(
         which case it keeps refining down to ``tolerance``).
     network_observer:
         Optional callback ``(num_nodes, num_arcs)`` invoked for every network
-        built (feeds experiment E7).
+        built (feeds experiment E7).  With the retune path at most one
+        network is built per search.
+    engine:
+        The :class:`~repro.flow.engine.FlowEngine` executing the min-cuts
+        (solver choice + run-wide instrumentation).  A private Dinic engine
+        is created when omitted.
 
     Returns
     -------
@@ -98,6 +113,9 @@ def maximize_fixed_ratio(
             flow_calls=0,
         )
 
+    if engine is None:
+        engine = FlowEngine()
+
     graph = subproblem.graph
     low = float(lower)
     high = max(float(upper), low)
@@ -108,8 +126,10 @@ def maximize_fixed_ratio(
     last_t: list[int] = []
     last_surrogate = 0.0
     flow_calls = 0
+    networks_built = 0
     network_nodes: list[int] = []
     network_arcs: list[int] = []
+    decision = None
 
     while high - low >= tolerance:
         if coarse_gap is not None and high - low < coarse_gap:
@@ -121,14 +141,18 @@ def maximize_fixed_ratio(
             break
 
         guess = (low + high) / 2.0
-        decision = build_decision_network(subproblem, ratio, guess)
-        if network_observer is not None:
-            network_observer(decision.num_nodes, decision.num_arcs)
+        if decision is None:
+            decision = build_decision_network(subproblem, ratio, guess)
+            engine.note_network_built()
+            networks_built += 1
+            if network_observer is not None:
+                network_observer(decision.num_nodes, decision.num_arcs)
+        else:
+            decision.retune(ratio, guess)
         network_nodes.append(decision.num_nodes)
         network_arcs.append(decision.num_arcs)
 
-        solver = DinicSolver(decision.network, decision.source, decision.sink)
-        cut_value = solver.max_flow()
+        cut_value, solver = engine.min_cut(decision.network, decision.source, decision.sink)
         flow_calls += 1
 
         extracted = False
@@ -161,6 +185,7 @@ def maximize_fixed_ratio(
         best_t=best_t,
         best_density=best_density,
         flow_calls=flow_calls,
+        networks_built=networks_built,
         last_s=last_s,
         last_t=last_t,
         last_surrogate=last_surrogate,

@@ -37,7 +37,7 @@ tight, which is what makes the all-ratios sweep exact.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError
@@ -50,7 +50,14 @@ CUT_RELATIVE_TOLERANCE = 1e-9
 
 @dataclass
 class DecisionNetwork:
-    """A built decision network plus the bookkeeping to read the answer back."""
+    """A built decision network plus the bookkeeping to read the answer back.
+
+    Only the ``o_u -> t`` and ``i_v -> t`` penalty arcs depend on the probe
+    parameters ``(ratio, guess)``; their arc indices are recorded so that
+    :meth:`retune` can update the capacities in place and reset the residual
+    state instead of rebuilding the whole network for every binary-search
+    guess (O(|S| + |T| + m') instead of a full Python-object rebuild).
+    """
 
     network: FlowNetwork
     source: int
@@ -58,6 +65,8 @@ class DecisionNetwork:
     s_nodes: list[int]  # graph indices, aligned with network nodes 2..2+|S|
     t_nodes: list[int]  # graph indices, aligned with network nodes 2+|S|..
     total_capacity: float  # the 2m' reference value
+    s_penalty_arcs: list[int] = field(default_factory=list)  # o_u -> t arcs
+    t_penalty_arcs: list[int] = field(default_factory=list)  # i_v -> t arcs
 
     @property
     def num_nodes(self) -> int:
@@ -85,6 +94,30 @@ class DecisionNetwork:
             if (t_offset + position) in side
         ]
         return s_selected, t_selected
+
+    def retune(self, ratio: float, guess: float) -> None:
+        """Re-parameterise the network for a new ``(ratio, guess)`` in place.
+
+        Updates the guess-dependent penalty-arc capacities and resets the
+        residual state, leaving the topology (and hence the CSR index)
+        untouched.  A retuned network is observationally identical to one
+        freshly built by :func:`build_decision_network` with the same
+        parameters: same node layout, same arc order, bit-identical
+        capacities.
+        """
+        if ratio <= 0:
+            raise AlgorithmError(f"ratio must be > 0, got {ratio}")
+        if guess < 0:
+            raise AlgorithmError(f"guess must be >= 0, got {guess}")
+        root = math.sqrt(ratio)
+        s_penalty = guess / root
+        t_penalty = guess * root
+        network = self.network
+        for arc_index in self.s_penalty_arcs:
+            network.set_capacity(arc_index, s_penalty)
+        for arc_index in self.t_penalty_arcs:
+            network.set_capacity(arc_index, t_penalty)
+        network.reset_flow()
 
 
 def build_decision_network(
@@ -116,13 +149,15 @@ def build_decision_network(
     t_penalty = guess * root
 
     total_capacity = 0.0
+    s_penalty_arcs: list[int] = []
+    t_penalty_arcs: list[int] = []
     for u in s_nodes:
         capacity = 2.0 * out_degree[u]
         network.add_edge(source, s_offset + s_position[u], capacity)
         total_capacity += capacity
-        network.add_edge(s_offset + s_position[u], sink, s_penalty)
+        s_penalty_arcs.append(network.add_edge(s_offset + s_position[u], sink, s_penalty))
     for v in t_nodes:
-        network.add_edge(t_offset + t_position[v], sink, t_penalty)
+        t_penalty_arcs.append(network.add_edge(t_offset + t_position[v], sink, t_penalty))
     for u, v in subproblem.edges:
         network.add_edge(s_offset + s_position[u], t_offset + t_position[v], 2.0)
 
@@ -133,6 +168,8 @@ def build_decision_network(
         s_nodes=list(s_nodes),
         t_nodes=list(t_nodes),
         total_capacity=total_capacity,
+        s_penalty_arcs=s_penalty_arcs,
+        t_penalty_arcs=t_penalty_arcs,
     )
 
 

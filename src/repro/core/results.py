@@ -91,8 +91,9 @@ class FixedRatioOutcome:
     the highest *true* density, while ``last_s`` / ``last_t`` are the pair
     extracted at the highest successful guess — the (near-)maximiser of the
     surrogate, which the divide-and-conquer ratio-skipping lemma needs —
-    together with its surrogate value ``last_surrogate``.  ``flow_calls`` and
-    ``network_nodes`` feed experiments E6/E7.
+    together with its surrogate value ``last_surrogate``.  ``flow_calls``,
+    ``networks_built`` (0 or 1 with the retune path) and ``network_nodes``
+    feed experiments E6/E7 and the flow-engine regression tests.
     """
 
     ratio: float
@@ -102,6 +103,7 @@ class FixedRatioOutcome:
     best_t: list[int]
     best_density: float
     flow_calls: int
+    networks_built: int = 0
     last_s: list[int] = field(default_factory=list)
     last_t: list[int] = field(default_factory=list)
     last_surrogate: float = 0.0

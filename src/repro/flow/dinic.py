@@ -6,10 +6,19 @@ list it has advanced ("current-arc" optimisation).  On the networks produced
 by the DDS density reduction — thousands of unit-capacity arcs plus a handful
 of ``O(g)`` capacity arcs — it is far faster than Edmonds–Karp and entirely
 adequate for the graph sizes the exact algorithms target.
+
+Indexing the network's ``array``-backed CSR storage boxes a fresh Python
+object on every read, so ``max_flow`` grabs the cached list view of the
+topology (:meth:`~repro.flow.network.FlowNetwork.solver_views`), snapshots
+the capacities into a plain list once (O(m), C-speed), runs the inner loops
+on those, and writes the final residual capacities back to the network when
+done — the array storage stays canonical while the hot path pays list-speed
+access costs only.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 
 from repro.exceptions import FlowError
@@ -21,7 +30,11 @@ class DinicSolver:
 
     The solver mutates the network's residual capacities; call
     :meth:`FlowNetwork.reset_flow` to reuse the network for another run.
+    ``arcs_pushed`` counts every per-arc residual update (instrumentation
+    surfaced by the :class:`~repro.flow.engine.FlowEngine`).
     """
+
+    name = "dinic"
 
     def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
         if source == sink:
@@ -31,20 +44,26 @@ class DinicSolver:
         self.network = network
         self.source = source
         self.sink = sink
-        self._levels = [0] * network.num_nodes
-        self._iters = [0] * network.num_nodes
+        self.arcs_pushed = 0
+        self._levels: list[int] = []
 
     # ------------------------------------------------------------------
     def max_flow(self) -> float:
         """Run Dinic to completion and return the max-flow value."""
+        heads, targets = self.network.solver_views()
+        caps_arr = self.network.arc_capacities
+        caps = caps_arr.tolist()
+
         total = 0.0
-        while self._build_levels():
-            self._iters = [0] * self.network.num_nodes
+        while self._build_levels(heads, targets, caps):
+            iters = [0] * self.network.num_nodes
             while True:
-                pushed = self._blocking_path()
+                pushed = self._blocking_path(heads, targets, caps, iters)
                 if pushed <= EPSILON:
                     break
                 total += pushed
+
+        caps_arr[:] = array("d", caps)
         return total
 
     def min_cut_source_side(self) -> list[int]:
@@ -53,32 +72,26 @@ class DinicSolver:
         return [node for node, flag in enumerate(reachable) if flag]
 
     # ------------------------------------------------------------------
-    def _build_levels(self) -> bool:
+    def _build_levels(self, heads, targets, caps) -> bool:
         """BFS from the source over positive-residual arcs; True if sink reached."""
         levels = [-1] * self.network.num_nodes
         levels[self.source] = 0
         queue = deque([self.source])
-        heads = self.network.heads
-        caps = self.network.arc_capacities
-        targets = self.network.arc_targets
         while queue:
             node = queue.popleft()
+            next_level = levels[node] + 1
             for arc_index in heads[node]:
                 if caps[arc_index] > EPSILON:
                     target = targets[arc_index]
                     if levels[target] < 0:
-                        levels[target] = levels[node] + 1
+                        levels[target] = next_level
                         queue.append(target)
         self._levels = levels
         return levels[self.sink] >= 0
 
-    def _blocking_path(self) -> float:
+    def _blocking_path(self, heads, targets, caps, iters) -> float:
         """Push one augmenting path along the level graph (iterative DFS)."""
-        heads = self.network.heads
-        caps = self.network.arc_capacities
-        targets = self.network.arc_targets
         levels = self._levels
-        iters = self._iters
         sink = self.sink
 
         path: list[int] = []  # arc indices along the current path
@@ -86,16 +99,22 @@ class DinicSolver:
         while True:
             if node == sink:
                 # Found an augmenting path: push the bottleneck.
-                bottleneck = min(caps[arc] for arc in path)
+                bottleneck = caps[path[0]]
+                for arc in path:
+                    if caps[arc] < bottleneck:
+                        bottleneck = caps[arc]
                 for arc in path:
                     caps[arc] -= bottleneck
                     caps[arc ^ 1] += bottleneck
+                self.arcs_pushed += len(path)
                 return bottleneck
             advanced = False
-            while iters[node] < len(heads[node]):
-                arc_index = heads[node][iters[node]]
+            node_heads = heads[node]
+            node_level_next = levels[node] + 1
+            while iters[node] < len(node_heads):
+                arc_index = node_heads[iters[node]]
                 target = targets[arc_index]
-                if caps[arc_index] > EPSILON and levels[target] == levels[node] + 1:
+                if caps[arc_index] > EPSILON and levels[target] == node_level_next:
                     path.append(arc_index)
                     node = target
                     advanced = True

@@ -6,10 +6,21 @@ its reverse is an O(1) index operation.  Capacities are floats because the
 DDS reduction uses capacities such as ``g / sqrt(a)``; all solvers treat
 residual capacities below :data:`EPSILON` as zero to keep floating-point
 noise from creating phantom augmenting paths.
+
+Storage is CSR-style and array-backed: arc targets/tails live in
+``array('q')`` buffers and capacities in ``array('d')`` buffers, with the
+per-node adjacency expressed as slices ``csr_order[csr_starts[u] :
+csr_starts[u + 1]]`` over a flat arc-index array rather than a list of
+Python lists.  The CSR index is (re)built lazily after construction, so
+``add_edge`` stays O(1) amortised and a built network can be retuned
+(capacities updated in place via :meth:`set_capacity` + :meth:`reset_flow`)
+and re-solved without ever touching the topology again — the hot pattern in
+the binary-search exact DDS algorithms.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -45,24 +56,38 @@ class FlowNetwork:
     2.0
     """
 
-    __slots__ = ("num_nodes", "_heads", "_to", "_cap", "_sources")
+    __slots__ = (
+        "num_nodes",
+        "_to",
+        "_cap",
+        "_base",
+        "_tails",
+        "_csr_starts",
+        "_csr_order",
+        "_csr_dirty",
+        "_csr_lists",
+    )
 
     def __init__(self, num_nodes: int) -> None:
         if num_nodes < 0:
             raise FlowError(f"num_nodes must be >= 0, got {num_nodes}")
         self.num_nodes = num_nodes
-        self._heads: list[list[int]] = [[] for _ in range(num_nodes)]
-        self._to: list[int] = []
-        self._cap: list[float] = []
-        self._sources: list[int] = []
+        self._to = array("q")
+        self._cap = array("d")
+        self._base = array("d")  # original capacities (reverse arcs hold 0.0)
+        self._tails = array("q")
+        self._csr_starts = array("q", bytes(8 * (num_nodes + 1)))
+        self._csr_order = array("q")
+        self._csr_dirty = False
+        self._csr_lists: tuple[list[list[int]], list[int]] | None = None
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
     def add_node(self) -> int:
         """Append a new node and return its index."""
-        self._heads.append([])
         self.num_nodes += 1
+        self._csr_dirty = True
         return self.num_nodes - 1
 
     def add_edge(self, source: int, target: int, capacity: float) -> int:
@@ -75,32 +100,88 @@ class FlowNetwork:
         if capacity < 0:
             raise FlowError(f"capacity must be >= 0, got {capacity}")
         arc_index = len(self._to)
+        capacity = float(capacity)
         self._to.append(target)
-        self._cap.append(float(capacity))
-        self._sources.append(source)
-        self._heads[source].append(arc_index)
+        self._cap.append(capacity)
+        self._base.append(capacity)
+        self._tails.append(source)
         self._to.append(source)
         self._cap.append(0.0)
-        self._sources.append(target)
-        self._heads[target].append(arc_index + 1)
+        self._base.append(0.0)
+        self._tails.append(target)
+        self._csr_dirty = True
         return arc_index
 
+    def set_capacity(self, arc_index: int, capacity: float) -> None:
+        """Replace the original capacity of forward arc ``arc_index`` in place.
+
+        The residual state of the arc is reset (full capacity forward, zero
+        backward); callers that retune several arcs between solver runs should
+        finish with :meth:`reset_flow` so the untouched arcs are reset too.
+        The network topology is untouched, so the CSR index stays valid.
+        """
+        if arc_index % 2 != 0:
+            raise FlowError("set_capacity expects the index returned by add_edge (even)")
+        if capacity < 0:
+            raise FlowError(f"capacity must be >= 0, got {capacity}")
+        capacity = float(capacity)
+        self._base[arc_index] = capacity
+        self._cap[arc_index] = capacity
+        self._cap[arc_index + 1] = 0.0
+
     # ------------------------------------------------------------------
-    # solver-facing accessors (kept as raw lists for speed)
+    # solver-facing accessors (flat arrays for speed)
     # ------------------------------------------------------------------
-    @property
-    def heads(self) -> list[list[int]]:
-        """Outgoing arc indices per node (includes residual arcs)."""
-        return self._heads
+    def csr(self) -> tuple[array, array, array, array]:
+        """``(starts, order, targets, capacities)`` — the solver hot-path view.
+
+        ``order[starts[u] : starts[u + 1]]`` lists the arc indices (forward
+        and residual) leaving node ``u``; ``targets``/``capacities`` are
+        indexed by arc index.  The index is rebuilt lazily if the topology
+        changed since the last call.
+        """
+        if self._csr_dirty:
+            self._rebuild_csr()
+        return self._csr_starts, self._csr_order, self._to, self._cap
+
+    def solver_views(self) -> tuple[list[list[int]], list[int]]:
+        """``(heads, targets)`` as plain nested/flat lists, cached per topology.
+
+        Indexing ``array`` objects boxes a fresh Python object per read, so
+        the solvers run their inner loops over list snapshots of the CSR
+        topology: ``heads[u]`` is the list of arc indices leaving ``u``
+        (``csr_order`` sliced per node) and ``targets`` a flat list indexed
+        by arc.  Capacities change between runs and are snapshotted by each
+        solver individually.  The cache is invalidated whenever the topology
+        changes, so building the view is O(m) once per network, not per
+        max-flow call.
+        """
+        if self._csr_dirty or self._csr_lists is None:
+            starts, order, _, _ = self.csr()
+            heads = [
+                order[starts[node] : starts[node + 1]].tolist()
+                for node in range(self.num_nodes)
+            ]
+            self._csr_lists = (heads, self._to.tolist())
+        return self._csr_lists
 
     @property
-    def arc_targets(self) -> list[int]:
-        """Target node of every arc."""
+    def heads(self) -> list[list[int]]:
+        """Outgoing arc indices per node (includes residual arcs).
+
+        Materialised from the CSR index (cached per topology); treat the
+        returned lists as read-only.
+        """
+        return self.solver_views()[0]
+
+    @property
+    def arc_targets(self) -> array:
+        """Target node of every arc (``array('q')``)."""
         return self._to
 
     @property
-    def arc_capacities(self) -> list[float]:
-        """Mutable residual capacities of every arc."""
+    def arc_capacities(self) -> array:
+        """Mutable residual capacities of every arc (``array('d')``)."""
         return self._cap
 
     @property
@@ -112,29 +193,30 @@ class FlowNetwork:
     # inspection
     # ------------------------------------------------------------------
     def arcs(self) -> Iterator[Arc]:
-        """Iterate over the forward arcs with their current flow."""
+        """Iterate over the forward arcs with their current flow.
+
+        The flow on a forward arc equals the residual capacity pushed back
+        onto its reverse arc, which stays finite (and correct) even for
+        infinite-capacity arcs where ``capacity - residual`` would be
+        ``inf - inf = nan``.
+        """
         for index in range(0, len(self._to), 2):
-            original = self._original_capacity(index)
-            residual = self._cap[index]
             yield Arc(
-                source=self._sources[index],
+                source=self._tails[index],
                 target=self._to[index],
-                capacity=original,
-                flow=original - residual,
+                capacity=self._base[index],
+                flow=self._cap[index + 1],
             )
 
     def arc_flow(self, arc_index: int) -> float:
         """Flow currently routed on the forward arc ``arc_index``."""
         if arc_index % 2 != 0:
             raise FlowError("arc_flow expects the index returned by add_edge (even)")
-        return self._original_capacity(arc_index) - self._cap[arc_index]
+        return self._cap[arc_index + 1]
 
     def reset_flow(self) -> None:
         """Restore all residual capacities to the original capacities."""
-        for index in range(0, len(self._cap), 2):
-            original = self._original_capacity(index)
-            self._cap[index] = original
-            self._cap[index + 1] = 0.0
+        self._cap[:] = self._base
 
     def residual_reachable(self, source: int) -> list[bool]:
         """Nodes reachable from ``source`` using arcs with positive residual capacity.
@@ -143,25 +225,43 @@ class FlowNetwork:
         minimum cut.
         """
         self._check_node(source)
+        heads, targets = self.solver_views()
+        caps = self._cap.tolist()
         seen = [False] * self.num_nodes
         seen[source] = True
         stack = [source]
         while stack:
             node = stack.pop()
-            for arc_index in self._heads[node]:
-                if self._cap[arc_index] > EPSILON:
-                    target = self._to[arc_index]
+            for arc_index in heads[node]:
+                if caps[arc_index] > EPSILON:
+                    target = targets[arc_index]
                     if not seen[target]:
                         seen[target] = True
                         stack.append(target)
         return seen
 
+    # ------------------------------------------------------------------
+    def _rebuild_csr(self) -> None:
+        """Recompute the per-node arc slices (counting sort by arc tail)."""
+        num_nodes = self.num_nodes
+        tails = self._tails
+        starts = array("q", bytes(8 * (num_nodes + 1)))
+        for tail in tails:
+            starts[tail + 1] += 1
+        for node in range(num_nodes):
+            starts[node + 1] += starts[node]
+        order = array("q", bytes(8 * len(tails)))
+        cursor = starts.tolist()
+        for arc_index, tail in enumerate(tails):
+            order[cursor[tail]] = arc_index
+            cursor[tail] += 1
+        self._csr_starts = starts
+        self._csr_order = order
+        self._csr_dirty = False
+        self._csr_lists = None
+
     def _original_capacity(self, forward_index: int) -> float:
-        residual = self._cap[forward_index]
-        pushed_back = self._cap[forward_index + 1]
-        if residual == INFINITY:
-            return INFINITY
-        return residual + pushed_back
+        return self._base[forward_index]
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.num_nodes:

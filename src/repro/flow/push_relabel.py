@@ -4,13 +4,19 @@ This is the third, independent max-flow implementation in the package.  The
 DDS solvers default to Dinic (:mod:`repro.flow.dinic`), but push–relabel has
 a better worst-case bound (``O(V^3)`` with FIFO selection) and behaves
 differently on the short, wide networks produced by the density reduction,
-so it is exposed both for experimentation and as yet another cross-check in
-the test suite (three solvers agreeing is a strong correctness signal for
-all of them).
+so it is exposed both for experimentation (``flow_solver="push-relabel"``)
+and as yet another cross-check in the test suite (three solvers agreeing is
+a strong correctness signal for all of them).
+
+Like Dinic the solver runs its inner loops over the cached list view of the
+network's CSR topology (:meth:`~repro.flow.network.FlowNetwork.solver_views`)
+plus a capacity snapshot, writing the residual capacities back once at the
+end of ``max_flow``.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import deque
 
 from repro.exceptions import FlowError
@@ -22,7 +28,10 @@ class PushRelabelSolver:
 
     Like the other solvers it mutates the network's residual capacities; call
     :meth:`FlowNetwork.reset_flow` to reuse the network afterwards.
+    ``arcs_pushed`` counts individual push operations.
     """
+
+    name = "push-relabel"
 
     def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
         if source == sink:
@@ -32,21 +41,27 @@ class PushRelabelSolver:
         self.network = network
         self.source = source
         self.sink = sink
+        self.arcs_pushed = 0
         n = network.num_nodes
         self._height = [0] * n
         self._excess = [0.0] * n
         self._current_arc = [0] * n
         # Number of nodes at each height, for the gap heuristic.
         self._height_count = [0] * (2 * n + 1)
+        # Scratch list views of the network, bound during max_flow().
+        self._heads: list[list[int]] = []
+        self._targets: list[int] = []
+        self._caps: list[float] = []
 
     # ------------------------------------------------------------------
     def max_flow(self) -> float:
         """Run push–relabel to completion and return the max-flow value."""
         network = self.network
         n = network.num_nodes
-        heads = network.heads
-        caps = network.arc_capacities
-        targets = network.arc_targets
+        heads, targets = network.solver_views()
+        caps_arr = network.arc_capacities
+        caps = caps_arr.tolist()
+        self._heads, self._targets, self._caps = heads, targets, caps
         height = self._height
         excess = self._excess
         height_count = self._height_count
@@ -63,6 +78,7 @@ class PushRelabelSolver:
                 caps[arc_index] = 0.0
                 caps[arc_index ^ 1] += capacity
                 excess[target] += capacity
+                self.arcs_pushed += 1
                 if target not in (self.source, self.sink) and excess[target] == capacity:
                     active.append(target)
 
@@ -70,6 +86,7 @@ class PushRelabelSolver:
             node = active.popleft()
             self._discharge(node, active)
 
+        caps_arr[:] = array("d", caps)
         return excess[self.sink]
 
     def min_cut_source_side(self) -> list[int]:
@@ -80,45 +97,47 @@ class PushRelabelSolver:
     # ------------------------------------------------------------------
     def _discharge(self, node: int, active: deque[int]) -> None:
         """Push excess out of ``node`` until it is gone or the node is relabelled dry."""
-        network = self.network
-        heads = network.heads
-        caps = network.arc_capacities
-        targets = network.arc_targets
+        heads = self._heads
+        targets = self._targets
+        caps = self._caps
         height = self._height
         excess = self._excess
+        current_arc = self._current_arc
+        node_heads = heads[node]
 
         while excess[node] > EPSILON:
-            if self._current_arc[node] >= len(heads[node]):
+            if current_arc[node] >= len(node_heads):
                 self._relabel(node)
-                self._current_arc[node] = 0
-                if height[node] > 2 * network.num_nodes:
+                current_arc[node] = 0
+                if height[node] > 2 * self.network.num_nodes:
                     break
                 continue
-            arc_index = heads[node][self._current_arc[node]]
+            arc_index = node_heads[current_arc[node]]
             target = targets[arc_index]
             if caps[arc_index] > EPSILON and height[node] == height[target] + 1:
                 amount = min(excess[node], caps[arc_index])
                 caps[arc_index] -= amount
                 caps[arc_index ^ 1] += amount
                 excess[node] -= amount
+                self.arcs_pushed += 1
                 had_no_excess = excess[target] <= EPSILON
                 excess[target] += amount
                 if had_no_excess and target not in (self.source, self.sink):
                     active.append(target)
             else:
-                self._current_arc[node] += 1
+                current_arc[node] += 1
 
     def _relabel(self, node: int) -> None:
         """Raise ``node`` just above its lowest admissible neighbour (with gap heuristic)."""
-        network = self.network
-        heads = network.heads
-        caps = network.arc_capacities
-        targets = network.arc_targets
+        heads = self._heads
+        targets = self._targets
+        caps = self._caps
         height = self._height
         height_count = self._height_count
+        num_nodes = self.network.num_nodes
 
         old_height = height[node]
-        minimum = 2 * network.num_nodes
+        minimum = 2 * num_nodes
         for arc_index in heads[node]:
             if caps[arc_index] > EPSILON:
                 minimum = min(minimum, height[targets[arc_index]])
@@ -127,11 +146,11 @@ class PushRelabelSolver:
         height_count[old_height] -= 1
         # Gap heuristic: if no node remains at old_height, every node above it
         # (below n) can never reach the sink again — lift them past n at once.
-        if height_count[old_height] == 0 and old_height < network.num_nodes:
-            for other in range(network.num_nodes):
-                if old_height < height[other] < network.num_nodes and other != node:
+        if height_count[old_height] == 0 and old_height < num_nodes:
+            for other in range(num_nodes):
+                if old_height < height[other] < num_nodes and other != node:
                     height_count[height[other]] -= 1
-                    height[other] = network.num_nodes + 1
+                    height[other] = num_nodes + 1
                     height_count[height[other]] += 1
         height[node] = new_height
         if new_height < len(height_count):

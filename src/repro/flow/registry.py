@@ -1,0 +1,79 @@
+"""Named registry of max-flow solver implementations.
+
+The exact DDS algorithms accept a ``flow_solver=`` name (and the CLI a
+``--flow-solver`` flag) instead of hard-coding a solver class; this module
+is the single source of truth mapping those names to classes.
+
+A solver class must satisfy the protocol shared by the built-ins:
+
+* ``Solver(network, source, sink)`` binds to one
+  :class:`~repro.flow.network.FlowNetwork`;
+* ``max_flow() -> float`` runs to completion, mutating the network's
+  residual capacities;
+* ``min_cut_source_side() -> list[int]`` returns the source side of a
+  minimum cut (valid after ``max_flow``);
+* an ``arcs_pushed`` integer attribute counting per-arc residual updates
+  (used by the :class:`~repro.flow.engine.FlowEngine` instrumentation).
+
+Third-party backends (e.g. a numpy- or Rust-accelerated solver) plug in via
+:func:`register_solver` without touching any algorithm code::
+
+    from repro.flow.registry import register_solver
+    register_solver("my-solver", MySolverClass)
+    dc_exact(graph, flow_solver="my-solver")
+"""
+
+from __future__ import annotations
+
+from typing import Type
+
+from repro.exceptions import FlowError
+from repro.flow.dinic import DinicSolver
+from repro.flow.edmonds_karp import EdmondsKarpSolver
+from repro.flow.push_relabel import PushRelabelSolver
+
+#: The default solver used when no name is given.
+DEFAULT_SOLVER = "dinic"
+
+_SOLVERS: dict[str, Type] = {
+    "dinic": DinicSolver,
+    "push-relabel": PushRelabelSolver,
+    "edmonds-karp": EdmondsKarpSolver,
+}
+
+
+def available_flow_solvers() -> list[str]:
+    """Registered solver names, sorted."""
+    return sorted(_SOLVERS)
+
+
+def get_solver_class(name: str = DEFAULT_SOLVER) -> Type:
+    """Look up a solver class by registry name."""
+    solver = _SOLVERS.get(name)
+    if solver is None:
+        raise FlowError(
+            f"unknown flow solver {name!r}; available: {', '.join(available_flow_solvers())}"
+        )
+    return solver
+
+
+def register_solver(name: str, solver_class: Type) -> None:
+    """Register (or replace) a solver class under ``name``.
+
+    The class is validated lightly: it must be constructible with
+    ``(network, source, sink)`` and expose ``max_flow`` and
+    ``min_cut_source_side`` callables.
+    """
+    if not name:
+        raise FlowError("solver name must be non-empty")
+    for required in ("max_flow", "min_cut_source_side"):
+        if not callable(getattr(solver_class, required, None)):
+            raise FlowError(f"solver class {solver_class!r} lacks a callable {required}()")
+    _SOLVERS[name] = solver_class
+
+
+def unregister_solver(name: str) -> None:
+    """Remove a registered solver (built-ins included — use with care)."""
+    if name not in _SOLVERS:
+        raise FlowError(f"unknown flow solver {name!r}")
+    del _SOLVERS[name]

@@ -41,6 +41,35 @@ class TestCommands:
         assert payload["is_exact"] is True
         assert payload["density"] > 0
 
+    def test_find_with_flow_solver(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "find",
+                "--edge-list",
+                str(edge_list_file),
+                "--method",
+                "dc-exact",
+                "--flow-solver",
+                "push-relabel",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flow_solver"] == "push-relabel"
+        assert payload["is_exact"] is True
+
+    def test_find_rejects_unknown_flow_solver(self, edge_list_file):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "find",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--flow-solver",
+                    "nope",
+                ]
+            )
+
     def test_find_on_dataset_with_nodes(self, capsys):
         exit_code = main(
             ["find", "--dataset", "foodweb-tiny", "--method", "core-approx", "--show-nodes"]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 import random
 
 import pytest
@@ -66,6 +67,41 @@ class TestFlowNetwork:
         assert len(arcs) == 1
         assert arcs[0].capacity == pytest.approx(4.0)
         assert arcs[0].flow == pytest.approx(4.0)
+
+    def test_infinite_capacity_arc_reports_finite_flow(self):
+        """Regression: flow on an INFINITY arc must not be ``inf - inf = nan``."""
+        net = FlowNetwork(3)
+        arc = net.add_edge(0, 1, INFINITY)
+        net.add_edge(1, 2, 5.0)
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(5.0)
+        assert net.arc_flow(arc) == pytest.approx(5.0)
+        inf_arcs = [a for a in net.arcs() if a.capacity == INFINITY]
+        assert len(inf_arcs) == 1
+        assert not math.isnan(inf_arcs[0].flow)
+        assert inf_arcs[0].flow == pytest.approx(5.0)
+
+    def test_set_capacity_retunes_in_place(self):
+        net = FlowNetwork(3)
+        arc = net.add_edge(0, 1, 5.0)
+        net.add_edge(1, 2, 3.0)
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(3.0)
+        net.set_capacity(arc, 1.0)
+        net.reset_flow()
+        assert dinic_max_flow(net, 0, 2) == pytest.approx(1.0)
+        with pytest.raises(FlowError):
+            net.set_capacity(arc + 1, 1.0)  # reverse arcs are not retunable
+        with pytest.raises(FlowError):
+            net.set_capacity(arc, -1.0)
+
+    def test_csr_views_consistent_after_add_node(self):
+        net = FlowNetwork(2)
+        net.add_edge(0, 1, 1.0)
+        new = net.add_node()
+        net.add_edge(1, new, 2.0)
+        heads, targets = net.solver_views()
+        assert len(heads) == 3
+        assert [targets[a] for a in heads[1]] == [0, new]  # residual + forward
+        assert dinic_max_flow(net, 0, new) == pytest.approx(1.0)
 
 
 class TestDinicBasics:
