@@ -13,7 +13,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.harness import format_table
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import load_dataset
 from repro.utils.timer import time_call
 
@@ -26,10 +26,10 @@ _rows: list[dict] = []
 def test_e10_epsilon_sweep(benchmark, epsilon):
     graph = load_dataset(DATASET)
     result, seconds = time_call(
-        lambda: densest_subgraph(graph, method="peel-approx", epsilon=epsilon)
+        lambda: DDSSession(graph).densest_subgraph("peel-approx", epsilon=epsilon)
     )
     benchmark.pedantic(
-        lambda: densest_subgraph(graph, method="peel-approx", epsilon=epsilon),
+        lambda: DDSSession(graph).densest_subgraph("peel-approx", epsilon=epsilon),
         rounds=1,
         iterations=1,
     )

@@ -14,7 +14,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.harness import format_table
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.core.density import directed_density
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.undirected import goldberg_exact
@@ -25,7 +25,7 @@ _rows: list[dict] = []
 @pytest.mark.parametrize("dataset", dataset_names("small"))
 def test_e12_directed_vs_undirected(benchmark, dataset):
     graph = load_dataset(dataset)
-    directed = densest_subgraph(graph, method="core-exact")
+    directed = DDSSession(graph).densest_subgraph("core-exact")
     undirected = benchmark.pedantic(lambda: goldberg_exact(graph), rounds=1, iterations=1)
     undirected_as_directed = directed_density(graph, undirected.nodes, undirected.nodes)
     _rows.append(

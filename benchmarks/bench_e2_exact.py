@@ -12,7 +12,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.harness import format_table, run_method_on_dataset
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import dataset_names, load_dataset
 
 BASELINE_DATASETS = ["foodweb-tiny", "social-tiny"]
@@ -25,7 +25,7 @@ _rows: list[dict] = []
 def test_e2_flow_exact(benchmark, dataset):
     graph = load_dataset(dataset)
     result = benchmark.pedantic(
-        lambda: densest_subgraph(graph, method="flow-exact"), rounds=1, iterations=1
+        lambda: DDSSession(graph).densest_subgraph("flow-exact"), rounds=1, iterations=1
     )
     _rows.append(
         {

@@ -13,7 +13,7 @@ from conftest import emit
 
 from repro.bench.harness import format_table
 from repro.bench.workloads import quality_reference_density
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import dataset_names, load_dataset
 
 QUALITY_DATASETS = dataset_names("small") + ["amazon-medium", "planted-medium"]
@@ -26,7 +26,7 @@ def _quality_rows() -> list[dict]:
         reference, reference_method = quality_reference_density(graph)
         row = {"dataset": dataset, "reference": round(reference, 4), "ref_method": reference_method}
         for method in ("core-approx", "peel-approx"):
-            result = densest_subgraph(graph, method=method)
+            result = DDSSession(graph).densest_subgraph(method)
             row[f"{method}_ratio"] = round(result.density / reference, 4) if reference else 0.0
         rows.append(row)
     return rows

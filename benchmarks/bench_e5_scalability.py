@@ -13,7 +13,7 @@ from conftest import emit
 
 from repro.bench.harness import format_series
 from repro.bench.workloads import edge_fraction_subgraph
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import load_dataset
 from repro.utils.timer import time_call
 
@@ -27,9 +27,9 @@ _series: dict[str, list[tuple[str, float]]] = {"core-approx": [], "peel-approx":
 def test_e5_scalability(benchmark, fraction, method):
     base = load_dataset(DATASET)
     sample = edge_fraction_subgraph(base, fraction, seed=int(fraction * 100))
-    result, seconds = time_call(lambda: densest_subgraph(sample, method=method))
+    result, seconds = time_call(lambda: DDSSession(sample).densest_subgraph(method))
     benchmark.pedantic(
-        lambda: densest_subgraph(sample, method=method), rounds=1, iterations=1
+        lambda: DDSSession(sample).densest_subgraph(method), rounds=1, iterations=1
     )
     _series[method].append((f"{int(fraction * 100)}% ({sample.num_edges} edges)", seconds))
     assert result.density > 0

@@ -6,7 +6,9 @@ searches); DCExact examines only the ratios its recursion cannot skip;
 CoreExact additionally shrinks every network.  The printed table reports, per
 small dataset: candidate-ratio count, ratios actually examined, total
 min-cut computations, and the number of decision networks actually built
-(with the retune path: one per fixed-ratio search, not one per min-cut).
+(with the retune path at most one per fixed-ratio search, and with the
+session network cache strictly fewer: the coarse→refine interior probes
+retune the coarse-stage network instead of rebuilding it).
 
 Besides the pytest-benchmark entry points this module doubles as a CI smoke
 check::
@@ -14,8 +16,10 @@ check::
     PYTHONPATH=src python benchmarks/bench_e6_flowcalls.py --smoke
 
 which fails (exit code 1) whenever the flow-call counts regress past the
-recorded bounds or an algorithm stops building exactly one network per
-fixed-ratio search.
+recorded bounds, a fixed-ratio search stops using exactly one network
+(``networks_built + networks_reused == fixed_ratio_searches``), or the
+divide-and-conquer methods stop *reusing* probe networks
+(``networks_built`` must stay strictly below ``fixed_ratio_searches``).
 """
 
 from __future__ import annotations
@@ -27,9 +31,9 @@ from conftest import emit
 
 from repro.bench.baselines import SEED_FLOW_CALLS
 from repro.bench.harness import format_table
-from repro.core.api import densest_subgraph
 from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.session import DDSSession
 
 _rows: list[dict] = []
 
@@ -44,7 +48,7 @@ SMOKE_FLOW_CALL_BOUNDS = SEED_FLOW_CALLS
 def test_e6_flow_exact_counts(benchmark, dataset):
     graph = load_dataset(dataset)
     result = benchmark.pedantic(
-        lambda: densest_subgraph(graph, method="flow-exact"), rounds=1, iterations=1
+        lambda: DDSSession(graph).densest_subgraph("flow-exact"), rounds=1, iterations=1
     )
     _rows.append(
         {
@@ -63,7 +67,7 @@ def test_e6_flow_exact_counts(benchmark, dataset):
 def test_e6_dc_core_counts(benchmark, dataset, method):
     graph = load_dataset(dataset)
     result = benchmark.pedantic(
-        lambda: densest_subgraph(graph, method=method), rounds=1, iterations=1
+        lambda: DDSSession(graph).densest_subgraph(method), rounds=1, iterations=1
     )
     _rows.append(
         {
@@ -73,6 +77,7 @@ def test_e6_dc_core_counts(benchmark, dataset, method):
             "ratios_examined": result.stats["ratios_examined"],
             "flow_calls": result.stats["flow_calls"],
             "networks_built": result.stats["networks_built"],
+            "networks_reused": result.stats["networks_reused"],
             "intervals_pruned": result.stats["intervals_pruned"],
         }
     )
@@ -94,7 +99,7 @@ def run_smoke() -> int:
     rows: list[dict] = []
     for (dataset, method), bound in SMOKE_FLOW_CALL_BOUNDS.items():
         graph = load_dataset(dataset)
-        result = densest_subgraph(graph, method=method)
+        result = DDSSession(graph).densest_subgraph(method)
         stats = result.stats
         rows.append(
             {
@@ -103,6 +108,7 @@ def run_smoke() -> int:
                 "flow_calls": stats["flow_calls"],
                 "seed_bound": bound,
                 "networks_built": stats["networks_built"],
+                "networks_reused": stats["networks_reused"],
                 "fixed_ratio_searches": stats["fixed_ratio_searches"],
             }
         )
@@ -110,10 +116,21 @@ def run_smoke() -> int:
             failures.append(
                 f"{dataset}/{method}: flow_calls {stats['flow_calls']} > seed bound {bound}"
             )
-        if stats["networks_built"] != stats["fixed_ratio_searches"]:
+        # Every fixed-ratio search must use exactly one network — built from
+        # scratch or served by the session network cache.
+        if stats["networks_built"] + stats["networks_reused"] != stats["fixed_ratio_searches"]:
             failures.append(
-                f"{dataset}/{method}: networks_built {stats['networks_built']} != "
+                f"{dataset}/{method}: networks_built {stats['networks_built']} + "
+                f"networks_reused {stats['networks_reused']} != "
                 f"fixed_ratio_searches {stats['fixed_ratio_searches']}"
+            )
+        # The coarse->refine interior probes must hit the network cache, so
+        # strictly fewer networks are built than fixed-ratio searches run.
+        if stats["networks_built"] >= stats["fixed_ratio_searches"]:
+            failures.append(
+                f"{dataset}/{method}: networks_built {stats['networks_built']} did not drop "
+                f"below fixed_ratio_searches {stats['fixed_ratio_searches']} "
+                "(probe-network reuse broken)"
             )
     print(format_table(rows, title="E6 smoke: flow-call regression gate"))
     for failure in failures:

@@ -14,7 +14,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.harness import format_series, format_table
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import load_dataset
 
 DATASETS = ["advogato-small", "flights-small"]
@@ -27,7 +27,7 @@ _series: list[str] = []
 def test_e7_network_sizes(benchmark, dataset, method):
     graph = load_dataset(dataset)
     result = benchmark.pedantic(
-        lambda: densest_subgraph(graph, method=method), rounds=1, iterations=1
+        lambda: DDSSession(graph).densest_subgraph(method), rounds=1, iterations=1
     )
     # ``network_nodes`` records the (retuned) network size per flow call;
     # actual construction counts live in ``networks_built``.

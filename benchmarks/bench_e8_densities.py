@@ -10,16 +10,16 @@ from __future__ import annotations
 from conftest import emit
 
 from repro.bench.harness import format_table
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.registry import dataset_names, load_dataset
 
 
 def _density_rows() -> list[dict]:
     rows = []
     for dataset in dataset_names("small"):
-        graph = load_dataset(dataset)
-        exact = densest_subgraph(graph, method="core-exact")
-        approx = densest_subgraph(graph, method="core-approx")
+        session = DDSSession(load_dataset(dataset))
+        exact = session.densest_subgraph("core-exact")
+        approx = session.densest_subgraph("core-approx")
         rows.append(
             {
                 "dataset": dataset,
@@ -32,7 +32,7 @@ def _density_rows() -> list[dict]:
         )
     for dataset in dataset_names("medium"):
         graph = load_dataset(dataset)
-        approx = densest_subgraph(graph, method="core-approx")
+        approx = DDSSession(graph).densest_subgraph("core-approx")
         rows.append(
             {
                 "dataset": dataset,

@@ -12,7 +12,7 @@ import pytest
 from conftest import emit
 
 from repro.bench.harness import format_table
-from repro.core.api import densest_subgraph
+from repro.session import DDSSession
 from repro.datasets.casestudy import hub_authority_case, precision_recall, rating_fraud_case
 from repro.undirected import charikar_peel
 
@@ -28,7 +28,7 @@ _CASES = {
 def test_e9_role_recovery(benchmark, case_name, method):
     case = _CASES[case_name]()
     result = benchmark.pedantic(
-        lambda: densest_subgraph(case.graph, method=method), rounds=1, iterations=1
+        lambda: DDSSession(case.graph).densest_subgraph(method), rounds=1, iterations=1
     )
     s_precision, s_recall = precision_recall(result.s_nodes, case.true_s)
     t_precision, t_recall = precision_recall(result.t_nodes, case.true_t)

@@ -13,7 +13,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import densest_subgraph
+from repro import DDSSession
 from repro.datasets.casestudy import hub_authority_case, precision_recall
 
 
@@ -22,8 +22,10 @@ def main() -> None:
     graph = case.graph
     print(f"web graph: {graph.num_nodes} pages, {graph.num_edges} links\n")
 
-    exact = densest_subgraph(graph, method="core-exact")
-    approx = densest_subgraph(graph, method="core-approx")
+    # One session serves both queries, sharing the per-graph caches.
+    session = DDSSession(graph)
+    exact = session.densest_subgraph("core-exact")
+    approx = session.densest_subgraph("core-approx")
 
     for label, result in (("core-exact", exact), ("core-approx", approx)):
         hub_precision, hub_recall = precision_recall(result.s_nodes, case.true_s)

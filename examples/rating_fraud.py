@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import densest_subgraph
+from repro import DDSSession
 from repro.datasets.casestudy import precision_recall, rating_fraud_case
 from repro.undirected import charikar_peel
 
@@ -31,7 +31,8 @@ def main() -> None:
     print(f"rating graph: {graph.num_nodes} nodes, {graph.num_edges} edges")
     print(f"planted ring: {len(case.true_s)} fraudulent users x {len(case.true_t)} boosted products\n")
 
-    result = densest_subgraph(graph, method="core-approx")
+    session = DDSSession(graph)
+    result = session.densest_subgraph("core-approx")
     s_precision, s_recall = precision_recall(result.s_nodes, case.true_s)
     t_precision, t_recall = precision_recall(result.t_nodes, case.true_t)
 

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import time
 
-from repro import densest_subgraph
+from repro import DDSSession
 from repro.bench.workloads import edge_fraction_subgraph
 from repro.datasets.registry import load_dataset
 
@@ -27,10 +27,11 @@ def main() -> None:
 
     for percent in (20, 40, 60, 80, 100):
         sample = edge_fraction_subgraph(base, percent / 100.0, seed=percent)
+        session = DDSSession(sample)
         timings = {}
         for method in ("core-approx", "peel-approx"):
             start = time.perf_counter()
-            result = densest_subgraph(sample, method=method)
+            result = session.densest_subgraph(method)
             timings[method] = time.perf_counter() - start
             del result
         print(

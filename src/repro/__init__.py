@@ -8,15 +8,23 @@ core-based 2-approximations.
 
 Quickstart
 ----------
->>> from repro import DiGraph, densest_subgraph
+>>> from repro import DDSSession, DiGraph
 >>> g = DiGraph.from_edges([("a", "x"), ("a", "y"), ("b", "x"), ("b", "y"), ("c", "a")])
->>> result = densest_subgraph(g, method="core-exact")
+>>> session = DDSSession(g)
+>>> result = session.densest_subgraph("core-exact")
 >>> sorted(result.s_nodes), sorted(result.t_nodes)
 (['a', 'b'], ['x', 'y'])
+
+The one-shot ``densest_subgraph(g, method=...)`` remains available as a
+deprecation shim over a throwaway session.
 """
 
 from repro.core import (
+    ApproxConfig,
     DDSResult,
+    ExactConfig,
+    FlowConfig,
+    MethodSpec,
     brute_force_dds,
     core_approx,
     core_based_bounds,
@@ -28,14 +36,16 @@ from repro.core import (
     inc_approx,
     max_xy_core,
     peel_approx,
+    register_method,
     top_k_densest,
     verify_result,
     xy_core,
     xy_core_skyline,
 )
 from repro.graph import DiGraph, read_edge_list, write_edge_list
+from repro.session import DDSSession
 
-__version__ = "1.0.0"
+__version__ = "2.0.0"
 
 __all__ = [
     "__version__",
@@ -43,6 +53,12 @@ __all__ = [
     "read_edge_list",
     "write_edge_list",
     "DDSResult",
+    "DDSSession",
+    "ExactConfig",
+    "ApproxConfig",
+    "FlowConfig",
+    "MethodSpec",
+    "register_method",
     "densest_subgraph",
     "directed_density",
     "brute_force_dds",

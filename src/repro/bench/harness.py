@@ -5,9 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from repro.core.api import densest_subgraph
 from repro.core.results import DDSResult
 from repro.graph.digraph import DiGraph
+from repro.session import DDSSession
 from repro.utils.timer import time_call
 
 
@@ -34,7 +34,7 @@ class ExperimentRecord:
             "|T|": self.result.t_size,
         }
         # Flow-engine instrumentation, when the method ran min-cuts.
-        for key in ("flow_solver", "flow_calls", "networks_built", "arcs_pushed"):
+        for key in ("flow_solver", "flow_calls", "networks_built", "networks_reused", "arcs_pushed"):
             if key in self.result.stats:
                 row[key] = self.result.stats[key]
         row.update(self.extra)
@@ -46,10 +46,18 @@ def run_method_on_dataset(
     dataset_name: str,
     graph: DiGraph,
     method: str,
+    session: DDSSession | None = None,
     **kwargs: Any,
 ) -> ExperimentRecord:
-    """Time one algorithm on one graph and wrap the outcome."""
-    result, seconds = time_call(lambda: densest_subgraph(graph, method=method, **kwargs))
+    """Time one algorithm on one graph and wrap the outcome.
+
+    Queries go through a :class:`~repro.session.DDSSession`; pass an existing
+    ``session`` to measure warm (cache-assisted) timings across methods, or
+    omit it for a cold per-call session matching the historical behaviour.
+    """
+    if session is None:
+        session = DDSSession(graph)
+    result, seconds = time_call(lambda: session.densest_subgraph(method, **kwargs))
     return ExperimentRecord(
         experiment=experiment,
         dataset=dataset_name,

@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
-from repro.core.api import densest_subgraph
 from repro.graph.digraph import DiGraph
+from repro.session import DDSSession
 from repro.utils.rng import RngLike, make_rng
 
 
@@ -49,13 +49,14 @@ def quality_reference_density(graph: DiGraph, exact_node_limit: int = 300) -> tu
     answer any implemented algorithm finds (the paper does the same when the
     exact algorithms cannot finish on a dataset).
     """
+    session = DDSSession(graph)
     if graph.num_nodes <= exact_node_limit:
-        reference = densest_subgraph(graph, method="core-exact")
+        reference = session.densest_subgraph("core-exact")
         return reference.density, "core-exact"
     best_density = 0.0
     best_method = "none"
     for method in approx_method_matrix():
-        result = densest_subgraph(graph, method=method)
+        result = session.densest_subgraph(method)
         if result.density > best_density:
             best_density = result.density
             best_method = method

@@ -1,9 +1,16 @@
 """Command-line interface: ``dds-repro`` (or ``python -m repro``).
 
+Every sub-command that touches a graph builds one
+:class:`~repro.session.DDSSession` and serves the request through it, so a
+single invocation shares derived state (degree arrays, cores, decision
+networks) across whatever it computes.
+
 Sub-commands
 ------------
 ``find``      run a DDS algorithm on an edge-list file or a named dataset
+``top-k``     greedy edge-disjoint top-k dense pairs
 ``core``      compute an [x, y]-core or the maximum-product core
+``batch``     run a JSON list of queries against ONE shared session
 ``datasets``  list the registered synthetic datasets
 ``summary``   print structural statistics of a graph
 """
@@ -13,22 +20,22 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.core.api import available_methods, densest_subgraph
-from repro.core.topk import top_k_densest
-from repro.flow.registry import available_flow_solvers
-from repro.core.xycore import max_xy_core, xy_core
+from repro.core.method_registry import available_methods
+from repro.core.results import DDSResult
 from repro.datasets.registry import dataset_specs, load_dataset
+from repro.exceptions import ConfigError, ReproError
+from repro.flow.registry import available_flow_solvers
 from repro.graph.io import read_edge_list
-from repro.graph.properties import graph_summary
+from repro.session import DDSSession
 
 
-def _load_graph(args: argparse.Namespace):
+def _load_session(args: argparse.Namespace) -> DDSSession:
     if args.dataset is not None:
-        return load_dataset(args.dataset)
+        return DDSSession(load_dataset(args.dataset))
     if args.edge_list is not None:
-        return read_edge_list(args.edge_list)
+        return DDSSession(read_edge_list(args.edge_list))
     raise SystemExit("either --dataset or --edge-list is required")
 
 
@@ -37,16 +44,51 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--edge-list", help="path to a whitespace-separated edge-list file")
 
 
+def _add_method_options(parser: argparse.ArgumentParser, *, with_quality: bool) -> None:
+    parser.add_argument(
+        "--method",
+        default="auto",
+        choices=["auto"] + available_methods(),
+        help="algorithm to run (default: auto)",
+    )
+    parser.add_argument(
+        "--flow-solver",
+        default=None,
+        choices=available_flow_solvers(),
+        help="max-flow backend for the flow-backed exact methods (default: dinic)",
+    )
+    if with_quality:
+        parser.add_argument(
+            "--tolerance",
+            type=float,
+            default=None,
+            help="binary-search stopping gap of the exact methods "
+            "(default: the provably-exact gap of the input graph)",
+        )
+        parser.add_argument(
+            "--epsilon",
+            type=float,
+            default=None,
+            help="ratio-grid step of peel-approx (guarantee 2*sqrt(1+epsilon))",
+        )
+
+
 def _method_kwargs(args: argparse.Namespace) -> dict:
+    """Per-field config overrides taken from the CLI flags.
+
+    Validation happens in the typed config dataclasses
+    (:mod:`repro.core.config`); a :class:`ConfigError` — e.g. ``--epsilon``
+    passed to an exact method — is rendered as a clean CLI error.
+    """
     kwargs = {}
-    if getattr(args, "flow_solver", None) is not None:
-        kwargs["flow_solver"] = args.flow_solver
+    for name in ("flow_solver", "tolerance", "epsilon"):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs[name] = value
     return kwargs
 
 
-def _cmd_find(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    result = densest_subgraph(graph, method=args.method, **_method_kwargs(args))
+def _find_payload(result: DDSResult, show_nodes: bool) -> dict[str, Any]:
     payload = {
         "method": result.method,
         "density": result.density,
@@ -57,19 +99,24 @@ def _cmd_find(args: argparse.Namespace) -> int:
     }
     if "flow_solver" in result.stats:
         payload["flow_solver"] = result.stats["flow_solver"]
-    if args.show_nodes:
+    if show_nodes:
         payload["s_nodes"] = [str(node) for node in result.s_nodes]
         payload["t_nodes"] = [str(node) for node in result.t_nodes]
-    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def _cmd_find(args: argparse.Namespace) -> int:
+    session = _load_session(args)
+    result = session.densest_subgraph(args.method, **_method_kwargs(args))
+    print(json.dumps(_find_payload(result, args.show_nodes), indent=2))
     return 0
 
 
-def _cmd_core(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    if args.x is not None and args.y is not None:
-        core = xy_core(graph, args.x, args.y)
+def _core_payload(session: DDSSession, x: int | None, y: int | None, show_nodes: bool) -> dict:
+    if x is not None and y is not None:
+        core = session.xy_core(x, y)
     else:
-        core = max_xy_core(graph)
+        core = session.max_xy_core()
     payload = {
         "x": core.x,
         "y": core.y,
@@ -77,19 +124,21 @@ def _cmd_core(args: argparse.Namespace) -> int:
         "t_size": len(core.t_nodes),
         "empty": core.is_empty,
     }
-    if args.show_nodes:
+    if show_nodes:
+        graph = session.graph
         payload["s_nodes"] = [str(graph.label_of(i)) for i in core.s_nodes]
         payload["t_nodes"] = [str(graph.label_of(i)) for i in core.t_nodes]
-    print(json.dumps(payload, indent=2))
+    return payload
+
+
+def _cmd_core(args: argparse.Namespace) -> int:
+    session = _load_session(args)
+    print(json.dumps(_core_payload(session, args.x, args.y, args.show_nodes), indent=2))
     return 0
 
 
-def _cmd_topk(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    results = top_k_densest(
-        graph, args.k, method=args.method, min_density=args.min_density, **_method_kwargs(args)
-    )
-    payload = [
+def _topk_payload(results: list[DDSResult]) -> list[dict]:
+    return [
         {
             "rank": rank,
             "density": result.density,
@@ -99,7 +148,14 @@ def _cmd_topk(args: argparse.Namespace) -> int:
         }
         for rank, result in enumerate(results, start=1)
     ]
-    print(json.dumps(payload, indent=2))
+
+
+def _cmd_topk(args: argparse.Namespace) -> int:
+    session = _load_session(args)
+    results = session.top_k(
+        args.k, method=args.method, min_density=args.min_density, **_method_kwargs(args)
+    )
+    print(json.dumps(_topk_payload(results), indent=2))
     return 0
 
 
@@ -110,8 +166,109 @@ def _cmd_datasets(_: argparse.Namespace) -> int:
 
 
 def _cmd_summary(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    print(json.dumps(graph_summary(graph), indent=2))
+    session = _load_session(args)
+    print(json.dumps(session.summary(), indent=2))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# batch: many queries, one session
+# ----------------------------------------------------------------------
+def _pop_required(spec: dict[str, Any], key: str, query: str) -> Any:
+    if key not in spec:
+        raise SystemExit(f"batch query {query!r} requires a {key!r} field")
+    return spec.pop(key)
+
+
+def _as_number(value: Any, key: str, query: str, optional: bool = False) -> float | None:
+    if optional and value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SystemExit(f"batch query {query!r} field {key!r} must be a number, got {value!r}")
+    return float(value)
+
+
+def _reject_leftovers(spec: dict[str, Any], query: str) -> None:
+    """Typo'd or inapplicable fields must error, not silently do nothing."""
+    if spec:
+        raise SystemExit(
+            f"batch query {query!r} got unexpected fields: {', '.join(sorted(spec))}"
+        )
+
+
+def _run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
+    """Execute one batch entry against the shared session.
+
+    ``densest`` / ``top-k`` forward their remaining fields into the typed
+    method configs (so unknown fields raise :class:`ConfigError`); the other
+    query kinds take a fixed field set and reject leftovers explicitly.
+    """
+    if not isinstance(spec, dict):
+        raise SystemExit(f"batch entries must be JSON objects, got: {spec!r}")
+    spec = dict(spec)
+    query = spec.pop("query", "densest")
+    if query == "densest":
+        method = spec.pop("method", "auto")
+        show_nodes = bool(spec.pop("show_nodes", False))
+        result = session.densest_subgraph(method, **spec)
+        return _find_payload(result, show_nodes)
+    if query == "top-k":
+        method = spec.pop("method", "auto")
+        k = spec.pop("k", 3)
+        min_density = spec.pop("min_density", 0.0)
+        return _topk_payload(session.top_k(k, method=method, min_density=min_density, **spec))
+    if query == "xy-core":
+        x = _pop_required(spec, "x", query)
+        y = _pop_required(spec, "y", query)
+        show_nodes = bool(spec.pop("show_nodes", False))
+        _reject_leftovers(spec, query)
+        return _core_payload(session, x, y, show_nodes)
+    if query == "max-core":
+        show_nodes = bool(spec.pop("show_nodes", False))
+        _reject_leftovers(spec, query)
+        return _core_payload(session, None, None, show_nodes)
+    if query == "fixed-ratio":
+        ratio = _as_number(_pop_required(spec, "ratio", query), "ratio", query)
+        tolerance = _as_number(spec.pop("tolerance", None), "tolerance", query, optional=True)
+        _reject_leftovers(spec, query)
+        outcome = session.fixed_ratio(ratio, tolerance=tolerance)
+        return {
+            "ratio": outcome.ratio,
+            "lower": outcome.lower,
+            "upper": outcome.upper,
+            "best_density": outcome.best_density,
+            "flow_calls": outcome.flow_calls,
+            "networks_built": outcome.networks_built,
+            "networks_reused": outcome.networks_reused,
+        }
+    if query == "summary":
+        _reject_leftovers(spec, query)
+        return session.summary()
+    raise SystemExit(
+        f"unknown batch query {query!r}; expected one of: "
+        "densest, top-k, xy-core, max-core, fixed-ratio, summary"
+    )
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    session = _load_session(args)
+    try:
+        with open(args.queries, "r", encoding="utf-8") as handle:
+            queries = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SystemExit(f"cannot read batch queries from {args.queries!r}: {error}")
+    if not isinstance(queries, list):
+        raise SystemExit("the batch file must contain a JSON list of query objects")
+    try:
+        results = [_run_batch_query(session, query) for query in queries]
+    except ConfigError as error:
+        raise SystemExit(f"invalid configuration: {error}")
+    except ReproError as error:
+        # Unknown method names, bad parameter values, ... — render the same
+        # clean one-line error every other CLI path produces.
+        raise SystemExit(f"batch query failed: {error}")
+    payload = {"results": results, "session": session.cache_stats()}
+    print(json.dumps(payload, indent=2, default=str))
     return 0
 
 
@@ -125,19 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     find = subparsers.add_parser("find", help="run a DDS algorithm")
     _add_graph_source(find)
-    find.add_argument(
-        "--method",
-        default="auto",
-        choices=["auto"] + available_methods(),
-        help="algorithm to run (default: auto)",
-    )
+    _add_method_options(find, with_quality=True)
     find.add_argument("--show-nodes", action="store_true", help="include the node lists")
-    find.add_argument(
-        "--flow-solver",
-        default=None,
-        choices=available_flow_solvers(),
-        help="max-flow backend for the flow-backed exact methods (default: dinic)",
-    )
     find.set_defaults(handler=_cmd_find)
 
     core = subparsers.add_parser("core", help="compute an [x, y]-core")
@@ -150,22 +296,22 @@ def build_parser() -> argparse.ArgumentParser:
     topk = subparsers.add_parser("top-k", help="greedy edge-disjoint top-k dense pairs")
     _add_graph_source(topk)
     topk.add_argument("--k", type=int, default=3, help="number of pairs to extract")
-    topk.add_argument(
-        "--method",
-        default="auto",
-        choices=["auto"] + available_methods(),
-        help="algorithm used for each round (default: auto)",
-    )
+    _add_method_options(topk, with_quality=True)
     topk.add_argument(
         "--min-density", type=float, default=0.0, help="stop once the best density drops below this"
     )
-    topk.add_argument(
-        "--flow-solver",
-        default=None,
-        choices=available_flow_solvers(),
-        help="max-flow backend for the flow-backed exact methods (default: dinic)",
-    )
     topk.set_defaults(handler=_cmd_topk)
+
+    batch = subparsers.add_parser(
+        "batch", help="run a JSON list of queries against one shared session"
+    )
+    _add_graph_source(batch)
+    batch.add_argument(
+        "queries",
+        help="path to a JSON file holding a list of query objects, e.g. "
+        '[{"query": "densest", "method": "core-exact"}, {"query": "top-k", "k": 2}]',
+    )
+    batch.set_defaults(handler=_cmd_batch)
 
     datasets = subparsers.add_parser("datasets", help="list registered datasets")
     datasets.set_defaults(handler=_cmd_datasets)
@@ -178,10 +324,21 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point (returns a process exit code)."""
+    """CLI entry point (returns a process exit code).
+
+    Library errors — unknown datasets, empty graphs, invalid configurations,
+    refused node limits — are rendered as clean one-line messages instead of
+    tracebacks; sub-command handlers may still raise more specific
+    :class:`SystemExit` messages of their own (e.g. ``batch``).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    try:
+        return args.handler(args)
+    except ConfigError as error:
+        raise SystemExit(f"invalid configuration: {error}")
+    except ReproError as error:
+        raise SystemExit(f"error: {error}")
 
 
 if __name__ == "__main__":  # pragma: no cover

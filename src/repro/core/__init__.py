@@ -2,7 +2,13 @@
 
 Public surface:
 
-* :func:`densest_subgraph` — one-call entry point with method dispatch;
+* :class:`repro.session.DDSSession` — the session API (construct once per
+  graph, query many times against shared caches); the one-shot
+  :func:`densest_subgraph` below remains as a deprecation shim;
+* typed configs — :class:`ExactConfig`, :class:`ApproxConfig`,
+  :class:`FlowConfig` (:mod:`repro.core.config`);
+* the method registry — :class:`MethodSpec`, :func:`register_method`
+  (:mod:`repro.core.method_registry`);
 * exact algorithms — :func:`flow_exact` (baseline), :func:`dc_exact`
   (divide-and-conquer over ratios), :func:`core_exact` (divide-and-conquer
   plus [x, y]-core pruning — the paper's headline algorithm);
@@ -15,11 +21,12 @@ Public surface:
   :func:`brute_force_dds`.
 """
 
-from repro.core.api import available_methods, densest_subgraph
+from repro.core.api import AUTO_EXACT_NODE_LIMIT, available_methods, densest_subgraph
 from repro.core.approx_core import core_approx, inc_approx
 from repro.core.approx_peel import peel_approx, peel_fixed_ratio
 from repro.core.bounds import CoreBounds, containing_core, containing_core_orders, core_based_bounds
 from repro.core.bruteforce import brute_force_dds
+from repro.core.config import ApproxConfig, ExactConfig, FlowConfig
 from repro.core.density import (
     directed_density,
     directed_density_from_indices,
@@ -32,6 +39,14 @@ from repro.core.density import (
 from repro.core.exact_core import core_exact
 from repro.core.exact_dc import dc_exact
 from repro.core.exact_flow import flow_exact
+from repro.core.method_registry import (
+    MethodSpec,
+    get_method_spec,
+    method_specs,
+    register_method,
+    unregister_method,
+)
+from repro.core.network_cache import NetworkCache
 from repro.core.results import DDSResult, FixedRatioOutcome
 from repro.core.topk import top_k_densest
 from repro.core.verify import VerificationReport, is_locally_maximal, verify_result
@@ -40,6 +55,16 @@ from repro.core.xycore import XYCore, max_xy_core, xy_core, xy_core_skyline
 __all__ = [
     "densest_subgraph",
     "available_methods",
+    "AUTO_EXACT_NODE_LIMIT",
+    "ExactConfig",
+    "ApproxConfig",
+    "FlowConfig",
+    "MethodSpec",
+    "get_method_spec",
+    "method_specs",
+    "register_method",
+    "unregister_method",
+    "NetworkCache",
     "DDSResult",
     "FixedRatioOutcome",
     "directed_density",

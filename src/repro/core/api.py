@@ -1,48 +1,37 @@
-"""Top-level entry point: :func:`densest_subgraph`.
+"""Legacy one-shot entry point: :func:`densest_subgraph` (deprecation shim).
 
-This is the one function most downstream users need.  It dispatches to the
-individual algorithms by name and picks a sensible default automatically:
-exact CoreExact on small graphs, CoreApprox on large ones.
+The public API is session-oriented since the :class:`repro.session.DDSSession`
+redesign: construct one session per graph and query it repeatedly —
+``DDSSession(graph).densest_subgraph(...)`` — so that derived state (degree
+arrays, core decompositions, decision networks, whole results) is cached
+across queries.  This module keeps the historical one-shot function working
+by building a throwaway session per call; results are identical to the
+session path because it *is* the session path.
+
+New code should use :class:`~repro.session.DDSSession` directly; method
+introspection moved to :mod:`repro.core.method_registry`.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+import warnings
 
-from repro.core.approx_core import core_approx, inc_approx
-from repro.core.approx_peel import peel_approx
-from repro.core.bruteforce import brute_force_dds
-from repro.core.exact_core import core_exact
-from repro.core.exact_dc import dc_exact
-from repro.core.exact_flow import flow_exact
+from repro.core.method_registry import available_methods  # re-export  # noqa: F401
 from repro.core.results import DDSResult
-from repro.exceptions import AlgorithmError, EmptyGraphError
 from repro.graph.digraph import DiGraph
 
 #: Above this node count ``method="auto"`` switches from exact to approximate.
 AUTO_EXACT_NODE_LIMIT = 400
 
-_METHODS: dict[str, Callable[..., DDSResult]] = {
-    "flow-exact": flow_exact,
-    "dc-exact": dc_exact,
-    "core-exact": core_exact,
-    "core-approx": core_approx,
-    "inc-approx": inc_approx,
-    "peel-approx": peel_approx,
-    "brute-force": brute_force_dds,
-}
-
-#: Methods that run min-cuts and therefore accept ``flow_solver=``.
-FLOW_BACKED_METHODS = frozenset({"flow-exact", "dc-exact", "core-exact"})
-
-
-def available_methods() -> list[str]:
-    """Names accepted by :func:`densest_subgraph` (besides ``"auto"``)."""
-    return sorted(_METHODS)
-
 
 def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResult:
     """Find the (exact or approximate) directed densest subgraph of ``graph``.
+
+    .. deprecated::
+        Use ``repro.session.DDSSession(graph).densest_subgraph(...)`` — one
+        session per graph amortises preprocessing across queries.  This shim
+        constructs a throwaway session per call and returns the identical
+        result.
 
     Parameters
     ----------
@@ -54,12 +43,14 @@ def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResul
         ``"brute-force"``.  ``"auto"`` uses CoreExact when the graph has at
         most :data:`AUTO_EXACT_NODE_LIMIT` nodes and CoreApprox otherwise.
     **kwargs:
-        Forwarded to the chosen algorithm (e.g. ``epsilon=`` for
-        ``peel-approx``, ``tolerance=`` for the exact solvers, or
-        ``flow_solver=`` to pick the max-flow backend of the flow-backed
-        exact methods; the latter is dropped — and recorded as
-        ``flow_solver_ignored`` in the stats — when the chosen method
-        performs no min-cuts).
+        Either ``config=`` (a typed :class:`~repro.core.config.ExactConfig` /
+        :class:`~repro.core.config.ApproxConfig`) or legacy per-field
+        overrides (``epsilon=`` for ``peel-approx``, ``tolerance=`` for the
+        exact solvers, ``flow_solver=`` for the flow-backed exact methods;
+        the latter is dropped — recorded as ``flow_solver_ignored`` in the
+        stats and reported via :class:`UserWarning` — when the chosen method
+        performs no min-cuts).  Unknown or invalid values raise
+        :class:`~repro.exceptions.ConfigError`.
 
     Returns
     -------
@@ -73,23 +64,12 @@ def densest_subgraph(graph: DiGraph, method: str = "auto", **kwargs) -> DDSResul
     >>> round(result.density, 4)
     2.4495
     """
-    if graph.num_edges == 0:
-        raise EmptyGraphError("densest_subgraph requires a graph with at least one edge")
-    if method == "auto":
-        chosen = "core-exact" if graph.num_nodes <= AUTO_EXACT_NODE_LIMIT else "core-approx"
-    else:
-        chosen = method
-    solver = _METHODS.get(chosen)
-    if solver is None:
-        raise AlgorithmError(
-            f"unknown method {method!r}; available: {', '.join(available_methods())} or 'auto'"
-        )
-    ignored_flow_solver = None
-    if chosen not in FLOW_BACKED_METHODS and "flow_solver" in kwargs:
-        ignored_flow_solver = kwargs.pop("flow_solver")
-    result = solver(graph, **kwargs)
-    if method == "auto":
-        result.stats["auto_selected"] = chosen
-    if ignored_flow_solver is not None:
-        result.stats["flow_solver_ignored"] = ignored_flow_solver
-    return result
+    from repro.session import DDSSession
+
+    warnings.warn(
+        "densest_subgraph() is deprecated; use repro.session.DDSSession for "
+        "cached multi-query access",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DDSSession(graph).densest_subgraph(method, **kwargs)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 
 from repro.core.bounds import core_based_bounds
+from repro.core.config import ApproxConfig
 from repro.core.density import directed_density_from_indices
 from repro.core.results import DDSResult
 from repro.core.xycore import xy_core, xy_core_skyline
@@ -25,8 +26,14 @@ from repro.exceptions import EmptyGraphError
 from repro.graph.digraph import DiGraph
 
 
-def core_approx(graph: DiGraph) -> DDSResult:
-    """2-approximate DDS: the maximum-product [x, y]-core (``CoreApprox``)."""
+def core_approx(graph: DiGraph, config: ApproxConfig | None = None) -> DDSResult:
+    """2-approximate DDS: the maximum-product [x, y]-core (``CoreApprox``).
+
+    ``config`` is accepted for signature uniformity across the method
+    registry; CoreApprox is parameter-free, so only the config's *type* is
+    validated.
+    """
+    ApproxConfig.resolve(config)
     if graph.num_edges == 0:
         raise EmptyGraphError("core_approx requires a graph with at least one edge")
     bounds = core_based_bounds(graph)
@@ -48,8 +55,9 @@ def core_approx(graph: DiGraph) -> DDSResult:
     )
 
 
-def inc_approx(graph: DiGraph) -> DDSResult:
+def inc_approx(graph: DiGraph, config: ApproxConfig | None = None) -> DDSResult:
     """2-approximate DDS via the full skyline decomposition (``IncApprox``)."""
+    ApproxConfig.resolve(config)
     if graph.num_edges == 0:
         raise EmptyGraphError("inc_approx requires a graph with at least one edge")
     skyline = xy_core_skyline(graph)

@@ -30,6 +30,7 @@ from __future__ import annotations
 import heapq
 import math
 
+from repro.core.config import ApproxConfig
 from repro.core.density import directed_density_from_indices
 from repro.core.ratio import geometric_ratio_grid
 from repro.core.results import DDSResult
@@ -132,7 +133,9 @@ def peel_fixed_ratio(
 
 def peel_approx(
     graph: DiGraph,
-    epsilon: float = 0.5,
+    config: ApproxConfig | None = None,
+    *,
+    epsilon: float | None = None,
     ratios: list[float] | None = None,
 ) -> DDSResult:
     """``PeelApprox``: sweep a geometric ratio grid, peel each, keep the best.
@@ -141,17 +144,22 @@ def peel_approx(
     ----------
     graph:
         Input digraph with at least one edge.
-    epsilon:
-        Multiplicative grid step; the guarantee is ``2*sqrt(1+epsilon)``.
-    ratios:
-        Optional explicit ratio list overriding the grid (used by ablations).
+    config:
+        Normalized :class:`~repro.core.config.ApproxConfig`: ``epsilon`` is
+        the multiplicative grid step (guarantee ``2*sqrt(1+epsilon)``) and
+        ``ratios`` an optional explicit grid override (used by ablations).
+    epsilon / ratios:
+        Legacy per-field overrides resolved through ``config``.
     """
+    cfg = ApproxConfig.resolve(config, epsilon=epsilon, ratios=ratios)
     if graph.num_edges == 0:
         raise EmptyGraphError("peel_approx requires a graph with at least one edge")
-    require_positive(epsilon, "epsilon")
+    epsilon = cfg.epsilon  # already validated > 0 by ApproxConfig
 
     subproblem = STSubproblem.from_graph(graph)
-    grid = ratios if ratios is not None else geometric_ratio_grid(graph.num_nodes, epsilon)
+    grid: list[float] = (
+        list(cfg.ratios) if cfg.ratios is not None else geometric_ratio_grid(graph.num_nodes, epsilon)
+    )
 
     best_s: list[int] = []
     best_t: list[int] = []

@@ -11,9 +11,13 @@ from __future__ import annotations
 import math
 from itertools import combinations
 
+from repro.core.config import ExactConfig
 from repro.core.results import DDSResult
 from repro.exceptions import AlgorithmError
 from repro.graph.digraph import DiGraph
+
+#: Enumeration is refused above this node count (the space grows as ``4^n``).
+DEFAULT_MAX_NODES = 14
 
 
 def _non_empty_subsets(indices: list[int]) -> list[list[int]]:
@@ -23,17 +27,27 @@ def _non_empty_subsets(indices: list[int]) -> list[list[int]]:
     return subsets
 
 
-def brute_force_dds(graph: DiGraph, max_nodes: int = 14) -> DDSResult:
+def brute_force_dds(
+    graph: DiGraph,
+    config: ExactConfig | None = None,
+    *,
+    max_nodes: int | None = None,
+) -> DDSResult:
     """Exhaustively find the densest ``(S, T)`` pair.
 
     Parameters
     ----------
     graph:
         Input digraph; must have at least one edge.
+    config:
+        Normalized :class:`~repro.core.config.ExactConfig`; only its
+        ``node_limit`` is consulted (safety limit on the enumeration).
     max_nodes:
-        Safety limit — enumeration is refused above this size because the
-        search space grows as ``4^n``.
+        Legacy override of the safety limit (default
+        :data:`DEFAULT_MAX_NODES`).
     """
+    cfg = ExactConfig.resolve(config, node_limit=max_nodes)
+    max_nodes = cfg.node_limit if cfg.node_limit is not None else DEFAULT_MAX_NODES
     n = graph.num_nodes
     if n > max_nodes:
         raise AlgorithmError(

@@ -15,29 +15,49 @@ with both core-based optimisations switched on:
 
 from __future__ import annotations
 
+from repro.core.config import ExactConfig
 from repro.core.exact_dc import LEAF_RATIO_COUNT, _dc_driver
+from repro.core.network_cache import NetworkCache
 from repro.core.results import DDSResult
-from repro.flow.registry import DEFAULT_SOLVER
+from repro.flow.engine import FlowEngine
 from repro.graph.digraph import DiGraph
+
+__all__ = ["LEAF_RATIO_COUNT", "core_exact"]
 
 
 def core_exact(
     graph: DiGraph,
+    config: ExactConfig | None = None,
+    *,
     tolerance: float | None = None,
-    leaf_ratio_count: int = LEAF_RATIO_COUNT,
-    flow_solver: str = DEFAULT_SOLVER,
+    leaf_ratio_count: int | None = None,
+    flow_solver: str | None = None,
+    engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
 ) -> DDSResult:
     """Exact DDS with core-based pruning and core-restricted flow networks.
 
-    ``flow_solver`` selects the max-flow backend by registry name
-    (see :mod:`repro.flow.registry`).
+    ``config`` is the normalized :class:`~repro.core.config.ExactConfig`
+    (its ``seed_with_core`` flag is ignored here — CoreExact always seeds
+    from the core); the keyword arguments are legacy per-field overrides.
+    ``engine`` / ``network_cache`` are the session warm-start hooks.
     """
+    cfg = ExactConfig.resolve(
+        config,
+        tolerance=tolerance,
+        leaf_ratio_count=leaf_ratio_count,
+        flow_solver=flow_solver,
+    )
+    if network_cache is None:
+        network_cache = NetworkCache(cfg.flow.network_cache_size)
     return _dc_driver(
         graph,
         method="core-exact",
         use_core_restriction=True,
         seed_with_core=True,
-        tolerance=tolerance,
-        leaf_ratio_count=leaf_ratio_count,
-        flow_solver=flow_solver,
+        tolerance=cfg.tolerance,
+        leaf_ratio_count=cfg.leaf_ratio_count,
+        flow_solver=cfg.flow.solver,
+        engine=engine,
+        network_cache=network_cache,
     )

@@ -48,6 +48,7 @@ from typing import Any
 
 from repro.core.approx_peel import peel_fixed_ratio
 from repro.core.bounds import containing_core, core_based_bounds
+from repro.core.config import LEAF_RATIO_COUNT, ExactConfig
 from repro.core.density import (
     directed_density_from_indices,
     exactness_tolerance,
@@ -55,6 +56,7 @@ from repro.core.density import (
     interval_relaxation_factor,
 )
 from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.network_cache import NetworkCache
 from repro.core.ratio import (
     candidate_ratios_in_interval,
     count_candidate_ratios_in_interval,
@@ -66,8 +68,7 @@ from repro.flow.engine import FlowEngine
 from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
-#: Intervals containing at most this many distinct candidate ratios are leaves.
-LEAF_RATIO_COUNT = 2
+__all__ = ["LEAF_RATIO_COUNT", "dc_exact"]
 
 #: Soft precision (relative to the incumbent) used by interior probes; probes
 #: that turn out to beat the incumbent are automatically refined further.
@@ -79,6 +80,8 @@ class _SearchState:
     """Mutable incumbent + instrumentation shared across the recursion."""
 
     engine: FlowEngine = field(default_factory=FlowEngine)
+    network_cache: NetworkCache = field(default_factory=NetworkCache)
+    engine_snapshot: tuple[int, ...] = (0, 0, 0, 0)
     best_s: list[int] = field(default_factory=list)
     best_t: list[int] = field(default_factory=list)
     best_density: float = 0.0
@@ -118,7 +121,9 @@ class _SearchState:
             "network_nodes": self.network_nodes,
             "network_arcs": self.network_arcs,
         }
-        stats.update(self.engine.stats())
+        # Delta against the entry snapshot: the engine may be session-owned
+        # and already carry counts from earlier queries.
+        stats.update(self.engine.stats_since(self.engine_snapshot))
         return stats
 
 
@@ -184,6 +189,8 @@ def _dc_driver(
     tolerance: float | None,
     leaf_ratio_count: int,
     flow_solver: str = DEFAULT_SOLVER,
+    engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
 ) -> DDSResult:
     if graph.num_edges == 0:
         raise EmptyGraphError(f"{method} requires a graph with at least one edge")
@@ -197,7 +204,13 @@ def _dc_driver(
     # far end of the ratio range (cosh bounded by the full-interval factor).
     fine_tolerance = min(tolerance, density_gap / (2.0 * interval_relaxation_factor(1.0 / n, float(n))))
 
-    state = _SearchState(engine=FlowEngine(flow_solver))
+    engine = engine if engine is not None else FlowEngine(flow_solver)
+    network_cache = network_cache if network_cache is not None else NetworkCache()
+    state = _SearchState(
+        engine=engine,
+        network_cache=network_cache,
+        engine_snapshot=engine.snapshot(),
+    )
     global_upper = global_density_upper_bound(graph)
     if seed_with_core:
         core_upper = _seed_incumbent_with_core(graph, state)
@@ -233,6 +246,7 @@ def _dc_driver(
                 upper=max(upper_bound, state.best_density),
                 tolerance=tolerance,
                 engine=state.engine,
+                network_cache=state.network_cache,
             )
             state.absorb_outcome(outcome)
 
@@ -285,6 +299,7 @@ def _dc_driver(
             coarse_gap=coarse_gap,
             refine_above=incumbent_at_entry,
             engine=state.engine,
+            network_cache=state.network_cache,
         )
         state.absorb_outcome(outcome)
         value_upper = outcome.upper
@@ -305,6 +320,9 @@ def _dc_driver(
             # Stage 2: the coarse probe did not settle the whole interval —
             # refine the bracket until the ratio-skipping lemma's slack
             # condition has a chance to fire, then recompute the skip region.
+            # The network cache hands the refine stage the network the coarse
+            # stage just built (same sub-problem, same probe ratio), so this
+            # search retunes instead of rebuilding.
             refined = maximize_fixed_ratio(
                 subproblem,
                 probe_ratio,
@@ -312,6 +330,7 @@ def _dc_driver(
                 upper=outcome.upper,
                 tolerance=fine_tolerance,
                 engine=state.engine,
+                network_cache=state.network_cache,
             )
             state.absorb_outcome(refined)
             value_upper = min(value_upper, refined.upper)
@@ -359,25 +378,44 @@ def _dc_driver(
 
 def dc_exact(
     graph: DiGraph,
+    config: ExactConfig | None = None,
+    *,
     tolerance: float | None = None,
-    leaf_ratio_count: int = LEAF_RATIO_COUNT,
-    seed_with_core: bool = False,
-    flow_solver: str = DEFAULT_SOLVER,
+    leaf_ratio_count: int | None = None,
+    seed_with_core: bool | None = None,
+    flow_solver: str | None = None,
+    engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
 ) -> DDSResult:
     """Exact DDS via divide-and-conquer over the ratio interval (``DCExact``).
 
-    ``seed_with_core`` switches the incumbent initialisation from a cheap
-    peel to the CoreApprox core (used by the E11 ablation); the search space
-    itself is never core-restricted here — that is :func:`core_exact`'s job.
-    ``flow_solver`` selects the max-flow backend by registry name
-    (see :mod:`repro.flow.registry`).
+    ``config`` is the normalized :class:`~repro.core.config.ExactConfig`;
+    the keyword arguments are legacy-compatible per-field overrides resolved
+    through it (so invalid values fail with :class:`ConfigError` up front).
+    ``config.seed_with_core`` switches the incumbent initialisation from a
+    cheap peel to the CoreApprox core (used by the E11 ablation); the search
+    space itself is never core-restricted here — that is :func:`core_exact`'s
+    job.  ``engine`` and ``network_cache`` are the warm-start hooks a
+    :class:`~repro.session.DDSSession` uses to share flow instrumentation and
+    decision networks across queries.
     """
+    cfg = ExactConfig.resolve(
+        config,
+        tolerance=tolerance,
+        leaf_ratio_count=leaf_ratio_count,
+        seed_with_core=seed_with_core,
+        flow_solver=flow_solver,
+    )
+    if network_cache is None:
+        network_cache = NetworkCache(cfg.flow.network_cache_size)
     return _dc_driver(
         graph,
         method="dc-exact",
         use_core_restriction=False,
-        seed_with_core=seed_with_core,
-        tolerance=tolerance,
-        leaf_ratio_count=leaf_ratio_count,
-        flow_solver=flow_solver,
+        seed_with_core=cfg.seed_with_core,
+        tolerance=cfg.tolerance,
+        leaf_ratio_count=cfg.leaf_ratio_count,
+        flow_solver=cfg.flow.solver,
+        engine=engine,
+        network_cache=network_cache,
     )

@@ -13,18 +13,19 @@ highlights and that experiments E2/E6 reproduce.
 
 from __future__ import annotations
 
+from repro.core.config import ExactConfig
 from repro.core.density import (
     directed_density_from_indices,
     exactness_tolerance,
     global_density_upper_bound,
 )
 from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.network_cache import NetworkCache
 from repro.core.ratio import all_candidate_ratios
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError, EmptyGraphError
 from repro.flow.engine import FlowEngine
-from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
 #: FlowExact runs one binary search per distinct ratio; above this node count
@@ -34,9 +35,13 @@ DEFAULT_NODE_LIMIT = 300
 
 def flow_exact(
     graph: DiGraph,
-    node_limit: int = DEFAULT_NODE_LIMIT,
+    config: ExactConfig | None = None,
+    *,
+    node_limit: int | None = None,
     tolerance: float | None = None,
-    flow_solver: str = DEFAULT_SOLVER,
+    flow_solver: str | None = None,
+    engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
 ) -> DDSResult:
     """Exact DDS via exhaustive ratio enumeration (baseline ``Exact``).
 
@@ -44,29 +49,39 @@ def flow_exact(
     ----------
     graph:
         Input digraph with at least one edge.
-    node_limit:
-        Guard against accidentally running the quadratic-ratio baseline on a
-        large graph; raise :class:`AlgorithmError` above this size.
-    tolerance:
-        Binary-search stopping gap; defaults to the provably-exact
-        :func:`~repro.core.density.exactness_tolerance`.
-    flow_solver:
-        Registry name of the max-flow solver executing the min-cuts
-        (see :mod:`repro.flow.registry`).
+    config:
+        Normalized :class:`~repro.core.config.ExactConfig`; its
+        ``node_limit`` guards against accidentally running the
+        quadratic-ratio baseline on a large graph (default
+        :data:`DEFAULT_NODE_LIMIT`) and its ``tolerance`` is the
+        binary-search stopping gap (default: the provably-exact
+        :func:`~repro.core.density.exactness_tolerance`).
+    node_limit / tolerance / flow_solver:
+        Legacy per-field overrides resolved through ``config``.
+    engine / network_cache:
+        Session warm-start hooks (shared instrumentation and decision
+        networks).
     """
+    cfg = ExactConfig.resolve(
+        config, node_limit=node_limit, tolerance=tolerance, flow_solver=flow_solver
+    )
     if graph.num_edges == 0:
         raise EmptyGraphError("flow_exact requires a graph with at least one edge")
     n = graph.num_nodes
-    if n > node_limit:
+    limit = cfg.node_limit if cfg.node_limit is not None else DEFAULT_NODE_LIMIT
+    if n > limit:
         raise AlgorithmError(
-            f"flow_exact enumerates O(n^2) ratios and is limited to n <= {node_limit}; "
+            f"flow_exact enumerates O(n^2) ratios and is limited to n <= {limit}; "
             f"got n = {n}. Use dc_exact/core_exact instead."
         )
 
-    tolerance = tolerance if tolerance is not None else exactness_tolerance(graph)
+    tolerance = cfg.tolerance if cfg.tolerance is not None else exactness_tolerance(graph)
     upper = global_density_upper_bound(graph)
     subproblem = STSubproblem.from_graph(graph)
-    engine = FlowEngine(flow_solver)
+    engine = engine if engine is not None else FlowEngine(cfg.flow.solver)
+    snapshot = engine.snapshot()
+    if network_cache is None:
+        network_cache = NetworkCache(cfg.flow.network_cache_size)
 
     best_s: list[int] = []
     best_t: list[int] = []
@@ -82,6 +97,7 @@ def flow_exact(
             upper=upper,
             tolerance=tolerance,
             engine=engine,
+            network_cache=network_cache,
         )
         if outcome.flow_calls:
             fixed_ratio_searches += 1
@@ -98,7 +114,7 @@ def flow_exact(
         "fixed_ratio_searches": fixed_ratio_searches,
         "tolerance": tolerance,
     }
-    stats.update(engine.stats())
+    stats.update(engine.stats_since(snapshot))
     return DDSResult(
         s_nodes=graph.labels_of(best_s),
         t_nodes=graph.labels_of(best_t),

@@ -42,6 +42,7 @@ from typing import Callable
 
 from repro.core.density import directed_density_from_indices, surrogate_density
 from repro.core.flow_network import build_decision_network, decision_cut_is_improving
+from repro.core.network_cache import NetworkCache
 from repro.core.results import FixedRatioOutcome
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError
@@ -62,6 +63,7 @@ def maximize_fixed_ratio(
     stop_when_lower_above: float | None = None,
     network_observer: NetworkObserver | None = None,
     engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
 ) -> FixedRatioOutcome:
     """Bracket ``val(ratio)`` within ``tolerance`` (or until an early stop fires).
 
@@ -83,13 +85,20 @@ def maximize_fixed_ratio(
         stops *unless* the best surrogate seen exceeds ``refine_above`` (in
         which case it keeps refining down to ``tolerance``).
     network_observer:
-        Optional callback ``(num_nodes, num_arcs)`` invoked for every network
-        built (feeds experiment E7).  With the retune path at most one
-        network is built per search.
+        Optional callback ``(num_nodes, num_arcs)`` invoked once per search
+        for the network the search uses — freshly built *or* served by the
+        network cache (feeds experiment E7).
     engine:
         The :class:`~repro.flow.engine.FlowEngine` executing the min-cuts
         (solver choice + run-wide instrumentation).  A private Dinic engine
         is created when omitted.
+    network_cache:
+        Optional :class:`~repro.core.network_cache.NetworkCache`.  When the
+        cache holds a network for ``(subproblem, ratio)`` the search retunes
+        it instead of building one (``networks_reused`` instead of
+        ``networks_built``); a freshly built network is deposited for later
+        searches — this is how the coarse and refine stages of the DC
+        interior probe, and repeated session queries, share networks.
 
     Returns
     -------
@@ -127,6 +136,7 @@ def maximize_fixed_ratio(
     last_surrogate = 0.0
     flow_calls = 0
     networks_built = 0
+    networks_reused = 0
     network_nodes: list[int] = []
     network_arcs: list[int] = []
     decision = None
@@ -142,9 +152,18 @@ def maximize_fixed_ratio(
 
         guess = (low + high) / 2.0
         if decision is None:
-            decision = build_decision_network(subproblem, ratio, guess)
-            engine.note_network_built()
-            networks_built += 1
+            if network_cache is not None:
+                decision = network_cache.get(subproblem, ratio)
+            if decision is not None:
+                engine.note_network_reused()
+                networks_reused += 1
+                decision.retune(ratio, guess)
+            else:
+                decision = build_decision_network(subproblem, ratio, guess)
+                engine.note_network_built()
+                networks_built += 1
+                if network_cache is not None:
+                    network_cache.put(subproblem, ratio, decision)
             if network_observer is not None:
                 network_observer(decision.num_nodes, decision.num_arcs)
         else:
@@ -186,6 +205,7 @@ def maximize_fixed_ratio(
         best_density=best_density,
         flow_calls=flow_calls,
         networks_built=networks_built,
+        networks_reused=networks_reused,
         last_s=last_s,
         last_t=last_t,
         last_surrogate=last_surrogate,

@@ -9,10 +9,23 @@ experiments E6 and E7.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
 from repro.graph.digraph import NodeLabel
+
+#: Version of the JSON document produced by :meth:`DDSResult.to_dict`.
+#: Bump whenever a key is renamed or removed (additions are backwards
+#: compatible and do not require a bump).
+RESULT_SCHEMA_VERSION = 1
+
+
+def _json_label(label: NodeLabel) -> Any:
+    """Node labels pass through when JSON-native, otherwise stringify."""
+    if isinstance(label, (str, int, float, bool)) or label is None:
+        return label
+    return str(label)
 
 
 @dataclass
@@ -75,6 +88,32 @@ class DDSResult:
             "exact": self.is_exact,
         }
 
+    def to_dict(self) -> dict[str, Any]:
+        """Stable JSON-ready document describing this result.
+
+        The schema is versioned (``schema_version``) and covered by the test
+        suite; ``stats`` carries the per-algorithm instrumentation verbatim,
+        including the flow-engine counters and — for session-served queries —
+        the cache-hit markers (``result_cache_hit``, ``networks_reused``).
+        """
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "method": self.method,
+            "density": self.density,
+            "edge_count": self.edge_count,
+            "s_size": self.s_size,
+            "t_size": self.t_size,
+            "s_nodes": [_json_label(node) for node in self.s_nodes],
+            "t_nodes": [_json_label(node) for node in self.t_nodes],
+            "is_exact": self.is_exact,
+            "approximation_ratio": self.approximation_ratio,
+            "stats": self.stats,
+        }
+
+    def to_json(self, indent: int | None = None) -> str:
+        """Serialise :meth:`to_dict` (non-JSON stats values are stringified)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"DDSResult(method={self.method!r}, density={self.density:.4f}, "
@@ -92,7 +131,9 @@ class FixedRatioOutcome:
     extracted at the highest successful guess — the (near-)maximiser of the
     surrogate, which the divide-and-conquer ratio-skipping lemma needs —
     together with its surrogate value ``last_surrogate``.  ``flow_calls``,
-    ``networks_built`` (0 or 1 with the retune path) and ``network_nodes``
+    ``networks_built`` / ``networks_reused`` (one search uses exactly one
+    network: freshly built, or served by a
+    :class:`~repro.core.network_cache.NetworkCache`) and ``network_nodes``
     feed experiments E6/E7 and the flow-engine regression tests.
     """
 
@@ -104,6 +145,7 @@ class FixedRatioOutcome:
     best_density: float
     flow_calls: int
     networks_built: int = 0
+    networks_reused: int = 0
     last_s: list[int] = field(default_factory=list)
     last_t: list[int] = field(default_factory=list)
     last_surrogate: float = 0.0

@@ -7,15 +7,19 @@ find the densest pair, delete the edges it covers, and repeat until ``k``
 pairs have been found or the graph runs out of edges.  Successive pairs are
 therefore **edge-disjoint** (they may share vertices), and the first pair is
 exactly the DDS of the original graph.
+
+The loop itself lives on :meth:`repro.session.DDSSession.top_k`, where the
+first round shares the session's result cache with plain
+``densest_subgraph`` queries; this module keeps the historical one-shot
+function as a thin delegate.
 """
 
 from __future__ import annotations
 
-from repro.core.api import densest_subgraph
+import warnings
+
 from repro.core.results import DDSResult
-from repro.exceptions import AlgorithmError, EmptyGraphError
 from repro.graph.digraph import DiGraph
-from repro.utils.validation import require_positive_int
 
 
 def top_k_densest(
@@ -27,6 +31,10 @@ def top_k_densest(
 ) -> list[DDSResult]:
     """Greedily extract up to ``k`` edge-disjoint dense pairs.
 
+    One-shot form of :meth:`repro.session.DDSSession.top_k` (a throwaway
+    session is constructed per call; prefer a long-lived session when mixing
+    top-k with other queries on the same graph).
+
     Parameters
     ----------
     graph:
@@ -34,13 +42,14 @@ def top_k_densest(
     k:
         Maximum number of pairs to return.
     method:
-        Any method accepted by :func:`repro.core.api.densest_subgraph`; the
-        same method is used for every round.
+        Any registered method name (or ``"auto"``); the same method is used
+        for every round.
     min_density:
         Stop early once the best remaining density drops to this value or
         below (useful to cut off the uninteresting tail).
     **kwargs:
-        Forwarded to the underlying solver.
+        ``config=`` or legacy per-field overrides, as accepted by
+        :meth:`~repro.session.DDSSession.densest_subgraph`.
 
     Returns
     -------
@@ -49,25 +58,12 @@ def top_k_densest(
         greedy loop guarantees monotonicity because removing edges can only
         lower the remaining optimum).
     """
-    require_positive_int(k, "k")
-    if min_density < 0:
-        raise AlgorithmError(f"min_density must be >= 0, got {min_density}")
-    if graph.num_edges == 0:
-        raise EmptyGraphError("top_k_densest requires a graph with at least one edge")
+    from repro.session import DDSSession
 
-    working = graph.copy()
-    results: list[DDSResult] = []
-    for _ in range(k):
-        if working.num_edges == 0:
-            break
-        result = densest_subgraph(working, method=method, **kwargs)
-        if result.density <= min_density:
-            break
-        results.append(result)
-        # Remove exactly the edges of the reported pair so later rounds are
-        # edge-disjoint from every earlier answer.
-        s_indices = working.indices_of(result.s_nodes)
-        t_indices = working.indices_of(result.t_nodes)
-        for u, v in working.edges_between(s_indices, t_indices):
-            working.remove_edge(working.label_of(u), working.label_of(v))
-    return results
+    warnings.warn(
+        "top_k_densest() is deprecated; use repro.session.DDSSession.top_k for "
+        "cached multi-query access",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return DDSSession(graph).top_k(k, method=method, min_density=min_density, **kwargs)

@@ -32,5 +32,14 @@ class AlgorithmError(ReproError):
     """Raised when an algorithm is invoked with invalid parameters."""
 
 
+class ConfigError(AlgorithmError):
+    """Raised when a typed method configuration is invalid or mismatched.
+
+    Subclasses :class:`AlgorithmError` so that legacy callers catching
+    ``AlgorithmError`` around :func:`repro.core.api.densest_subgraph` keep
+    working after the session/config redesign.
+    """
+
+
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be materialised."""

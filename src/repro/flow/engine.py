@@ -1,18 +1,23 @@
 """The :class:`FlowEngine` — solver selection plus run-wide instrumentation.
 
-Every exact DDS run owns one engine.  The engine resolves the solver name
-through the registry once, then every min-cut in the run goes through
-:meth:`FlowEngine.min_cut`, which accumulates the three counters the
+Every exact DDS run owns (or borrows) one engine.  The engine resolves the
+solver name through the registry once, then every min-cut in the run goes
+through :meth:`FlowEngine.min_cut`, which accumulates the counters the
 experiments (and the regression tests) care about:
 
 * ``flow_calls`` — number of max-flow computations,
 * ``networks_built`` — number of decision networks constructed from scratch
-  (with the retune path this is one per fixed-ratio search, not one per
-  binary-search guess),
+  (with the retune path this is at most one per fixed-ratio search, not one
+  per binary-search guess),
+* ``networks_reused`` — number of fixed-ratio searches served a cached
+  network (see :mod:`repro.core.network_cache`) instead of building one,
 * ``arcs_pushed`` — total per-arc residual updates across all solver runs,
   a machine-independent proxy for flow work.
 
-The counters land in ``DDSResult.stats`` via :meth:`stats`.
+A :class:`~repro.session.DDSSession` keeps one engine per solver for its
+whole lifetime, so the counters are *cumulative across queries*; algorithms
+that need per-run numbers take a :meth:`snapshot` at entry and report
+:meth:`stats_since` that snapshot in ``DDSResult.stats``.
 """
 
 from __future__ import annotations
@@ -22,22 +27,37 @@ from typing import Any
 from repro.flow.network import FlowNetwork
 from repro.flow.registry import DEFAULT_SOLVER, get_solver_class
 
+#: Counter attribute names, in the order used by :meth:`FlowEngine.snapshot`.
+_COUNTERS = ("flow_calls", "networks_built", "networks_reused", "arcs_pushed")
+
 
 class FlowEngine:
     """Pluggable min-cut executor with per-run instrumentation."""
 
-    __slots__ = ("solver_name", "solver_class", "flow_calls", "networks_built", "arcs_pushed")
+    __slots__ = (
+        "solver_name",
+        "solver_class",
+        "flow_calls",
+        "networks_built",
+        "networks_reused",
+        "arcs_pushed",
+    )
 
     def __init__(self, flow_solver: str = DEFAULT_SOLVER) -> None:
         self.solver_name = flow_solver
         self.solver_class = get_solver_class(flow_solver)
         self.flow_calls = 0
         self.networks_built = 0
+        self.networks_reused = 0
         self.arcs_pushed = 0
 
     def note_network_built(self) -> None:
         """Record that a decision network was constructed from scratch."""
         self.networks_built += 1
+
+    def note_network_reused(self) -> None:
+        """Record that a fixed-ratio search reused a cached decision network."""
+        self.networks_reused += 1
 
     def min_cut(self, network: FlowNetwork, source: int, sink: int) -> tuple[float, Any]:
         """Run one max-flow/min-cut and return ``(cut_value, solver)``.
@@ -51,11 +71,17 @@ class FlowEngine:
         self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
         return value, solver
 
+    def snapshot(self) -> tuple[int, ...]:
+        """Opaque counter snapshot for later :meth:`stats_since` deltas."""
+        return tuple(getattr(self, name) for name in _COUNTERS)
+
+    def stats_since(self, snapshot: tuple[int, ...]) -> dict[str, Any]:
+        """Per-run instrumentation delta since ``snapshot`` (plus the solver name)."""
+        stats: dict[str, Any] = {"flow_solver": self.solver_name}
+        for name, start in zip(_COUNTERS, snapshot):
+            stats[name] = getattr(self, name) - start
+        return stats
+
     def stats(self) -> dict[str, Any]:
-        """Instrumentation snapshot merged into ``DDSResult.stats``."""
-        return {
-            "flow_solver": self.solver_name,
-            "flow_calls": self.flow_calls,
-            "networks_built": self.networks_built,
-            "arcs_pushed": self.arcs_pushed,
-        }
+        """Lifetime instrumentation snapshot (cumulative across queries)."""
+        return self.stats_since((0,) * len(_COUNTERS))

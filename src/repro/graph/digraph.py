@@ -19,11 +19,18 @@ simple graphs, so loops are dropped by default but can be retained).
 
 from __future__ import annotations
 
+from itertools import count
 from typing import Hashable, Iterable, Iterator, Sequence
 
 from repro.exceptions import GraphError
 
 NodeLabel = Hashable
+
+#: Process-wide monotone counter backing :attr:`DiGraph.state_token`.  Every
+#: construction and every structural mutation draws a fresh value, so a token
+#: uniquely identifies one (graph instance, structural state) pair — even
+#: after an instance is garbage collected and its ``id()`` recycled.
+_STATE_TOKENS = count(1)
 
 
 class DiGraph:
@@ -53,6 +60,7 @@ class DiGraph:
         "_num_edges",
         "_out_adj_cache",
         "_in_adj_cache",
+        "_state_token",
     )
 
     def __init__(self, allow_self_loops: bool = False) -> None:
@@ -64,6 +72,7 @@ class DiGraph:
         self._num_edges = 0
         self._out_adj_cache: list[list[int]] | None = None
         self._in_adj_cache: list[list[int]] | None = None
+        self._state_token = next(_STATE_TOKENS)
 
     # ------------------------------------------------------------------
     # construction
@@ -156,6 +165,17 @@ class DiGraph:
     def allow_self_loops(self) -> bool:
         """Whether self-loops are stored."""
         return self._allow_self_loops
+
+    @property
+    def state_token(self) -> int:
+        """Opaque token identifying this graph's current structural state.
+
+        The token changes on every node/edge addition or removal and is never
+        shared between two distinct graph instances (or two states of the same
+        instance), which makes it a safe cache key for derived structures such
+        as decision networks (:mod:`repro.core.network_cache`).
+        """
+        return self._state_token
 
     def nodes(self) -> list[NodeLabel]:
         """All node labels in insertion order."""
@@ -327,3 +347,4 @@ class DiGraph:
     def _invalidate_cache(self) -> None:
         self._out_adj_cache = None
         self._in_adj_cache = None
+        self._state_token = next(_STATE_TOKENS)

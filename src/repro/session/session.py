@@ -1,0 +1,508 @@
+"""The session-oriented public API: :class:`DDSSession`.
+
+A session binds to **one graph** and serves many queries over it, paying for
+derived state once instead of once per call:
+
+* **degree arrays** and the full :class:`~repro.core.subproblem.STSubproblem`,
+* **[x, y]-core decompositions** (:meth:`DDSSession.xy_core`,
+  :meth:`DDSSession.max_xy_core`),
+* **retunable decision networks** keyed by ``(sub-problem, ratio)`` in a
+  shared :class:`~repro.core.network_cache.NetworkCache` — PR 1's retune
+  machinery extended across *queries*, not just within one binary search,
+* **whole results**, keyed by ``(method, config)``, so a repeated query is
+  answered without recomputation, and
+* one :class:`~repro.flow.engine.FlowEngine` per solver, so flow
+  instrumentation accumulates session-wide (see :meth:`cache_stats`).
+
+Method dispatch goes through the declarative registry
+(:mod:`repro.core.method_registry`) and every query is validated against the
+method's typed config (:mod:`repro.core.config`) before any work starts.
+
+Quickstart
+----------
+>>> from repro.graph import complete_bipartite_digraph
+>>> session = DDSSession(complete_bipartite_digraph(2, 3))
+>>> round(session.densest_subgraph("core-exact").density, 4)
+2.4495
+>>> session.densest_subgraph("core-exact").stats["result_cache_hit"]
+True
+
+The legacy one-shot :func:`repro.core.api.densest_subgraph` remains available
+as a deprecation shim that constructs a throwaway session per call.
+"""
+
+from __future__ import annotations
+
+import warnings
+from collections import OrderedDict
+from dataclasses import fields as dataclass_fields
+from dataclasses import replace
+from typing import Any
+
+from repro.core.config import ExactConfig, FlowConfig, MethodConfig
+from repro.core.density import exactness_tolerance, global_density_upper_bound
+from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.method_registry import MethodSpec, RunContext, get_method_spec
+from repro.core.network_cache import NetworkCache
+from repro.core.results import DDSResult, FixedRatioOutcome
+from repro.core.subproblem import STSubproblem
+from repro.core.xycore import XYCore, max_xy_core, xy_core
+from repro.exceptions import AlgorithmError, ConfigError, EmptyGraphError, GraphError
+from repro.flow.engine import FlowEngine
+from repro.graph.digraph import DiGraph
+from repro.graph.properties import graph_summary
+from repro.utils.validation import require_positive_int
+
+#: Default capacity of the per-session whole-result LRU cache.
+DEFAULT_RESULT_CACHE_SIZE = 128
+
+
+def _copy_result(result: DDSResult) -> DDSResult:
+    """Defensive copy so callers can never corrupt a cached result.
+
+    ``stats`` values include mutable containers (``network_nodes`` /
+    ``network_arcs`` lists, the ``flow_solver_ignored`` dict), so the copy
+    goes one level deep into them.
+    """
+    stats = {
+        key: list(value) if isinstance(value, list) else dict(value) if isinstance(value, dict) else value
+        for key, value in result.stats.items()
+    }
+    return replace(
+        result,
+        s_nodes=list(result.s_nodes),
+        t_nodes=list(result.t_nodes),
+        stats=stats,
+    )
+
+
+def _copy_core(core: XYCore) -> XYCore:
+    """Defensive copy: the node lists are mutable, the cache must stay pristine."""
+    return replace(core, s_nodes=list(core.s_nodes), t_nodes=list(core.t_nodes))
+
+
+class DDSSession:
+    """Stateful densest-subgraph query session over one directed graph.
+
+    Parameters
+    ----------
+    graph:
+        The :class:`~repro.graph.digraph.DiGraph` to serve queries against.
+        The session treats it as immutable; mutating it afterwards raises
+        :class:`~repro.exceptions.GraphError` on the next query (build a new
+        session instead — its caches would be stale).
+    flow:
+        Session-wide default :class:`~repro.core.config.FlowConfig` (or a
+        bare solver name).  Per-query configs override the solver; a
+        per-query ``network_cache_size`` differing from the session's runs
+        that query on a private cache of the requested capacity (the shared
+        session cache keeps the capacity it was built with).
+    result_cache_size:
+        Capacity of the whole-result LRU cache (0 disables result caching;
+        derived-state and network caching remain active).
+    """
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        *,
+        flow: FlowConfig | str | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+    ) -> None:
+        if not isinstance(graph, DiGraph):
+            raise GraphError(f"DDSSession requires a DiGraph, got {type(graph).__name__}")
+        if isinstance(flow, str):
+            flow = FlowConfig(solver=flow)
+        self.graph = graph
+        self.flow = flow if flow is not None else FlowConfig()
+        self._graph_token = graph.state_token
+        self._network_cache = NetworkCache(self.flow.network_cache_size)
+        self._engines: dict[str, FlowEngine] = {}
+        self._results: OrderedDict[tuple[str, MethodConfig], DDSResult] = OrderedDict()
+        self._result_cache_size = max(int(result_cache_size), 0)
+        self._result_cache_hits = 0
+        self._queries = 0
+        self._subproblem: STSubproblem | None = None
+        self._out_degrees: list[int] | None = None
+        self._in_degrees: list[int] | None = None
+        self._xy_cores: dict[tuple[int, int], XYCore] = {}
+        self._max_core: XYCore | None = None
+        self._summary: dict[str, Any] | None = None
+        self._density_upper: float | None = None
+        self._exact_tolerance: float | None = None
+        self._warned_ignored_solvers: set[tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # internal plumbing
+    # ------------------------------------------------------------------
+    def _check_unmutated(self) -> None:
+        if self.graph.state_token != self._graph_token:
+            raise GraphError(
+                "the session's graph was structurally mutated after the session was "
+                "created; cached state would be stale — create a new DDSSession"
+            )
+
+    def _engine_for(self, solver: str) -> FlowEngine:
+        engine = self._engines.get(solver)
+        if engine is None:
+            engine = FlowEngine(solver)
+            self._engines[solver] = engine
+        return engine
+
+    def _resolve_method(self, method: str) -> tuple[MethodSpec, bool]:
+        """Map a method name (or ``"auto"``) to its spec."""
+        # Import here (not at module load) so tests monkeypatching
+        # ``repro.core.api.AUTO_EXACT_NODE_LIMIT`` keep working and no import
+        # cycle forms with the deprecation shim.
+        from repro.core import api
+
+        if method == "auto":
+            chosen = (
+                "core-exact"
+                if self.graph.num_nodes <= api.AUTO_EXACT_NODE_LIMIT
+                else "core-approx"
+            )
+            return get_method_spec(chosen), True
+        return get_method_spec(method), False
+
+    def _base_config(self, spec: MethodSpec) -> MethodConfig:
+        """Method defaults with the session-wide flow config folded in."""
+        if issubclass(spec.config_type, ExactConfig):
+            # Construct the method's own config type so registered methods
+            # with ExactConfig *subclasses* resolve against the right class.
+            return spec.config_type(flow=self.flow)
+        return spec.config_type()
+
+    def _prepare(
+        self, method: str, config: MethodConfig | None, kwargs: dict[str, Any]
+    ) -> tuple[MethodSpec, MethodConfig, bool, Any]:
+        """Resolve (spec, config, was_auto, ignored_flow_solver) for a query."""
+        spec, was_auto = self._resolve_method(method)
+        ignored_solver = None
+        if not spec.flow_backed and "flow_solver" in kwargs:
+            ignored_solver = kwargs.pop("flow_solver")
+        base = self._base_config(spec)
+        cfg = spec.config_type.resolve(config if config is not None else base, **kwargs)
+        # ``flow`` on a non-flow-backed method keeps the legacy ignore-and-
+        # warn behaviour.  User intent is only visible on an *explicitly
+        # passed* config: with config=None the session's own default flow is
+        # folded into ``base`` (and flow_solver= was popped above), so a
+        # non-default cfg.flow there is session policy, not a request.
+        if (
+            not spec.flow_backed
+            and ignored_solver is None
+            and config is not None
+            and hasattr(config, "flow")
+            and config.flow != spec.config_type().flow
+        ):
+            ignored_solver = config.flow.solver
+        # Any other knob the method never consults must not silently do
+        # nothing: reject it.
+        if spec.accepted_fields is not None:
+            for config_field in dataclass_fields(cfg):
+                name = config_field.name
+                if name == "flow" or name in spec.accepted_fields:
+                    continue
+                if getattr(cfg, name) != getattr(base, name):
+                    raise ConfigError(
+                        f"method {spec.name!r} does not use config field {name!r} "
+                        f"(accepted: {', '.join(sorted(spec.accepted_fields)) or 'none'})"
+                    )
+        return spec, cfg, was_auto, ignored_solver
+
+    def _execute(
+        self,
+        spec: MethodSpec,
+        cfg: MethodConfig,
+        graph: DiGraph,
+        network_cache: NetworkCache | None = None,
+    ) -> DDSResult:
+        """Run one query uncached (used for cache misses and top-k rounds).
+
+        ``network_cache`` overrides the session cache — top-k rounds on
+        peeled working copies pass a private cache so networks keyed by
+        throwaway graph states never evict the session graph's entries.
+        """
+        self._queries += 1
+        solver = cfg.flow.solver if isinstance(cfg, ExactConfig) else self.flow.solver
+        if network_cache is None:
+            network_cache = self._network_cache
+            if (
+                isinstance(cfg, ExactConfig)
+                and cfg.flow.network_cache_size != self.flow.network_cache_size
+            ):
+                # The query asked for a different cache capacity (e.g. 0 to
+                # disable caching): honour it with a private cache instead of
+                # silently using — or resizing — the shared session cache.
+                network_cache = NetworkCache(cfg.flow.network_cache_size)
+        context = RunContext(
+            engine=self._engine_for(solver),
+            network_cache=network_cache if spec.supports_warm_start else None,
+        )
+        return spec.runner(graph, cfg, context)
+
+    def _serve(self, spec: MethodSpec, cfg: MethodConfig) -> DDSResult:
+        """Answer a whole-graph query through the result cache."""
+        key = (spec.name, cfg)
+        cached = self._results.get(key)
+        if cached is not None:
+            self._results.move_to_end(key)
+            self._result_cache_hits += 1
+            self._queries += 1
+            out = _copy_result(cached)
+            out.stats["result_cache_hit"] = True
+            return out
+        result = self._execute(spec, cfg, self.graph)
+        if self._result_cache_size > 0:
+            self._results[key] = _copy_result(result)
+            while len(self._results) > self._result_cache_size:
+                self._results.popitem(last=False)
+        result.stats["result_cache_hit"] = False
+        return result
+
+    def _annotate(
+        self, result: DDSResult, spec: MethodSpec, was_auto: bool, ignored_solver: Any
+    ) -> DDSResult:
+        if was_auto:
+            result.stats["auto_selected"] = spec.name
+        if ignored_solver is not None:
+            result.stats["flow_solver_ignored"] = {
+                "flow_solver": ignored_solver,
+                "method": spec.name,
+            }
+            warn_key = (spec.name, str(ignored_solver))
+            if warn_key not in self._warned_ignored_solvers:
+                self._warned_ignored_solvers.add(warn_key)
+                warnings.warn(
+                    f"method {spec.name!r} performs no min-cuts; "
+                    f"flow_solver={ignored_solver!r} is ignored",
+                    UserWarning,
+                    stacklevel=3,
+                )
+        return result
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def densest_subgraph(
+        self, method: str = "auto", config: MethodConfig | None = None, **kwargs: Any
+    ) -> DDSResult:
+        """Find the (exact or approximate) densest ``(S, T)`` pair.
+
+        ``method`` is a registry name or ``"auto"`` (CoreExact up to
+        :data:`~repro.core.api.AUTO_EXACT_NODE_LIMIT` nodes, CoreApprox
+        beyond).  ``config`` is the method's typed config
+        (:class:`~repro.core.config.ExactConfig` /
+        :class:`~repro.core.config.ApproxConfig`); keyword arguments are
+        per-field overrides (``tolerance=``, ``epsilon=``, ``flow_solver=``
+        ...).  Repeated identical queries are served from the session's
+        result cache (``stats["result_cache_hit"]``).
+        """
+        self._check_unmutated()
+        if self.graph.num_edges == 0:
+            raise EmptyGraphError("densest_subgraph requires a graph with at least one edge")
+        spec, cfg, was_auto, ignored = self._prepare(method, config, kwargs)
+        return self._annotate(self._serve(spec, cfg), spec, was_auto, ignored)
+
+    def top_k(
+        self,
+        k: int,
+        method: str = "auto",
+        min_density: float = 0.0,
+        config: MethodConfig | None = None,
+        **kwargs: Any,
+    ) -> list[DDSResult]:
+        """Greedily extract up to ``k`` edge-disjoint dense pairs.
+
+        Round 1 is exactly :meth:`densest_subgraph` on the session graph and
+        is served through (and feeds) the session result cache; later rounds
+        run on a private working copy with the reported edges removed, so
+        successive pairs are edge-disjoint and densities are non-increasing.
+        Stops early when the best remaining density drops to ``min_density``
+        or the working copy runs out of edges.
+        """
+        self._check_unmutated()
+        require_positive_int(k, "k")
+        if min_density < 0:
+            raise AlgorithmError(f"min_density must be >= 0, got {min_density}")
+        if self.graph.num_edges == 0:
+            raise EmptyGraphError("top_k_densest requires a graph with at least one edge")
+        spec, cfg, was_auto, ignored = self._prepare(method, config, kwargs)
+
+        results: list[DDSResult] = []
+        working: DiGraph | None = None
+        for _ in range(k):
+            if working is not None and working.num_edges == 0:
+                break
+            if working is None:
+                result = self._serve(spec, cfg)
+            else:
+                # Each peeled round gets a private network cache: its graph
+                # state is throwaway, so its networks could never be reused
+                # and would only evict the session graph's cached networks.
+                # Sized from the query's own flow config, like _execute.
+                cache_size = (
+                    cfg.flow.network_cache_size
+                    if isinstance(cfg, ExactConfig)
+                    else self.flow.network_cache_size
+                )
+                result = self._execute(
+                    spec, cfg, working, network_cache=NetworkCache(cache_size)
+                )
+            if result.density <= min_density:
+                break
+            self._annotate(result, spec, was_auto, ignored)
+            results.append(result)
+            if working is None:
+                working = self.graph.copy()
+            # Remove exactly the edges of the reported pair so later rounds
+            # are edge-disjoint from every earlier answer.
+            s_indices = working.indices_of(result.s_nodes)
+            t_indices = working.indices_of(result.t_nodes)
+            for u, v in working.edges_between(s_indices, t_indices):
+                working.remove_edge(working.label_of(u), working.label_of(v))
+        return results
+
+    def fixed_ratio(
+        self,
+        ratio: float,
+        *,
+        lower: float = 0.0,
+        upper: float | None = None,
+        tolerance: float | None = None,
+        coarse_gap: float | None = None,
+        refine_above: float | None = None,
+        flow_solver: str | None = None,
+    ) -> FixedRatioOutcome:
+        """Bracket the fixed-ratio surrogate optimum ``val(ratio)``.
+
+        This is the session-cached form of
+        :func:`repro.core.fixed_ratio.maximize_fixed_ratio` on the full
+        graph: the decision network for ``ratio`` is fetched from (and
+        deposited into) the session network cache, so a coarse probe followed
+        by a refined probe at the same ratio retunes one network instead of
+        building two — the cross-query analogue of the DC driver's
+        coarse→refine probe reuse.
+        """
+        self._check_unmutated()
+        if self.graph.num_edges == 0:
+            raise EmptyGraphError("fixed_ratio requires a graph with at least one edge")
+        self._queries += 1
+        if upper is None:
+            upper = self.density_upper_bound()
+        if tolerance is None:
+            tolerance = self.exactness_tolerance()
+        engine = self._engine_for(flow_solver if flow_solver is not None else self.flow.solver)
+        return maximize_fixed_ratio(
+            self.subproblem(),
+            float(ratio),
+            lower=lower,
+            upper=upper,
+            tolerance=tolerance,
+            coarse_gap=coarse_gap,
+            refine_above=refine_above,
+            engine=engine,
+            network_cache=self._network_cache,
+        )
+
+    def xy_core(self, x: int, y: int) -> XYCore:
+        """The maximal [x, y]-core (cached per ``(x, y)``; copy returned)."""
+        self._check_unmutated()
+        key = (x, y)
+        core = self._xy_cores.get(key)
+        if core is None:
+            core = xy_core(self.graph, x, y)
+            self._xy_cores[key] = core
+        return _copy_core(core)
+
+    def max_xy_core(self) -> XYCore:
+        """The maximum-product [x, y]-core (cached; copy returned)."""
+        self._check_unmutated()
+        if self._max_core is None:
+            self._max_core = max_xy_core(self.graph)
+        return _copy_core(self._max_core)
+
+    def summary(self) -> dict[str, Any]:
+        """Structural statistics of the session graph (cached)."""
+        self._check_unmutated()
+        if self._summary is None:
+            self._summary = graph_summary(self.graph)
+        return dict(self._summary)
+
+    # ------------------------------------------------------------------
+    # cached derived state
+    # ------------------------------------------------------------------
+    def subproblem(self) -> STSubproblem:
+        """The full-graph :class:`STSubproblem` (computed once per session)."""
+        self._check_unmutated()
+        if self._subproblem is None:
+            self._subproblem = STSubproblem.from_graph(self.graph)
+        return self._subproblem
+
+    def out_degrees(self) -> list[int]:
+        """Out-degree array by internal node index (cached; copy returned)."""
+        self._check_unmutated()
+        if self._out_degrees is None:
+            self._out_degrees = self.graph.out_degrees()
+        return list(self._out_degrees)
+
+    def in_degrees(self) -> list[int]:
+        """In-degree array by internal node index (cached; copy returned)."""
+        self._check_unmutated()
+        if self._in_degrees is None:
+            self._in_degrees = self.graph.in_degrees()
+        return list(self._in_degrees)
+
+    def density_upper_bound(self) -> float:
+        """Cached :func:`~repro.core.density.global_density_upper_bound`."""
+        self._check_unmutated()
+        if self._density_upper is None:
+            self._density_upper = global_density_upper_bound(self.graph)
+        return self._density_upper
+
+    def exactness_tolerance(self) -> float:
+        """Cached :func:`~repro.core.density.exactness_tolerance`."""
+        self._check_unmutated()
+        if self._exact_tolerance is None:
+            self._exact_tolerance = exactness_tolerance(self.graph)
+        return self._exact_tolerance
+
+    # ------------------------------------------------------------------
+    # introspection / maintenance
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> dict[str, Any]:
+        """Session-wide cache and flow-engine counters.
+
+        ``networks_built`` / ``networks_reused`` / ``flow_calls`` /
+        ``arcs_pushed`` aggregate over every query served so far, which is
+        what the repeated-query regression tests pin.
+        """
+        stats: dict[str, Any] = {
+            "queries": self._queries,
+            "result_cache_hits": self._result_cache_hits,
+            "result_cache_entries": len(self._results),
+        }
+        stats.update(self._network_cache.stats())
+        for counter in ("flow_calls", "networks_built", "networks_reused", "arcs_pushed"):
+            stats[counter] = sum(getattr(engine, counter) for engine in self._engines.values())
+        stats["xy_cores_cached"] = len(self._xy_cores) + (1 if self._max_core is not None else 0)
+        return stats
+
+    def clear_cache(self) -> None:
+        """Drop every cached result, network, and derived structure."""
+        self._results.clear()
+        self._network_cache.clear()
+        self._subproblem = None
+        self._out_degrees = None
+        self._in_degrees = None
+        self._xy_cores.clear()
+        self._max_core = None
+        self._summary = None
+        self._density_upper = None
+        self._exact_tolerance = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DDSSession(n={self.graph.num_nodes}, m={self.graph.num_edges}, "
+            f"queries={self._queries}, solver={self.flow.solver!r})"
+        )

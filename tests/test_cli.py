@@ -117,3 +117,171 @@ class TestCommands:
         payload = json.loads(capsys.readouterr().out)
         assert payload["nodes"] == 4
         assert payload["edges"] == 4
+
+
+class TestQualityFlags:
+    """--tolerance / --epsilon are validated through the config dataclasses."""
+
+    def test_find_with_tolerance(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "find",
+                "--edge-list",
+                str(edge_list_file),
+                "--method",
+                "dc-exact",
+                "--tolerance",
+                "0.001",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["is_exact"] is True
+
+    def test_find_with_epsilon(self, edge_list_file, capsys):
+        exit_code = main(
+            [
+                "find",
+                "--edge-list",
+                str(edge_list_file),
+                "--method",
+                "peel-approx",
+                "--epsilon",
+                "0.25",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "peel-approx"
+
+    def test_epsilon_rejected_for_exact_method(self, edge_list_file):
+        with pytest.raises(SystemExit, match="invalid configuration"):
+            main(
+                [
+                    "find",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--method",
+                    "core-exact",
+                    "--epsilon",
+                    "0.5",
+                ]
+            )
+
+    def test_tolerance_rejected_for_approx_method(self, edge_list_file):
+        with pytest.raises(SystemExit, match="invalid configuration"):
+            main(
+                [
+                    "find",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--method",
+                    "core-approx",
+                    "--tolerance",
+                    "0.1",
+                ]
+            )
+
+    def test_negative_tolerance_rejected(self, edge_list_file):
+        with pytest.raises(SystemExit, match="invalid configuration"):
+            main(
+                [
+                    "find",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--method",
+                    "dc-exact",
+                    "--tolerance",
+                    "-0.5",
+                ]
+            )
+
+
+class TestCleanErrors:
+    def test_unknown_dataset_is_clean_error(self):
+        with pytest.raises(SystemExit, match="error: unknown dataset"):
+            main(["find", "--dataset", "nope"])
+
+    def test_node_limit_refusal_is_clean_error(self):
+        with pytest.raises(SystemExit, match="error: flow_exact enumerates"):
+            main(["find", "--dataset", "amazon-medium", "--method", "flow-exact"])
+
+
+class TestBatchCommand:
+    def _write_queries(self, tmp_path, queries):
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(queries))
+        return path
+
+    def test_batch_runs_many_queries_on_one_session(self, edge_list_file, tmp_path, capsys):
+        queries = [
+            {"query": "densest", "method": "core-exact"},
+            {"query": "densest", "method": "core-exact"},
+            {"query": "top-k", "k": 2, "method": "core-exact"},
+            {"query": "xy-core", "x": 1, "y": 1},
+            {"query": "max-core"},
+            {"query": "fixed-ratio", "ratio": 1.0},
+            {"query": "summary"},
+        ]
+        path = self._write_queries(tmp_path, queries)
+        assert main(["batch", "--edge-list", str(edge_list_file), str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["results"]) == len(queries)
+        # The repeated densest query must be a session result-cache hit.
+        assert payload["session"]["result_cache_hits"] >= 2
+        assert payload["results"][0] == payload["results"][1]
+        assert payload["results"][6]["nodes"] == 4
+
+    def test_batch_rejects_unknown_query(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "frobnicate"}])
+        with pytest.raises(SystemExit, match="unknown batch query"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_rejects_invalid_config(self, edge_list_file, tmp_path):
+        path = self._write_queries(
+            tmp_path, [{"query": "densest", "method": "core-approx", "tolerance": 0.1}]
+        )
+        with pytest.raises(SystemExit, match="invalid configuration"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_rejects_non_list_payload(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, {"query": "densest"})
+        with pytest.raises(SystemExit, match="JSON list"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_missing_file(self, edge_list_file, tmp_path):
+        with pytest.raises(SystemExit, match="cannot read batch queries"):
+            main(["batch", "--edge-list", str(edge_list_file), str(tmp_path / "missing.json")])
+
+    def test_batch_missing_required_field(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "xy-core", "x": 1}])
+        with pytest.raises(SystemExit, match="requires a 'y' field"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+        path = self._write_queries(tmp_path, [{"query": "fixed-ratio"}])
+        with pytest.raises(SystemExit, match="requires a 'ratio' field"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_unknown_method_is_clean_error(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "densest", "method": "nope"}])
+        with pytest.raises(SystemExit, match="batch query failed: unknown method"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_rejects_non_numeric_values(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "fixed-ratio", "ratio": "abc"}])
+        with pytest.raises(SystemExit, match="'ratio' must be a number"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+        path = self._write_queries(
+            tmp_path, [{"query": "fixed-ratio", "ratio": 1.0, "tolerance": "0.5"}]
+        )
+        with pytest.raises(SystemExit, match="'tolerance' must be a number"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+    def test_batch_rejects_typoed_fields(self, edge_list_file, tmp_path):
+        path = self._write_queries(
+            tmp_path, [{"query": "fixed-ratio", "ratio": 1.0, "tolernce": 0.5}]
+        )
+        with pytest.raises(SystemExit, match="unexpected fields: tolernce"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+        path = self._write_queries(tmp_path, [{"query": "summary", "x": 1}])
+        with pytest.raises(SystemExit, match="unexpected fields: x"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
