@@ -17,9 +17,12 @@ check::
 
 which fails (exit code 1) whenever the flow-call counts regress past the
 recorded bounds, a fixed-ratio search stops using exactly one network
-(``networks_built + networks_reused == fixed_ratio_searches``), or the
+(``networks_built + networks_reused == fixed_ratio_searches``), the
 divide-and-conquer methods stop *reusing* probe networks
-(``networks_built`` must stay strictly below ``fixed_ratio_searches``).
+(``networks_built`` must stay strictly below ``fixed_ratio_searches``), or
+warm starting stops paying: on every pinned workload the default
+(warm-started) run must use at least one warm start and push **strictly
+fewer arcs** than a cold run, while returning the bit-identical subgraph.
 """
 
 from __future__ import annotations
@@ -31,6 +34,7 @@ from conftest import emit
 
 from repro.bench.baselines import SEED_FLOW_CALLS
 from repro.bench.harness import format_table
+from repro.core.config import ExactConfig, FlowConfig
 from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.session import DDSSession
@@ -78,6 +82,8 @@ def test_e6_dc_core_counts(benchmark, dataset, method):
             "flow_calls": result.stats["flow_calls"],
             "networks_built": result.stats["networks_built"],
             "networks_reused": result.stats["networks_reused"],
+            "warm_starts_used": result.stats["warm_starts_used"],
+            "arcs_pushed": result.stats["arcs_pushed"],
             "intervals_pruned": result.stats["intervals_pruned"],
         }
     )
@@ -97,10 +103,12 @@ def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
     rows: list[dict] = []
+    cold_config = ExactConfig(flow=FlowConfig(warm_start=False))
     for (dataset, method), bound in SMOKE_FLOW_CALL_BOUNDS.items():
         graph = load_dataset(dataset)
         result = DDSSession(graph).densest_subgraph(method)
         stats = result.stats
+        cold = DDSSession(graph).densest_subgraph(method, config=cold_config)
         rows.append(
             {
                 "dataset": dataset,
@@ -110,6 +118,9 @@ def run_smoke() -> int:
                 "networks_built": stats["networks_built"],
                 "networks_reused": stats["networks_reused"],
                 "fixed_ratio_searches": stats["fixed_ratio_searches"],
+                "warm_starts_used": stats["warm_starts_used"],
+                "arcs_pushed": stats["arcs_pushed"],
+                "cold_arcs_pushed": cold.stats["arcs_pushed"],
             }
         )
         if stats["flow_calls"] > bound:
@@ -131,6 +142,28 @@ def run_smoke() -> int:
                 f"{dataset}/{method}: networks_built {stats['networks_built']} did not drop "
                 f"below fixed_ratio_searches {stats['fixed_ratio_searches']} "
                 "(probe-network reuse broken)"
+            )
+        # Warm starting must actually engage on the default path ...
+        if stats["warm_starts_used"] < 1:
+            failures.append(
+                f"{dataset}/{method}: warm_starts_used {stats['warm_starts_used']} < 1 "
+                "(warm-start residual reuse broken)"
+            )
+        # ... and must strictly reduce flow work versus a cold run ...
+        if stats["arcs_pushed"] >= cold.stats["arcs_pushed"]:
+            failures.append(
+                f"{dataset}/{method}: warm arcs_pushed {stats['arcs_pushed']} did not drop "
+                f"below cold arcs_pushed {cold.stats['arcs_pushed']}"
+            )
+        # ... while leaving the answer bit-identical.
+        if (
+            result.density != cold.density
+            or sorted(map(str, result.s_nodes)) != sorted(map(str, cold.s_nodes))
+            or sorted(map(str, result.t_nodes)) != sorted(map(str, cold.t_nodes))
+        ):
+            failures.append(
+                f"{dataset}/{method}: warm and cold runs disagree on the subgraph "
+                f"({result.density} vs {cold.density})"
             )
     print(format_table(rows, title="E6 smoke: flow-call regression gate"))
     for failure in failures:

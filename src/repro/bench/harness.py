@@ -33,8 +33,18 @@ class ExperimentRecord:
             "|S|": self.result.s_size,
             "|T|": self.result.t_size,
         }
-        # Flow-engine instrumentation, when the method ran min-cuts.
-        for key in ("flow_solver", "flow_calls", "networks_built", "networks_reused", "arcs_pushed"):
+        # Flow-engine instrumentation, when the method ran min-cuts (keys
+        # defined in the stats glossary of repro.flow.engine).
+        for key in (
+            "flow_solver",
+            "flow_calls",
+            "networks_built",
+            "networks_reused",
+            "arcs_pushed",
+            "warm_starts_used",
+            "cold_starts",
+            "warm_start_fallbacks",
+        ):
             if key in self.result.stats:
                 row[key] = self.result.stats[key]
         row.update(self.extra)

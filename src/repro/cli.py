@@ -57,6 +57,13 @@ def _add_method_options(parser: argparse.ArgumentParser, *, with_quality: bool) 
         choices=available_flow_solvers(),
         help="max-flow backend for the flow-backed exact methods (default: dinic)",
     )
+    parser.add_argument(
+        "--cold-start",
+        action="store_true",
+        help="disable warm-start residual reuse between binary-search guesses "
+        "(answers are identical, more flow work; a no-op for methods that "
+        "run no min-cuts)",
+    )
     if with_quality:
         parser.add_argument(
             "--tolerance",
@@ -85,6 +92,8 @@ def _method_kwargs(args: argparse.Namespace) -> dict:
         value = getattr(args, name, None)
         if value is not None:
             kwargs[name] = value
+    if getattr(args, "cold_start", False):
+        kwargs["warm_start"] = False
     return kwargs
 
 
@@ -240,6 +249,8 @@ def _run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
             "flow_calls": outcome.flow_calls,
             "networks_built": outcome.networks_built,
             "networks_reused": outcome.networks_reused,
+            "warm_starts_used": outcome.warm_starts_used,
+            "cold_starts": outcome.cold_starts,
         }
     if query == "summary":
         _reject_leftovers(spec, query)

@@ -62,17 +62,28 @@ class MethodConfig:
         if not clean:
             return config
         allowed = {f.name for f in fields(cls)}
-        solver_alias = clean.pop("flow_solver", None)
-        if solver_alias is not None:
+        for alias in ("flow_solver", "warm_start"):
+            # Per-field overrides of the nested FlowConfig: fold them into a
+            # replaced ``flow`` (flow_solver= first, so warm_start= composes).
+            # Skipped when the name is a direct field of this class (e.g.
+            # warm_start on FlowConfig itself) — plain replace() handles it.
+            if alias in allowed:
+                continue
+            value = clean.pop(alias, None)
+            if value is None:
+                continue
             if "flow" not in allowed:
                 raise ConfigError(
-                    f"{cls.__name__} does not accept flow_solver= "
+                    f"{cls.__name__} does not accept {alias}= "
                     f"(accepted: {', '.join(sorted(allowed))})"
                 )
             base_flow = clean.get("flow", getattr(config, "flow", None))
             if isinstance(base_flow, str):
                 base_flow = FlowConfig(solver=base_flow)
-            clean["flow"] = replace(base_flow, solver=solver_alias)
+            if alias == "flow_solver":
+                clean["flow"] = replace(base_flow, solver=value)
+            else:
+                clean["flow"] = replace(base_flow, warm_start=value)
         if "max_nodes" in clean:
             # Legacy alias of the brute-force safety limit.
             if "node_limit" not in allowed:
@@ -103,10 +114,20 @@ class FlowConfig(MethodConfig):
     network_cache_size:
         Capacity of the decision-network LRU cache shared across fixed-ratio
         searches (0 disables caching entirely).
+    warm_start:
+        Reuse the residual flow of the previous binary-search guess (and, via
+        the network cache, of earlier searches on the same ``(sub-problem,
+        ratio)``) as the starting point of the next min-cut instead of
+        resetting to zero flow.  Results are bit-identical either way; warm
+        starts only reduce the work per solve (``arcs_pushed``).  Solvers
+        that cannot warm start (``edmonds-karp``) fall back to cold solves
+        and record the fallback — see the stats glossary in
+        :mod:`repro.flow.engine`.
     """
 
     solver: str = DEFAULT_SOLVER
     network_cache_size: int = DEFAULT_NETWORK_CACHE_SIZE
+    warm_start: bool = True
 
     def __post_init__(self) -> None:
         # Resolve the name eagerly so an unknown solver fails at config time.
@@ -115,6 +136,8 @@ class FlowConfig(MethodConfig):
             raise ConfigError(
                 f"network_cache_size must be a non-negative int, got {self.network_cache_size!r}"
             )
+        if not isinstance(self.warm_start, bool):
+            raise ConfigError(f"warm_start must be a bool, got {self.warm_start!r}")
 
 
 @dataclass(frozen=True)

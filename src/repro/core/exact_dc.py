@@ -64,7 +64,7 @@ from repro.core.ratio import (
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError, EmptyGraphError
-from repro.flow.engine import FlowEngine
+from repro.flow.engine import FlowEngine, zero_snapshot
 from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
 
@@ -81,7 +81,7 @@ class _SearchState:
 
     engine: FlowEngine = field(default_factory=FlowEngine)
     network_cache: NetworkCache = field(default_factory=NetworkCache)
-    engine_snapshot: tuple[int, ...] = (0, 0, 0, 0)
+    engine_snapshot: tuple[int, ...] = field(default_factory=zero_snapshot)
     best_s: list[int] = field(default_factory=list)
     best_t: list[int] = field(default_factory=list)
     best_density: float = 0.0
@@ -191,6 +191,7 @@ def _dc_driver(
     flow_solver: str = DEFAULT_SOLVER,
     engine: FlowEngine | None = None,
     network_cache: NetworkCache | None = None,
+    warm_start: bool = True,
 ) -> DDSResult:
     if graph.num_edges == 0:
         raise EmptyGraphError(f"{method} requires a graph with at least one edge")
@@ -247,6 +248,7 @@ def _dc_driver(
                 tolerance=tolerance,
                 engine=state.engine,
                 network_cache=state.network_cache,
+                warm_start=warm_start,
             )
             state.absorb_outcome(outcome)
 
@@ -300,6 +302,7 @@ def _dc_driver(
             refine_above=incumbent_at_entry,
             engine=state.engine,
             network_cache=state.network_cache,
+            warm_start=warm_start,
         )
         state.absorb_outcome(outcome)
         value_upper = outcome.upper
@@ -331,6 +334,7 @@ def _dc_driver(
                 tolerance=fine_tolerance,
                 engine=state.engine,
                 network_cache=state.network_cache,
+                warm_start=warm_start,
             )
             state.absorb_outcome(refined)
             value_upper = min(value_upper, refined.upper)
@@ -397,7 +401,9 @@ def dc_exact(
     space itself is never core-restricted here — that is :func:`core_exact`'s
     job.  ``engine`` and ``network_cache`` are the warm-start hooks a
     :class:`~repro.session.DDSSession` uses to share flow instrumentation and
-    decision networks across queries.
+    decision networks across queries; ``config.flow.warm_start`` additionally
+    lets every binary-search min-cut continue from the previous guess's
+    residual flow.
     """
     cfg = ExactConfig.resolve(
         config,
@@ -418,4 +424,5 @@ def dc_exact(
         flow_solver=cfg.flow.solver,
         engine=engine,
         network_cache=network_cache,
+        warm_start=cfg.flow.warm_start,
     )

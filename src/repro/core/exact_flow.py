@@ -98,6 +98,7 @@ def flow_exact(
             tolerance=tolerance,
             engine=engine,
             network_cache=network_cache,
+            warm_start=cfg.flow.warm_start,
         )
         if outcome.flow_calls:
             fixed_ratio_searches += 1

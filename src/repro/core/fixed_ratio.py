@@ -14,10 +14,15 @@ The decision network is built **once per search** and re-parameterised in
 place (:meth:`~repro.core.flow_network.DecisionNetwork.retune`) between
 binary-search iterations: only the guess-dependent penalty-arc capacities
 change with the guess, so network construction is O(m') per search instead
-of O(flow_calls * m').  Min-cuts run through a caller-supplied
-:class:`~repro.flow.engine.FlowEngine`, which picks the solver (registry
-name) and accumulates ``flow_calls`` / ``networks_built`` / ``arcs_pushed``
-across the whole algorithm run.
+of O(flow_calls * m').  With ``warm_start`` (the default) the retune also
+*keeps the residual flow* of the previous guess — clamped to the new
+penalty capacities — so each min-cut after the first continues from a
+nearly-maximal flow instead of starting from zero; the answers are
+bit-identical, only ``arcs_pushed`` shrinks.  Min-cuts run through a
+caller-supplied :class:`~repro.flow.engine.FlowEngine`, which picks the
+solver (registry name) and accumulates ``flow_calls`` / ``networks_built``
+/ ``arcs_pushed`` / ``warm_starts_used`` across the whole algorithm run
+(see the stats glossary in :mod:`repro.flow.engine`).
 
 Two refinements keep the number of max-flow calls small:
 
@@ -64,6 +69,7 @@ def maximize_fixed_ratio(
     network_observer: NetworkObserver | None = None,
     engine: FlowEngine | None = None,
     network_cache: NetworkCache | None = None,
+    warm_start: bool = True,
 ) -> FixedRatioOutcome:
     """Bracket ``val(ratio)`` within ``tolerance`` (or until an early stop fires).
 
@@ -99,6 +105,13 @@ def maximize_fixed_ratio(
         ``networks_built``); a freshly built network is deposited for later
         searches — this is how the coarse and refine stages of the DC
         interior probe, and repeated session queries, share networks.
+    warm_start:
+        Continue each min-cut from the residual flow left by the previous
+        one (previous guess, or — for cache-served networks — the previous
+        search) instead of resetting to zero flow.  Answers are identical
+        either way; only the per-solve work changes.  Ignored, with a
+        recorded ``warm_start_fallbacks`` count, when the engine's solver
+        cannot warm start.
 
     Returns
     -------
@@ -124,6 +137,9 @@ def maximize_fixed_ratio(
 
     if engine is None:
         engine = FlowEngine()
+    use_warm = bool(warm_start) and engine.warm_capable
+    if warm_start and not engine.warm_capable:
+        engine.note_warm_fallback()
 
     graph = subproblem.graph
     low = float(lower)
@@ -137,6 +153,8 @@ def maximize_fixed_ratio(
     flow_calls = 0
     networks_built = 0
     networks_reused = 0
+    warm_starts_used = 0
+    cold_starts = 0
     network_nodes: list[int] = []
     network_arcs: list[int] = []
     decision = None
@@ -151,28 +169,38 @@ def maximize_fixed_ratio(
             break
 
         guess = (low + high) / 2.0
+        solve_warm = use_warm
         if decision is None:
             if network_cache is not None:
                 decision = network_cache.get(subproblem, ratio)
             if decision is not None:
                 engine.note_network_reused()
                 networks_reused += 1
-                decision.retune(ratio, guess)
+                # A cache-served network still carries the residual flow of
+                # its last solve; a warm retune keeps it as the start state.
+                decision.retune(ratio, guess, warm_start=use_warm)
             else:
                 decision = build_decision_network(subproblem, ratio, guess)
                 engine.note_network_built()
                 networks_built += 1
+                solve_warm = False  # a fresh network holds no flow to reuse
                 if network_cache is not None:
                     network_cache.put(subproblem, ratio, decision)
             if network_observer is not None:
                 network_observer(decision.num_nodes, decision.num_arcs)
         else:
-            decision.retune(ratio, guess)
+            decision.retune(ratio, guess, warm_start=use_warm)
         network_nodes.append(decision.num_nodes)
         network_arcs.append(decision.num_arcs)
 
-        cut_value, solver = engine.min_cut(decision.network, decision.source, decision.sink)
+        cut_value, solver = engine.min_cut(
+            decision.network, decision.source, decision.sink, warm_start=solve_warm
+        )
         flow_calls += 1
+        if solve_warm:
+            warm_starts_used += 1
+        else:
+            cold_starts += 1
 
         extracted = False
         if decision_cut_is_improving(cut_value, decision.total_capacity):
@@ -206,6 +234,8 @@ def maximize_fixed_ratio(
         flow_calls=flow_calls,
         networks_built=networks_built,
         networks_reused=networks_reused,
+        warm_starts_used=warm_starts_used,
+        cold_starts=cold_starts,
         last_s=last_s,
         last_t=last_t,
         last_surrogate=last_surrogate,

@@ -95,15 +95,29 @@ class DecisionNetwork:
         ]
         return s_selected, t_selected
 
-    def retune(self, ratio: float, guess: float) -> None:
+    def retune(self, ratio: float, guess: float, warm_start: bool = False) -> None:
         """Re-parameterise the network for a new ``(ratio, guess)`` in place.
 
-        Updates the guess-dependent penalty-arc capacities and resets the
-        residual state, leaving the topology (and hence the CSR index)
-        untouched.  A retuned network is observationally identical to one
-        freshly built by :func:`build_decision_network` with the same
-        parameters: same node layout, same arc order, bit-identical
-        capacities.
+        Updates the guess-dependent penalty-arc capacities, leaving the
+        topology (and hence the CSR index) untouched.
+
+        With ``warm_start=False`` (the historical behaviour) the residual
+        state is reset, so the next solve starts from zero flow and the
+        network is observationally identical to one freshly built by
+        :func:`build_decision_network` with the same parameters: same node
+        layout, same arc order, bit-identical capacities.
+
+        With ``warm_start=True`` the flow of the previous solve is kept as
+        the starting point of the next one: each penalty arc's flow is
+        clamped to its new capacity and any clamped excess is pushed back to
+        the source (:meth:`~repro.flow.network.FlowNetwork.return_excess`),
+        leaving a *valid feasible flow* under the new capacities.  When the
+        guess moves up the bracket the penalty capacities only grow, so the
+        previous flow is untouched and the solver merely tops it up; when
+        the guess moves down, the clamp-and-return pass shrinks the flow
+        just enough to stay feasible.  Either way the subsequent max-flow is
+        exact — warm starting changes the amount of *work*, never the
+        answer.
         """
         if ratio <= 0:
             raise AlgorithmError(f"ratio must be > 0, got {ratio}")
@@ -113,11 +127,26 @@ class DecisionNetwork:
         s_penalty = guess / root
         t_penalty = guess * root
         network = self.network
-        for arc_index in self.s_penalty_arcs:
-            network.set_capacity(arc_index, s_penalty)
-        for arc_index in self.t_penalty_arcs:
-            network.set_capacity(arc_index, t_penalty)
-        network.reset_flow()
+        if not warm_start:
+            for arc_index in self.s_penalty_arcs:
+                network.set_capacity(arc_index, s_penalty)
+            for arc_index in self.t_penalty_arcs:
+                network.set_capacity(arc_index, t_penalty)
+            network.reset_flow()
+            return
+        s_offset = 2
+        t_offset = 2 + len(self.s_nodes)
+        excess: list[tuple[int, float]] = []
+        for position, arc_index in enumerate(self.s_penalty_arcs):
+            overflow = network.set_capacity_preserving_flow(arc_index, s_penalty)
+            if overflow > 0.0:
+                excess.append((s_offset + position, overflow))
+        for position, arc_index in enumerate(self.t_penalty_arcs):
+            overflow = network.set_capacity_preserving_flow(arc_index, t_penalty)
+            if overflow > 0.0:
+                excess.append((t_offset + position, overflow))
+        if excess:
+            network.return_excess(excess, self.source)
 
 
 def build_decision_network(

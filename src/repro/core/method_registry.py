@@ -13,7 +13,8 @@ algorithm registers a :class:`MethodSpec` carrying
   hence honours ``FlowConfig.solver``), and whether it supports warm starts
   (accepts a shared :class:`~repro.flow.engine.FlowEngine` and
   :class:`~repro.core.network_cache.NetworkCache` — the hooks
-  :class:`~repro.session.DDSSession` uses to reuse state across queries).
+  :class:`~repro.session.DDSSession` uses to reuse state, including
+  *residual flows*, across queries; see :class:`MethodSpec`).
 
 Third-party algorithms plug in without touching the session or the CLI::
 
@@ -83,7 +84,14 @@ class MethodSpec:
         an explicitly requested solver).
     supports_warm_start:
         Whether the runner consumes ``context.engine`` /
-        ``context.network_cache`` to share state across queries.
+        ``context.network_cache`` to share state across queries.  This flag
+        is load-bearing: the session only hands its shared
+        :class:`~repro.core.network_cache.NetworkCache` — whose entries now
+        carry *residual flow state* between retunes — to methods that
+        declare it, and it normalises ``FlowConfig.warm_start`` to ``False``
+        in the resolved config of methods that don't (so warm and cold
+        variants of such a query share one result-cache entry, and a runner
+        that ignores the hooks is never believed to warm start).
     description:
         One-line human-readable summary (shown by ``dds-repro`` help texts).
     accepted_fields:

@@ -12,12 +12,42 @@ extends the same idea *across* searches: networks are cached by
   rounds, coarse→refine probe sequences, re-tolerated exact runs) reuse
   networks built by earlier queries instead of rebuilding them.
 
+Cached networks are stored **with the residual flow of their last solve**:
+entries are retuned, never reset, on the way out, so a warm-start retune
+(:meth:`DecisionNetwork.retune(..., warm_start=True)
+<repro.core.flow_network.DecisionNetwork.retune>`) can hand the next search
+the previous search's feasible flow as its starting point.  This is how
+``FlowConfig.warm_start`` reaches across queries: within one search the
+network carries flow from guess to guess, and via this cache it carries it
+from search to search.
+
 Correctness rests on two facts: a retuned network is observationally
-identical to a freshly built one (regression-pinned by
-``tests/test_core_retune.py``), and the cache key embeds
-:attr:`~repro.graph.digraph.DiGraph.state_token`, which changes on every
-structural graph mutation — so a cached network can never be served for a
-graph state it was not built from.
+identical to a freshly built one — warm-started or not, pinned by
+``tests/test_core_retune.py`` and ``tests/test_warm_start.py`` — and the
+cache key embeds :attr:`~repro.graph.digraph.DiGraph.state_token`, which
+changes on every structural graph mutation, so a cached network can never
+be served for a graph state it was not built from.
+
+Stats-key glossary
+------------------
+This module is the **canonical definition** of the cache-level counters
+reported by :meth:`NetworkCache.stats` (and surfaced through
+:meth:`DDSSession.cache_stats() <repro.session.DDSSession.cache_stats>`);
+the flow-engine counters — ``flow_calls``, ``networks_built``,
+``networks_reused``, ``arcs_pushed``, ``warm_starts_used``,
+``cold_starts``, ``warm_start_fallbacks`` — are defined once in
+:mod:`repro.flow.engine`.
+
+``network_cache_entries``
+    Number of decision networks currently held (bounded by ``max_entries``).
+``network_cache_hits``
+    Lookups that returned a cached network (each corresponds to a
+    ``networks_reused`` tick on the engine that ran the search).
+``network_cache_misses``
+    Lookups that found nothing — the search then builds a network
+    (``networks_built``) and deposits it.
+``network_cache_evictions``
+    Entries dropped because the LRU cache was full.
 """
 
 from __future__ import annotations
@@ -61,7 +91,9 @@ class NetworkCache:
         A hit marks the entry most-recently-used.  The returned network still
         carries the residual state of its last solve; callers must
         :meth:`~repro.core.flow_network.DecisionNetwork.retune` before use
-        (the fixed-ratio search loop always does).
+        (the fixed-ratio search loop always does) — with ``warm_start=True``
+        the retune turns that leftover state into the next solve's head
+        start instead of discarding it.
         """
         if self.max_entries == 0:
             return None

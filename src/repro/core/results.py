@@ -134,7 +134,10 @@ class FixedRatioOutcome:
     ``networks_built`` / ``networks_reused`` (one search uses exactly one
     network: freshly built, or served by a
     :class:`~repro.core.network_cache.NetworkCache`) and ``network_nodes``
-    feed experiments E6/E7 and the flow-engine regression tests.
+    feed experiments E6/E7 and the flow-engine regression tests;
+    ``warm_starts_used`` / ``cold_starts`` split ``flow_calls`` by whether
+    the solver continued from the previous guess's residual flow (see the
+    stats glossary in :mod:`repro.flow.engine`).
     """
 
     ratio: float
@@ -146,6 +149,8 @@ class FixedRatioOutcome:
     flow_calls: int
     networks_built: int = 0
     networks_reused: int = 0
+    warm_starts_used: int = 0
+    cold_starts: int = 0
     last_s: list[int] = field(default_factory=list)
     last_t: list[int] = field(default_factory=list)
     last_surrogate: float = 0.0

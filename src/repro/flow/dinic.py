@@ -32,11 +32,25 @@ class DinicSolver:
     :meth:`FlowNetwork.reset_flow` to reuse the network for another run.
     ``arcs_pushed`` counts every per-arc residual update (instrumentation
     surfaced by the :class:`~repro.flow.engine.FlowEngine`).
+
+    With ``warm_start=True`` the solver treats the network's residual state
+    as a valid feasible flow to continue from (rather than assuming zero
+    flow): the pre-existing flow value is read off the source's residual
+    arcs and the usual augmenting loop tops it up to a maximum flow.  Since
+    Dinic only ever augments along residual paths, no other change is
+    needed — a warm run returns the same max-flow value and the same
+    canonical min cut as a cold one, after pushing only the missing flow.
     """
 
     name = "dinic"
 
-    def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
+    #: Advertises to :class:`~repro.flow.engine.FlowEngine` that this solver
+    #: can continue from a nonzero feasible flow.
+    supports_warm_start = True
+
+    def __init__(
+        self, network: FlowNetwork, source: int, sink: int, warm_start: bool = False
+    ) -> None:
         if source == sink:
             raise FlowError("source and sink must differ")
         network._check_node(source)
@@ -44,6 +58,7 @@ class DinicSolver:
         self.network = network
         self.source = source
         self.sink = sink
+        self.warm_start = warm_start
         self.arcs_pushed = 0
         self._levels: list[int] = []
 
@@ -54,7 +69,9 @@ class DinicSolver:
         caps_arr = self.network.arc_capacities
         caps = caps_arr.tolist()
 
-        total = 0.0
+        # A warm start credits the value of the flow already routed through
+        # the network; the augmenting loop below then only tops it up.
+        total = self.network.flow_value(self.source) if self.warm_start else 0.0
         while self._build_levels(heads, targets, caps):
             iters = [0] * self.network.num_nodes
             while True:

@@ -18,9 +18,22 @@ from repro.flow.network import EPSILON, FlowNetwork
 
 
 class EdmondsKarpSolver:
-    """Stateful Edmonds–Karp solver bound to one :class:`FlowNetwork`."""
+    """Stateful Edmonds–Karp solver bound to one :class:`FlowNetwork`.
+
+    The solver deliberately does **not** support warm starts
+    (``supports_warm_start = False``): its value accounting assumes it
+    pushed every unit of flow itself, and teaching the reference
+    implementation to start from a nonzero flow would compromise its role
+    as the simplest possible cross-check.  When a warm start is requested
+    through the :class:`~repro.flow.engine.FlowEngine`, the engine resets
+    the network and runs this solver cold, recording the fallback in its
+    ``cold_starts`` / ``warm_start_fallbacks`` counters.
+    """
 
     name = "edmonds-karp"
+
+    #: See the class docstring — warm starts fall back to cold runs.
+    supports_warm_start = False
 
     def __init__(self, network: FlowNetwork, source: int, sink: int) -> None:
         if source == sink:

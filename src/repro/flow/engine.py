@@ -3,16 +3,42 @@
 Every exact DDS run owns (or borrows) one engine.  The engine resolves the
 solver name through the registry once, then every min-cut in the run goes
 through :meth:`FlowEngine.min_cut`, which accumulates the counters the
-experiments (and the regression tests) care about:
+experiments (and the regression tests) care about.
 
-* ``flow_calls`` — number of max-flow computations,
-* ``networks_built`` — number of decision networks constructed from scratch
-  (with the retune path this is at most one per fixed-ratio search, not one
-  per binary-search guess),
-* ``networks_reused`` — number of fixed-ratio searches served a cached
-  network (see :mod:`repro.core.network_cache`) instead of building one,
-* ``arcs_pushed`` — total per-arc residual updates across all solver runs,
-  a machine-independent proxy for flow work.
+Stats-key glossary
+------------------
+This module is the **canonical definition** of the flow-engine counters.
+They appear, as deltas or lifetime totals, in ``DDSResult.stats``,
+:meth:`DDSSession.cache_stats() <repro.session.DDSSession.cache_stats>`,
+and the benchmark tables; the cache-level ``network_cache_*`` keys are
+defined in :mod:`repro.core.network_cache`.
+
+``flow_calls``
+    Number of max-flow/min-cut computations executed.  Always equals
+    ``warm_starts_used + cold_starts``.
+``networks_built``
+    Number of decision networks constructed from scratch (with the retune
+    path this is at most one per fixed-ratio search, not one per
+    binary-search guess).
+``networks_reused``
+    Number of fixed-ratio searches served a cached network (see
+    :mod:`repro.core.network_cache`) instead of building one.
+``arcs_pushed``
+    Total per-arc residual updates across all solver runs — a
+    machine-independent proxy for flow work, and the quantity the E6 smoke
+    gate pins when asserting that warm starts do strictly less work.
+``warm_starts_used``
+    Min-cut computations that continued from the feasible flow left by the
+    previous solve (``warm_start=True`` through a warm-capable solver)
+    instead of starting from zero flow.
+``cold_starts``
+    Min-cut computations that started from zero flow — either because warm
+    starting was disabled, because the network was freshly built, or
+    because the solver fell back (see ``warm_start_fallbacks``).
+``warm_start_fallbacks``
+    Times a warm start was requested but the solver does not support it
+    (e.g. ``edmonds-karp``); the run proceeded cold and the engine recorded
+    why in ``warm_start_fallback_reason``.
 
 A :class:`~repro.session.DDSSession` keeps one engine per solver for its
 whole lifetime, so the counters are *cumulative across queries*; algorithms
@@ -28,28 +54,38 @@ from repro.flow.network import FlowNetwork
 from repro.flow.registry import DEFAULT_SOLVER, get_solver_class
 
 #: Counter attribute names, in the order used by :meth:`FlowEngine.snapshot`.
-_COUNTERS = ("flow_calls", "networks_built", "networks_reused", "arcs_pushed")
+_COUNTERS = (
+    "flow_calls",
+    "networks_built",
+    "networks_reused",
+    "arcs_pushed",
+    "warm_starts_used",
+    "cold_starts",
+    "warm_start_fallbacks",
+)
+
+
+def zero_snapshot() -> tuple[int, ...]:
+    """The snapshot of a freshly constructed engine (all counters zero)."""
+    return (0,) * len(_COUNTERS)
 
 
 class FlowEngine:
     """Pluggable min-cut executor with per-run instrumentation."""
 
-    __slots__ = (
-        "solver_name",
-        "solver_class",
-        "flow_calls",
-        "networks_built",
-        "networks_reused",
-        "arcs_pushed",
-    )
+    __slots__ = ("solver_name", "solver_class", "warm_start_fallback_reason") + _COUNTERS
 
     def __init__(self, flow_solver: str = DEFAULT_SOLVER) -> None:
         self.solver_name = flow_solver
         self.solver_class = get_solver_class(flow_solver)
-        self.flow_calls = 0
-        self.networks_built = 0
-        self.networks_reused = 0
-        self.arcs_pushed = 0
+        self.warm_start_fallback_reason: str | None = None
+        for name in _COUNTERS:
+            setattr(self, name, 0)
+
+    @property
+    def warm_capable(self) -> bool:
+        """Whether the configured solver can continue from a nonzero flow."""
+        return bool(getattr(self.solver_class, "supports_warm_start", False))
 
     def note_network_built(self) -> None:
         """Record that a decision network was constructed from scratch."""
@@ -59,13 +95,37 @@ class FlowEngine:
         """Record that a fixed-ratio search reused a cached decision network."""
         self.networks_reused += 1
 
-    def min_cut(self, network: FlowNetwork, source: int, sink: int) -> tuple[float, Any]:
+    def note_warm_fallback(self) -> None:
+        """Record that a requested warm start fell back to cold solves (and why)."""
+        self.warm_start_fallbacks += 1
+        self.warm_start_fallback_reason = (
+            f"solver {self.solver_name!r} does not support warm starts"
+        )
+
+    def min_cut(
+        self, network: FlowNetwork, source: int, sink: int, warm_start: bool = False
+    ) -> tuple[float, Any]:
         """Run one max-flow/min-cut and return ``(cut_value, solver)``.
 
-        The returned solver instance exposes ``min_cut_source_side()`` for
-        cut extraction; the engine's counters are already updated.
+        With ``warm_start=True`` the network's residual state must be a
+        valid feasible flow (e.g. left by a warm
+        :meth:`~repro.core.flow_network.DecisionNetwork.retune`) and the
+        solver continues from it; if the solver cannot (see the glossary's
+        ``warm_start_fallbacks``), the engine resets the network and solves
+        cold — same answer, more work.  The returned solver instance exposes
+        ``min_cut_source_side()`` for cut extraction; the engine's counters
+        are already updated.
         """
-        solver = self.solver_class(network, source, sink)
+        if warm_start and not self.warm_capable:
+            self.note_warm_fallback()
+            network.reset_flow()
+            warm_start = False
+        if warm_start:
+            solver = self.solver_class(network, source, sink, warm_start=True)
+            self.warm_starts_used += 1
+        else:
+            solver = self.solver_class(network, source, sink)
+            self.cold_starts += 1
         value = solver.max_flow()
         self.flow_calls += 1
         self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
@@ -80,8 +140,10 @@ class FlowEngine:
         stats: dict[str, Any] = {"flow_solver": self.solver_name}
         for name, start in zip(_COUNTERS, snapshot):
             stats[name] = getattr(self, name) - start
+        if stats.get("warm_start_fallbacks", 0) > 0 and self.warm_start_fallback_reason:
+            stats["warm_start_fallback_reason"] = self.warm_start_fallback_reason
         return stats
 
     def stats(self) -> dict[str, Any]:
         """Lifetime instrumentation snapshot (cumulative across queries)."""
-        return self.stats_since((0,) * len(_COUNTERS))
+        return self.stats_since(zero_snapshot())

@@ -129,6 +129,103 @@ class FlowNetwork:
         self._cap[arc_index] = capacity
         self._cap[arc_index + 1] = 0.0
 
+    def set_capacity_preserving_flow(self, arc_index: int, capacity: float) -> float:
+        """Replace the capacity of forward arc ``arc_index``, keeping its flow.
+
+        This is the warm-start counterpart of :meth:`set_capacity`: the flow
+        currently routed on the arc survives the capacity change.  When the
+        new capacity is below the current flow, the flow is clamped down to
+        the new capacity and the clamped amount is returned — flow
+        conservation at the arc's tail is then broken by exactly that excess,
+        and the caller must repair it (see :meth:`return_excess`).  Returns
+        0.0 when the existing flow already fits under the new capacity.
+        """
+        if arc_index % 2 != 0:
+            raise FlowError(
+                "set_capacity_preserving_flow expects the index returned by add_edge (even)"
+            )
+        if capacity < 0:
+            raise FlowError(f"capacity must be >= 0, got {capacity}")
+        capacity = float(capacity)
+        flow = self._cap[arc_index + 1]
+        self._base[arc_index] = capacity
+        if flow <= capacity:
+            self._cap[arc_index] = capacity - flow
+            return 0.0
+        self._cap[arc_index] = 0.0
+        self._cap[arc_index + 1] = capacity
+        return flow - capacity
+
+    def return_excess(self, excess: list[tuple[int, float]], source: int) -> float:
+        """Restore flow conservation by pushing node excesses back to ``source``.
+
+        ``excess`` lists ``(node, amount)`` pairs of inflow surpluses (as
+        produced by clamping in :meth:`set_capacity_preserving_flow`).  Each
+        surplus is cancelled against arcs that currently carry flow *into*
+        the node, walking backwards along flow-carrying paths until the
+        excess is absorbed at the source — turning a clamped preflow back
+        into a valid flow whose value is lower by the returned total.
+
+        The walk terminates because it strictly cancels path flow; it assumes
+        the current flow is acyclic (always true on DAG networks such as the
+        DDS decision networks, and for any flow produced by augmenting-path
+        solvers).  Even sub-``EPSILON`` excesses are walked back while
+        matching inflow exists — cached networks are retuned indefinitely
+        across a session's lifetime, so tiny imbalances must not be allowed
+        to accumulate.  Raises :class:`FlowError` if an excess beyond float
+        noise cannot be returned, which indicates the residual state was not
+        a clamped valid flow.
+        """
+        self._check_node(source)
+        heads, targets = self.solver_views()
+        cap = self._cap
+        returned = 0.0
+        stack = [(node, amount) for node, amount in excess if amount > 0.0]
+        while stack:
+            node, amount = stack.pop()
+            if node == source:
+                returned += amount
+                continue
+            self._check_node(node)
+            remaining = amount
+            for arc_index in heads[node]:
+                if remaining <= 0.0:
+                    break
+                # Odd arcs are residual twins: positive capacity there means
+                # flow on the forward arc ``arc_index ^ 1`` *into* this node.
+                if arc_index & 1 and cap[arc_index] > 0.0:
+                    delta = min(remaining, cap[arc_index])
+                    cap[arc_index] -= delta
+                    cap[arc_index ^ 1] += delta
+                    stack.append((targets[arc_index], delta))
+                    remaining -= delta
+            if remaining > EPSILON:
+                raise FlowError(
+                    f"cannot return {remaining!r} units of excess from node {node}: "
+                    "no flow-carrying incoming arcs (residual state is not a clamped flow)"
+                )
+        return returned
+
+    def flow_value(self, source: int) -> float:
+        """Net flow currently leaving ``source`` (the value of a valid flow).
+
+        Computed from the residual state alone: forward arcs out of the
+        source contribute the flow pushed onto their residual twins, forward
+        arcs *into* the source subtract theirs.  Only meaningful when the
+        residual state encodes a conservative flow (e.g. after a completed
+        solve or a warm-start :meth:`~repro.core.flow_network.DecisionNetwork.retune`).
+        """
+        self._check_node(source)
+        heads, _ = self.solver_views()
+        cap = self._cap
+        total = 0.0
+        for arc_index in heads[source]:
+            if arc_index & 1:
+                total -= cap[arc_index]
+            else:
+                total += cap[arc_index ^ 1]
+        return total
+
     # ------------------------------------------------------------------
     # solver-facing accessors (flat arrays for speed)
     # ------------------------------------------------------------------

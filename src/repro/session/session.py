@@ -130,7 +130,7 @@ class DDSSession:
         self._summary: dict[str, Any] | None = None
         self._density_upper: float | None = None
         self._exact_tolerance: float | None = None
-        self._warned_ignored_solvers: set[tuple[str, str]] = set()
+        self._warned_ignored_solvers: set[tuple[str, str, bool]] = set()
 
     # ------------------------------------------------------------------
     # internal plumbing
@@ -176,26 +176,60 @@ class DDSSession:
     def _prepare(
         self, method: str, config: MethodConfig | None, kwargs: dict[str, Any]
     ) -> tuple[MethodSpec, MethodConfig, bool, Any]:
-        """Resolve (spec, config, was_auto, ignored_flow_solver) for a query."""
+        """Resolve (spec, config, was_auto, ignored) for a query.
+
+        ``ignored`` is ``None``, or an ``(ignored_flow_solver,
+        requested_warm_start)`` pair when a solver was requested on a method
+        that runs no min-cuts.
+        """
         spec, was_auto = self._resolve_method(method)
         ignored_solver = None
-        if not spec.flow_backed and "flow_solver" in kwargs:
-            ignored_solver = kwargs.pop("flow_solver")
+        requested_warm: bool | None = None
+        if not spec.flow_backed:
+            if "flow_solver" in kwargs:
+                ignored_solver = kwargs.pop("flow_solver")
+            if "warm_start" in kwargs:
+                # A warm/cold request is vacuously satisfied by a method that
+                # runs no min-cuts (zero warm starts either way), so it is
+                # dropped rather than rejected — this keeps e.g. the CLI's
+                # --cold-start usable with --method auto on any graph size.
+                requested_warm = bool(kwargs.pop("warm_start"))
         base = self._base_config(spec)
         cfg = spec.config_type.resolve(config if config is not None else base, **kwargs)
         # ``flow`` on a non-flow-backed method keeps the legacy ignore-and-
         # warn behaviour.  User intent is only visible on an *explicitly
         # passed* config: with config=None the session's own default flow is
         # folded into ``base`` (and flow_solver= was popped above), so a
-        # non-default cfg.flow there is session policy, not a request.
+        # non-default cfg.flow there is session policy, not a request.  Only
+        # the *solver name* counts as a request — config-only flow changes
+        # (``network_cache_size``, ``warm_start``) select no backend, so
+        # they must neither warn nor be treated as an ignored solver.
         if (
             not spec.flow_backed
             and ignored_solver is None
             and config is not None
             and hasattr(config, "flow")
-            and config.flow != spec.config_type().flow
+            and config.flow.solver != spec.config_type().flow.solver
         ):
             ignored_solver = config.flow.solver
+        if requested_warm is None:
+            # The warm_start the caller actually asked for (explicit config,
+            # else session policy) — captured *before* the normalisation
+            # below so the ignored-solver dedup key can distinguish it.
+            requested_warm = bool(
+                getattr(getattr(config, "flow", None), "warm_start", self.flow.warm_start)
+            )
+        # ``supports_warm_start`` is load-bearing: a method that does not
+        # take the session's warm-start hooks can never reuse residual flow,
+        # so its config is normalised to ``warm_start=False`` — warm and
+        # cold queries then share one result-cache entry instead of
+        # pretending to differ.
+        if (
+            not spec.supports_warm_start
+            and isinstance(getattr(cfg, "flow", None), FlowConfig)
+            and cfg.flow.warm_start
+        ):
+            cfg = replace(cfg, flow=replace(cfg.flow, warm_start=False))
         # Any other knob the method never consults must not silently do
         # nothing: reject it.
         if spec.accepted_fields is not None:
@@ -208,7 +242,8 @@ class DDSSession:
                         f"method {spec.name!r} does not use config field {name!r} "
                         f"(accepted: {', '.join(sorted(spec.accepted_fields)) or 'none'})"
                     )
-        return spec, cfg, was_auto, ignored_solver
+        ignored = None if ignored_solver is None else (ignored_solver, requested_warm)
+        return spec, cfg, was_auto, ignored
 
     def _execute(
         self,
@@ -261,16 +296,21 @@ class DDSSession:
         return result
 
     def _annotate(
-        self, result: DDSResult, spec: MethodSpec, was_auto: bool, ignored_solver: Any
+        self, result: DDSResult, spec: MethodSpec, was_auto: bool, ignored: Any
     ) -> DDSResult:
         if was_auto:
             result.stats["auto_selected"] = spec.name
-        if ignored_solver is not None:
+        if ignored is not None:
+            ignored_solver, requested_warm = ignored
             result.stats["flow_solver_ignored"] = {
                 "flow_solver": ignored_solver,
                 "method": spec.name,
             }
-            warn_key = (spec.name, str(ignored_solver))
+            # Deduped on (method, flow_solver, warm_start) — the warm flag is
+            # the *requested* one (captured before normalisation), so repeats
+            # of the same explicit request stay silent while config-only
+            # changes never reach this branch at all (see _prepare).
+            warn_key = (spec.name, str(ignored_solver), bool(requested_warm))
             if warn_key not in self._warned_ignored_solvers:
                 self._warned_ignored_solvers.add(warn_key)
                 warnings.warn(
@@ -373,6 +413,7 @@ class DDSSession:
         coarse_gap: float | None = None,
         refine_above: float | None = None,
         flow_solver: str | None = None,
+        warm_start: bool | None = None,
     ) -> FixedRatioOutcome:
         """Bracket the fixed-ratio surrogate optimum ``val(ratio)``.
 
@@ -382,7 +423,10 @@ class DDSSession:
         deposited into) the session network cache, so a coarse probe followed
         by a refined probe at the same ratio retunes one network instead of
         building two — the cross-query analogue of the DC driver's
-        coarse→refine probe reuse.
+        coarse→refine probe reuse.  Cached networks keep the residual flow
+        of their last solve, so with ``warm_start`` (default: the session's
+        ``FlowConfig.warm_start``) a repeated probe at the same ratio also
+        *continues that flow* instead of re-pushing it.
         """
         self._check_unmutated()
         if self.graph.num_edges == 0:
@@ -403,6 +447,7 @@ class DDSSession:
             refine_above=refine_above,
             engine=engine,
             network_cache=self._network_cache,
+            warm_start=self.flow.warm_start if warm_start is None else bool(warm_start),
         )
 
     def xy_core(self, x: int, y: int) -> XYCore:
@@ -474,8 +519,11 @@ class DDSSession:
         """Session-wide cache and flow-engine counters.
 
         ``networks_built`` / ``networks_reused`` / ``flow_calls`` /
-        ``arcs_pushed`` aggregate over every query served so far, which is
-        what the repeated-query regression tests pin.
+        ``arcs_pushed`` / ``warm_starts_used`` / ``cold_starts`` aggregate
+        over every query served so far, which is what the repeated-query
+        regression tests pin; the keys are defined once in the stats
+        glossaries of :mod:`repro.flow.engine` and
+        :mod:`repro.core.network_cache`.
         """
         stats: dict[str, Any] = {
             "queries": self._queries,
@@ -483,7 +531,15 @@ class DDSSession:
             "result_cache_entries": len(self._results),
         }
         stats.update(self._network_cache.stats())
-        for counter in ("flow_calls", "networks_built", "networks_reused", "arcs_pushed"):
+        for counter in (
+            "flow_calls",
+            "networks_built",
+            "networks_reused",
+            "arcs_pushed",
+            "warm_starts_used",
+            "cold_starts",
+            "warm_start_fallbacks",
+        ):
             stats[counter] = sum(getattr(engine, counter) for engine in self._engines.values())
         stats["xy_cores_cached"] = len(self._xy_cores) + (1 if self._max_core is not None else 0)
         return stats

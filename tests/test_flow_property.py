@@ -6,6 +6,12 @@ min-cut certificate each solver extracts must certify the value: the total
 original capacity crossing from the source side to the sink side equals the
 flow (max-flow = min-cut).  Three independent implementations agreeing on
 ~50 seeded random instances is a strong correctness signal for all of them.
+
+The warm/cold equivalence class extends the same idea to warm starts: on
+random *decision* networks (the DAGs the DDS reduction produces), a chain of
+warm-start retunes and solves must reproduce, guess for guess, the cut
+values and extracted pairs of cold rebuild-and-solve runs — for every
+registered solver, including the ones that silently fall back to cold.
 """
 
 from __future__ import annotations
@@ -123,3 +129,47 @@ class TestCrossSolverAgreement:
             assert value == pytest.approx(reference, abs=1e-6), (
                 f"{name} disagrees with {SOLVER_NAMES[0]} on seed {seed}"
             )
+
+
+class TestWarmColdEquivalence:
+    """Warm-start chains match cold runs on random decision networks."""
+
+    @pytest.mark.parametrize("solver_name", SOLVER_NAMES)
+    @pytest.mark.parametrize("seed", range(12))
+    def test_warm_chain_matches_cold_chain(self, solver_name, seed):
+        from repro.core.flow_network import build_decision_network
+        from repro.core.subproblem import STSubproblem
+        from repro.flow.engine import FlowEngine
+        from repro.graph.generators import gnm_random_digraph
+
+        rng = random.Random(1000 + seed)
+        graph = gnm_random_digraph(rng.randint(6, 12), rng.randint(15, 45), seed=seed)
+        subproblem = STSubproblem.from_graph(graph)
+        schedule = [
+            (rng.choice([0.5, 1.0, 2.0, 3.0]), rng.uniform(0.0, 4.0)) for _ in range(8)
+        ]
+
+        warm = build_decision_network(subproblem, *schedule[0])
+        engine = FlowEngine(solver_name)
+        first = True
+        for ratio, guess in schedule:
+            warm.retune(ratio, guess, warm_start=not first and engine.warm_capable)
+            cut_warm, solver_warm = engine.min_cut(
+                warm.network, warm.source, warm.sink, warm_start=not first
+            )
+            cold = build_decision_network(subproblem, ratio, guess)
+            cut_cold, solver_cold = FlowEngine(solver_name).min_cut(
+                cold.network, cold.source, cold.sink
+            )
+            assert cut_warm == pytest.approx(cut_cold, abs=1e-7), (solver_name, seed, ratio, guess)
+            assert warm.extract_pair(solver_warm.min_cut_source_side()) == cold.extract_pair(
+                solver_cold.min_cut_source_side()
+            ), (solver_name, seed, ratio, guess)
+            first = False
+        # Warm-capable solvers actually warm started; the reference solver
+        # fell back cold (and said so) without disturbing the answers.
+        if engine.warm_capable:
+            assert engine.warm_starts_used == len(schedule) - 1
+        else:
+            assert engine.warm_starts_used == 0
+            assert engine.warm_start_fallbacks == len(schedule) - 1

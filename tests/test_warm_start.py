@@ -1,0 +1,390 @@
+"""Warm-start residual reuse: equivalence, fallback, and instrumentation.
+
+The warm-start path (:meth:`DecisionNetwork.retune(..., warm_start=True)
+<repro.core.flow_network.DecisionNetwork.retune>` feeding solvers constructed
+with ``warm_start=True``) must change the amount of flow *work*, never the
+answer: for every registered solver, every exact method, and random graphs,
+``warm_start=True`` and ``warm_start=False`` produce identical densities,
+identical vertex sets, and matching min-cut values.  Solvers that cannot
+warm start (``edmonds-karp``) must fall back to cold solves without error
+and record why.  On the pinned fixture workloads, warm-started searches must
+push strictly fewer arcs than cold ones — the whole point of the feature.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import ApproxConfig, ExactConfig, FlowConfig
+from repro.core.exact_core import core_exact
+from repro.core.exact_dc import dc_exact
+from repro.core.exact_flow import flow_exact
+from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.flow_network import build_decision_network
+from repro.core.subproblem import STSubproblem
+from repro.datasets.registry import load_dataset
+from repro.exceptions import ConfigError, FlowError
+from repro.flow.engine import FlowEngine
+from repro.flow.network import FlowNetwork
+from repro.flow.registry import available_flow_solvers, get_solver_class
+from repro.graph.generators import complete_bipartite_digraph, gnm_random_digraph
+from repro.session import DDSSession
+
+SOLVER_NAMES = available_flow_solvers()
+WARM_CAPABLE = [n for n in SOLVER_NAMES if getattr(get_solver_class(n), "supports_warm_start", False)]
+
+
+def _config(solver: str, warm: bool) -> ExactConfig:
+    return ExactConfig(flow=FlowConfig(solver=solver, warm_start=warm))
+
+
+# ----------------------------------------------------------------------
+# FlowNetwork primitives
+# ----------------------------------------------------------------------
+class TestFlowNetworkPrimitives:
+    def _solved_path_network(self) -> FlowNetwork:
+        """0 -> 1 -> 2 with capacities 3/2, solved to its max flow of 2."""
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 3.0)
+        network.add_edge(1, 2, 2.0)
+        engine = FlowEngine("dinic")
+        value, _ = engine.min_cut(network, 0, 2)
+        assert value == 2.0
+        return network
+
+    def test_preserving_update_keeps_fitting_flow(self):
+        network = self._solved_path_network()
+        overflow = network.set_capacity_preserving_flow(2, 5.0)  # arc 1 -> 2
+        assert overflow == 0.0
+        assert network.arc_flow(2) == 2.0
+        assert network.flow_value(0) == 2.0
+
+    def test_preserving_update_clamps_and_reports_overflow(self):
+        network = self._solved_path_network()
+        overflow = network.set_capacity_preserving_flow(2, 0.5)
+        assert overflow == pytest.approx(1.5)
+        assert network.arc_flow(2) == 0.5
+        # Conservation at node 1 is broken by exactly the overflow ...
+        network.return_excess([(1, overflow)], source=0)
+        # ... and returning it restores a valid flow of the clamped value.
+        assert network.flow_value(0) == pytest.approx(0.5)
+        assert network.arc_flow(0) == pytest.approx(0.5)
+
+    def test_return_excess_walks_back_sub_epsilon_overflow(self):
+        """Tiny clamp overflows must be repaired, not silently stranded.
+
+        Cached decision networks are retuned indefinitely across a session's
+        lifetime, so per-retune imbalances below EPSILON would otherwise
+        accumulate into flow-value drift.
+        """
+        network = self._solved_path_network()
+        tiny = 1e-12
+        overflow = network.set_capacity_preserving_flow(2, 2.0 - tiny)
+        assert 0.0 < overflow < 1e-9
+        network.return_excess([(1, overflow)], source=0)
+        # Conservation is exactly restored: source outflow == arc 1->2 flow.
+        assert network.flow_value(0) == pytest.approx(network.arc_flow(2), abs=1e-15)
+
+    def test_return_excess_rejects_impossible_excess(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 3.0)
+        network.add_edge(1, 2, 2.0)
+        # No flow anywhere: there is nothing to cancel, so returning fails.
+        with pytest.raises(FlowError):
+            network.return_excess([(1, 1.0)], source=0)
+
+    def test_preserving_update_validates_like_set_capacity(self):
+        network = self._solved_path_network()
+        with pytest.raises(FlowError):
+            network.set_capacity_preserving_flow(1, 1.0)  # odd index
+        with pytest.raises(FlowError):
+            network.set_capacity_preserving_flow(0, -1.0)
+
+
+# ----------------------------------------------------------------------
+# Solver-level equivalence on decision networks
+# ----------------------------------------------------------------------
+class TestWarmRetuneEqualsCold:
+    @pytest.mark.parametrize("solver", WARM_CAPABLE)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sweep_matches_cold_restart(self, solver, seed):
+        """Warm retunes across a (ratio, guess) sweep match cold rebuild+solve."""
+        graph = gnm_random_digraph(11, 45, seed=seed)
+        subproblem = STSubproblem.from_graph(graph)
+        pairs = [(r, g) for r in (0.5, 1.0, 2.0) for g in (0.0, 0.9, 2.4, 1.1)]
+
+        warm = build_decision_network(subproblem, *pairs[0])
+        cold = build_decision_network(subproblem, *pairs[0])
+        engine_warm = FlowEngine(solver)
+        engine_cold = FlowEngine(solver)
+        first = True
+        for ratio, guess in pairs:
+            warm.retune(ratio, guess, warm_start=not first)
+            cold.retune(ratio, guess)
+            cut_warm, solver_warm = engine_warm.min_cut(
+                warm.network, warm.source, warm.sink, warm_start=not first
+            )
+            cut_cold, solver_cold = engine_cold.min_cut(cold.network, cold.source, cold.sink)
+            assert cut_warm == pytest.approx(cut_cold, abs=1e-7)
+            assert warm.extract_pair(solver_warm.min_cut_source_side()) == cold.extract_pair(
+                solver_cold.min_cut_source_side()
+            )
+            first = False
+        # All but the first solve were warm.
+        assert engine_warm.warm_starts_used == len(pairs) - 1
+        assert engine_warm.cold_starts == 1
+        assert engine_cold.warm_starts_used == 0
+
+    def test_guess_increase_keeps_flow_feasible(self):
+        """Raising the guess only raises penalty capacities: flow survives intact."""
+        graph = complete_bipartite_digraph(3, 3)
+        subproblem = STSubproblem.from_graph(graph)
+        decision = build_decision_network(subproblem, 1.0, 0.5)
+        engine = FlowEngine("dinic")
+        engine.min_cut(decision.network, decision.source, decision.sink)
+        value_before = decision.network.flow_value(decision.source)
+        decision.retune(1.0, 2.0, warm_start=True)
+        # No clamping happened, so the previous flow is still fully routed.
+        assert decision.network.flow_value(decision.source) == value_before
+
+    def test_guess_decrease_clamps_to_feasible_flow(self):
+        graph = complete_bipartite_digraph(3, 3)
+        subproblem = STSubproblem.from_graph(graph)
+        decision = build_decision_network(subproblem, 1.0, 3.0)
+        engine = FlowEngine("dinic")
+        engine.min_cut(decision.network, decision.source, decision.sink)
+        decision.retune(1.0, 0.25, warm_start=True)
+        network = decision.network
+        # The warm state is a valid flow under the *new* capacities: every
+        # penalty arc's flow fits its shrunken capacity.
+        for arc_index in decision.s_penalty_arcs + decision.t_penalty_arcs:
+            assert network.arc_flow(arc_index) <= network._original_capacity(arc_index) + 1e-12
+        assert network.flow_value(decision.source) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# Method-level equivalence (the acceptance-criterion property)
+# ----------------------------------------------------------------------
+class TestWarmColdMethodEquivalence:
+    @pytest.mark.parametrize("solver", SOLVER_NAMES)
+    @pytest.mark.parametrize("seed", [1, 5, 9])
+    def test_dc_exact_identical_answers(self, solver, seed):
+        graph = gnm_random_digraph(10, 35, seed=seed)
+        warm = dc_exact(graph, _config(solver, True))
+        cold = dc_exact(graph, _config(solver, False))
+        assert warm.density == cold.density
+        assert sorted(warm.s_nodes) == sorted(cold.s_nodes)
+        assert sorted(warm.t_nodes) == sorted(cold.t_nodes)
+        assert warm.stats["flow_calls"] == cold.stats["flow_calls"]
+        assert cold.stats["warm_starts_used"] == 0
+
+    @pytest.mark.parametrize("solver", SOLVER_NAMES)
+    def test_core_exact_identical_answers(self, solver):
+        graph = gnm_random_digraph(12, 50, seed=2)
+        warm = core_exact(graph, _config(solver, True))
+        cold = core_exact(graph, _config(solver, False))
+        assert warm.density == cold.density
+        assert sorted(warm.s_nodes) == sorted(cold.s_nodes)
+        assert sorted(warm.t_nodes) == sorted(cold.t_nodes)
+
+    def test_flow_exact_identical_answers(self):
+        graph = gnm_random_digraph(8, 22, seed=4)
+        warm = flow_exact(graph, _config("dinic", True))
+        cold = flow_exact(graph, _config("dinic", False))
+        assert warm.density == cold.density
+        assert sorted(warm.s_nodes) == sorted(cold.s_nodes)
+        assert sorted(warm.t_nodes) == sorted(cold.t_nodes)
+
+    def test_fixed_ratio_outcome_counts_warm_and_cold(self):
+        graph = gnm_random_digraph(10, 40, seed=6)
+        subproblem = STSubproblem.from_graph(graph)
+        outcome = maximize_fixed_ratio(
+            subproblem, 1.0, lower=0.0, upper=10.0, tolerance=1e-3, warm_start=True
+        )
+        assert outcome.flow_calls == outcome.warm_starts_used + outcome.cold_starts
+        # The first solve (freshly built network) is necessarily cold.
+        assert outcome.cold_starts >= 1
+        assert outcome.warm_starts_used >= 1
+        cold = maximize_fixed_ratio(
+            subproblem, 1.0, lower=0.0, upper=10.0, tolerance=1e-3, warm_start=False
+        )
+        assert cold.warm_starts_used == 0
+        assert (cold.lower, cold.upper, sorted(cold.best_s), sorted(cold.best_t)) == (
+            outcome.lower,
+            outcome.upper,
+            sorted(outcome.best_s),
+            sorted(outcome.best_t),
+        )
+
+    def test_warm_pushes_strictly_fewer_arcs(self):
+        graph = load_dataset("foodweb-tiny")
+        warm = dc_exact(graph, _config("dinic", True))
+        cold = dc_exact(graph, _config("dinic", False))
+        assert warm.stats["arcs_pushed"] < cold.stats["arcs_pushed"]
+        assert warm.stats["warm_starts_used"] >= 1
+        assert warm.stats["warm_starts_used"] + warm.stats["cold_starts"] == warm.stats["flow_calls"]
+
+
+# ----------------------------------------------------------------------
+# Fallback behaviour for solvers without warm-start support
+# ----------------------------------------------------------------------
+class TestEdmondsKarpFallback:
+    def test_falls_back_cold_and_records_why(self):
+        graph = gnm_random_digraph(9, 30, seed=3)
+        result = dc_exact(graph, _config("edmonds-karp", True))
+        stats = result.stats
+        assert stats["warm_starts_used"] == 0
+        assert stats["cold_starts"] == stats["flow_calls"]
+        assert stats["warm_start_fallbacks"] >= 1
+        assert "does not support warm starts" in stats["warm_start_fallback_reason"]
+        # And the answer still matches an explicitly cold run bit for bit.
+        cold = dc_exact(graph, _config("edmonds-karp", False))
+        assert result.density == cold.density
+        assert sorted(result.s_nodes) == sorted(cold.s_nodes)
+        assert "warm_start_fallback_reason" not in cold.stats
+
+    def test_engine_min_cut_defensive_fallback(self):
+        """min_cut(warm_start=True) on a warm-incapable solver resets and runs cold."""
+        graph = complete_bipartite_digraph(2, 3)
+        subproblem = STSubproblem.from_graph(graph)
+        decision = build_decision_network(subproblem, 1.0, 1.0)
+        reference_engine = FlowEngine("dinic")
+        reference, _ = reference_engine.min_cut(decision.network, decision.source, decision.sink)
+
+        decision.retune(1.0, 1.0, warm_start=True)  # leave residual state behind
+        engine = FlowEngine("edmonds-karp")
+        value, _ = engine.min_cut(
+            decision.network, decision.source, decision.sink, warm_start=True
+        )
+        assert value == pytest.approx(reference, abs=1e-9)
+        assert engine.warm_starts_used == 0
+        assert engine.cold_starts == 1
+        assert engine.warm_start_fallbacks == 1
+        assert engine.stats()["warm_start_fallback_reason"]
+
+    def test_warm_capable_flags(self):
+        assert FlowEngine("dinic").warm_capable
+        assert FlowEngine("push-relabel").warm_capable
+        assert not FlowEngine("edmonds-karp").warm_capable
+
+
+# ----------------------------------------------------------------------
+# Config plumbing
+# ----------------------------------------------------------------------
+class TestWarmStartConfig:
+    def test_flow_config_validates_warm_start(self):
+        with pytest.raises(ConfigError):
+            FlowConfig(warm_start="yes")
+        assert FlowConfig().warm_start is True
+        assert FlowConfig(warm_start=False).warm_start is False
+
+    def test_flow_config_resolve_direct_field(self):
+        """On FlowConfig itself warm_start is a plain field, not an alias."""
+        cfg = FlowConfig.resolve(None, warm_start=False)
+        assert cfg.warm_start is False
+        assert cfg.solver == "dinic"
+
+    def test_exact_config_resolve_warm_start_alias(self):
+        cfg = ExactConfig.resolve(None, warm_start=False)
+        assert cfg.flow.warm_start is False
+        assert cfg.flow.solver == "dinic"
+        # Composes with the flow_solver alias on one call.
+        cfg = ExactConfig.resolve(None, flow_solver="push-relabel", warm_start=False)
+        assert cfg.flow.solver == "push-relabel"
+        assert cfg.flow.warm_start is False
+
+    def test_approx_config_rejects_warm_start(self):
+        with pytest.raises(ConfigError):
+            ApproxConfig.resolve(None, warm_start=False)
+
+    def test_session_drops_warm_start_for_non_flow_methods(self):
+        """A cold-start request is vacuously satisfied by min-cut-free methods.
+
+        This keeps e.g. ``dds-repro find --cold-start`` working with
+        ``--method auto`` regardless of which side of the exact/approx size
+        threshold the graph lands on.
+        """
+        session = DDSSession(complete_bipartite_digraph(2, 3))
+        result = session.densest_subgraph("peel-approx", warm_start=False)
+        assert result.method == "peel-approx"
+        assert "flow_solver_ignored" not in result.stats
+        assert session.cache_stats()["warm_starts_used"] == 0
+
+
+# ----------------------------------------------------------------------
+# Session integration
+# ----------------------------------------------------------------------
+class TestSessionWarmStarts:
+    def test_cache_stats_reports_warm_counters(self):
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        session.densest_subgraph("core-exact")
+        stats = session.cache_stats()
+        assert stats["warm_starts_used"] >= 1
+        assert stats["warm_starts_used"] + stats["cold_starts"] == stats["flow_calls"]
+        assert stats["warm_start_fallbacks"] == 0
+
+    def test_repeated_fixed_ratio_probe_warm_starts_from_cache(self):
+        """The second probe at a ratio reuses the cached network *and* its flow."""
+        session = DDSSession(gnm_random_digraph(10, 40, seed=8))
+        first = session.fixed_ratio(1.0, tolerance=1e-2)
+        assert first.networks_built == 1
+        second = session.fixed_ratio(1.0, tolerance=1e-3)
+        assert second.networks_built == 0
+        assert second.networks_reused == 1
+        # Every solve of the second probe continued from cached residual flow.
+        assert second.cold_starts == 0
+        assert second.warm_starts_used == second.flow_calls
+
+    def test_session_cold_configuration(self):
+        session = DDSSession(load_dataset("foodweb-tiny"), flow=FlowConfig(warm_start=False))
+        session.densest_subgraph("core-exact")
+        stats = session.cache_stats()
+        assert stats["warm_starts_used"] == 0
+        assert stats["cold_starts"] == stats["flow_calls"]
+
+    def test_warm_and_cold_queries_are_distinct_cache_entries(self):
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        warm = session.densest_subgraph("core-exact")
+        cold = session.densest_subgraph("core-exact", warm_start=False)
+        assert cold.stats["result_cache_hit"] is False
+        assert warm.density == cold.density
+        assert sorted(warm.s_nodes) == sorted(cold.s_nodes)
+
+    def test_unsupported_methods_normalise_warm_start_away(self):
+        """supports_warm_start=False methods fold warm/cold into one cache key."""
+        session = DDSSession(complete_bipartite_digraph(2, 3))
+        first = session.densest_subgraph("brute-force")
+        assert first.stats["result_cache_hit"] is False
+        # An explicitly warm config is normalised to the same (cold) entry.
+        repeat = session.densest_subgraph(
+            "brute-force", config=ExactConfig(flow=FlowConfig(warm_start=True))
+        )
+        assert repeat.stats["result_cache_hit"] is True
+
+    def test_config_only_flow_change_does_not_warn_solver_ignored(self):
+        """Flipping warm_start (default solver) is not a solver request."""
+        import warnings as warnings_module
+
+        session = DDSSession(complete_bipartite_digraph(2, 3))
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", UserWarning)
+            result = session.densest_subgraph(
+                "brute-force", config=ExactConfig(flow=FlowConfig(warm_start=False))
+            )
+        assert "flow_solver_ignored" not in result.stats
+
+    def test_explicit_solver_on_non_flow_method_still_warns_once(self):
+        session = DDSSession(complete_bipartite_digraph(2, 3))
+        config = ExactConfig(flow=FlowConfig(solver="push-relabel"))
+        with pytest.warns(UserWarning, match="flow_solver='push-relabel' is ignored"):
+            result = session.densest_subgraph("brute-force", config=config)
+        assert result.stats["flow_solver_ignored"] == {
+            "flow_solver": "push-relabel",
+            "method": "brute-force",
+        }
+        # Same (method, flow_solver, warm_start) key: no second warning.
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error", UserWarning)
+            session.densest_subgraph("brute-force", config=config)

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Dependency-free link checker for the repo's Markdown documentation.
+
+Used by the CI docs job.  Walks ``README.md`` and every ``docs/*.md`` file,
+extracts Markdown link targets, and fails (exit code 1) when
+
+* a *relative* link points at a file that does not exist, or
+* a ``repro.*`` dotted reference in backticked inline code names a module
+  that cannot be found under ``src/``.
+
+External (``http(s)://``) links are not fetched — CI must not depend on the
+network — but their syntax is still validated.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+MODULE_PATTERN = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+
+
+def _doc_files() -> list[Path]:
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def _check_links(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):  # intra-document anchor; headings move freely
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+    return errors
+
+
+def _check_module_references(path: Path) -> list[str]:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for match in MODULE_PATTERN.finditer(text):
+        dotted = match.group(1)
+        parts = dotted.split(".")
+        # Accept any prefix of the dotted path that is a real module; the
+        # tail may be a class / function / attribute.
+        found = False
+        for depth in range(len(parts), 0, -1):
+            candidate = REPO_ROOT / "src" / Path(*parts[:depth])
+            if candidate.with_suffix(".py").exists() or (candidate / "__init__.py").exists():
+                found = True
+                break
+        if not found:
+            errors.append(f"{path.relative_to(REPO_ROOT)}: unknown module reference `{dotted}`")
+    return errors
+
+
+def main() -> int:
+    """Check every documentation file; print problems and return an exit code."""
+    errors: list[str] = []
+    files = _doc_files()
+    if len(files) < 2:
+        errors.append("expected README.md plus at least one docs/*.md file")
+    for path in files:
+        errors.extend(_check_links(path))
+        errors.extend(_check_module_references(path))
+    for error in errors:
+        print(f"FAIL: {error}")
+    if not errors:
+        print(f"OK: {len(files)} documentation files, all links and module references resolve")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
