@@ -23,6 +23,12 @@ divide-and-conquer methods stop *reusing* probe networks
 warm starting stops paying: on every pinned workload the default
 (warm-started) run must use at least one warm start and push **strictly
 fewer arcs** than a cold run, while returning the bit-identical subgraph.
+
+The smoke additionally gates the service tier's batch planner: on the mixed
+E6-style workload (:func:`repro.bench.workloads.service_mixed_workload`) the
+planned execution order must record **strictly more** result + network
+cache hits than ``--no-plan`` file order, while both orders return
+bit-identical per-query answers.
 """
 
 from __future__ import annotations
@@ -34,9 +40,11 @@ from conftest import emit
 
 from repro.bench.baselines import SEED_FLOW_CALLS
 from repro.bench.harness import format_table
+from repro.bench.workloads import service_mixed_workload
 from repro.core.config import ExactConfig, FlowConfig
 from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.service import BatchExecutor, payload_answer, plan_batch
 from repro.session import DDSSession
 
 _rows: list[dict] = []
@@ -97,6 +105,60 @@ def test_e6_emit_table(benchmark):
     for row in _rows:
         if row["method"] != "flow-exact":
             assert row["ratios_examined"] < row["candidate_ratios"]
+
+
+#: Decision-network cache capacity of the planner smoke sessions — smaller
+#: than the workload's distinct-ratio count, so file-order repeats are
+#: evicted before they recur while planned (grouped) repeats still hit.
+PLANNER_SMOKE_CACHE_SIZE = 8
+
+#: Dataset the planner smoke replays the mixed workload against.
+PLANNER_SMOKE_DATASET = "social-tiny"
+
+
+def run_planner_smoke(failures: list[str]) -> dict:
+    """Batch-planner gate: planned order must beat file order on cache hits.
+
+    Runs :func:`service_mixed_workload` twice through the service tier —
+    planned and in file order — on fresh session pools with a deliberately
+    small network cache, then asserts (1) bit-identical per-query answers
+    and (2) strictly more realised result + network cache hits under the
+    plan.  Appends failure strings to ``failures`` and returns a table row.
+    """
+    queries = service_mixed_workload()
+    executor = BatchExecutor(
+        lambda key: load_dataset(key),
+        flow=FlowConfig(network_cache_size=PLANNER_SMOKE_CACHE_SIZE),
+    )
+    reports = {}
+    for planned in (True, False):
+        plan = plan_batch(queries, default_graph_key=PLANNER_SMOKE_DATASET, planned=planned)
+        reports[planned] = executor.execute(plan)
+    planned_hits = reports[True].realized_cache_hits()
+    file_hits = reports[False].realized_cache_hits()
+    planned_total = sum(planned_hits.values())
+    file_total = sum(file_hits.values())
+    planned_answers = [payload_answer(p) for p in reports[True].results_in_input_order()]
+    file_answers = [payload_answer(p) for p in reports[False].results_in_input_order()]
+    if planned_answers != file_answers:
+        failures.append(
+            "batch planner: planned and file-order runs disagree on per-query answers"
+        )
+    if planned_total <= file_total:
+        failures.append(
+            f"batch planner: planned order recorded {planned_total} cache hits, "
+            f"not strictly more than file order's {file_total} "
+            "(cache-aware reordering broken)"
+        )
+    return {
+        "dataset": PLANNER_SMOKE_DATASET,
+        "method": "batch-planner",
+        "queries": len(queries),
+        "planned_result_hits": planned_hits["result_cache_hits"],
+        "planned_network_hits": planned_hits["network_cache_hits"],
+        "file_result_hits": file_hits["result_cache_hits"],
+        "file_network_hits": file_hits["network_cache_hits"],
+    }
 
 
 def run_smoke() -> int:
@@ -166,6 +228,8 @@ def run_smoke() -> int:
                 f"({result.density} vs {cold.density})"
             )
     print(format_table(rows, title="E6 smoke: flow-call regression gate"))
+    planner_row = run_planner_smoke(failures)
+    print(format_table([planner_row], title="E6 smoke: batch-planner cache-hit gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

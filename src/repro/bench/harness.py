@@ -44,6 +44,7 @@ class ExperimentRecord:
             "warm_starts_used",
             "cold_starts",
             "warm_start_fallbacks",
+            "height_reuses",
         ):
             if key in self.result.stats:
                 row[key] = self.result.stats[key]

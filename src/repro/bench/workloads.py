@@ -20,6 +20,28 @@ def approx_method_matrix() -> list[str]:
     return ["peel-approx", "inc-approx", "core-approx"]
 
 
+def service_mixed_workload(num_ratios: int = 12, repeats: int = 2) -> list[dict]:
+    """E6-style mixed batch used by the batch-planner smoke gate and tests.
+
+    ``repeats`` passes of (approx seeding, an exact run, ``num_ratios``
+    fixed-ratio probes, a top-k) — the shape of a service tier replaying
+    overlapping analyst sessions.  In *file order* the second pass repeats
+    each probe only after ``num_ratios`` other ratios have gone through the
+    decision-network cache, so with a cache smaller than ``num_ratios``
+    every repeat has been evicted and misses; the planner groups identical
+    probes adjacently (reuse distance 0), turning the same repeats into
+    hits.  That eviction-versus-grouping gap is what the smoke gate pins.
+    """
+    queries: list[dict] = []
+    for _ in range(repeats):
+        queries.append({"query": "densest", "method": "core-approx"})
+        queries.append({"query": "densest", "method": "core-exact"})
+        for step in range(num_ratios):
+            queries.append({"query": "fixed-ratio", "ratio": round(0.5 + 0.25 * step, 4)})
+        queries.append({"query": "top-k", "k": 2, "method": "core-exact"})
+    return queries
+
+
 def edge_fraction_subgraph(graph: DiGraph, fraction: float, seed: RngLike = 0) -> DiGraph:
     """Random edge-induced subgraph keeping ``fraction`` of the edges.
 

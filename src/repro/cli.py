@@ -3,14 +3,21 @@
 Every sub-command that touches a graph builds one
 :class:`~repro.session.DDSSession` and serves the request through it, so a
 single invocation shares derived state (degree arrays, cores, decision
-networks) across whatever it computes.
+networks) across whatever it computes.  ``batch`` goes further and drives
+the service tier (:mod:`repro.service`): queries are reordered by the
+cache-aware planner and executed on a pool of per-graph sessions, with an
+optional persistent store carrying warm state across invocations.
 
 Sub-commands
 ------------
 ``find``      run a DDS algorithm on an edge-list file or a named dataset
 ``top-k``     greedy edge-disjoint top-k dense pairs
 ``core``      compute an [x, y]-core or the maximum-product core
-``batch``     run a JSON list of queries against ONE shared session
+``batch``     plan + execute a JSON list of queries (``--no-plan`` for file
+              order, ``--explain`` for the plan report, ``--store`` for
+              persistent warm state)
+``warm``      precompute a graph's warm state into a persistent store
+``store``     inspect, verify, or clear a persistent store
 ``datasets``  list the registered synthetic datasets
 ``summary``   print structural statistics of a graph
 """
@@ -23,20 +30,26 @@ import sys
 from typing import Any, Sequence
 
 from repro.core.method_registry import available_methods
-from repro.core.results import DDSResult
 from repro.datasets.registry import dataset_specs, load_dataset
 from repro.exceptions import ConfigError, ReproError
 from repro.flow.registry import available_flow_solvers
+from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
+from repro.service import BatchExecutor, SessionStore, plan_batch
+from repro.service.queries import core_payload, find_payload, topk_payload
 from repro.session import DDSSession
 
 
-def _load_session(args: argparse.Namespace) -> DDSSession:
+def _load_graph(args: argparse.Namespace) -> DiGraph:
     if args.dataset is not None:
-        return DDSSession(load_dataset(args.dataset))
+        return load_dataset(args.dataset)
     if args.edge_list is not None:
-        return DDSSession(read_edge_list(args.edge_list))
+        return read_edge_list(args.edge_list)
     raise SystemExit("either --dataset or --edge-list is required")
+
+
+def _load_session(args: argparse.Namespace) -> DDSSession:
+    return DDSSession(_load_graph(args))
 
 
 def _add_graph_source(parser: argparse.ArgumentParser) -> None:
@@ -97,66 +110,17 @@ def _method_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
-def _find_payload(result: DDSResult, show_nodes: bool) -> dict[str, Any]:
-    payload = {
-        "method": result.method,
-        "density": result.density,
-        "edge_count": result.edge_count,
-        "s_size": result.s_size,
-        "t_size": result.t_size,
-        "is_exact": result.is_exact,
-    }
-    if "flow_solver" in result.stats:
-        payload["flow_solver"] = result.stats["flow_solver"]
-    if show_nodes:
-        payload["s_nodes"] = [str(node) for node in result.s_nodes]
-        payload["t_nodes"] = [str(node) for node in result.t_nodes]
-    return payload
-
-
 def _cmd_find(args: argparse.Namespace) -> int:
     session = _load_session(args)
     result = session.densest_subgraph(args.method, **_method_kwargs(args))
-    print(json.dumps(_find_payload(result, args.show_nodes), indent=2))
+    print(json.dumps(find_payload(result, args.show_nodes), indent=2))
     return 0
-
-
-def _core_payload(session: DDSSession, x: int | None, y: int | None, show_nodes: bool) -> dict:
-    if x is not None and y is not None:
-        core = session.xy_core(x, y)
-    else:
-        core = session.max_xy_core()
-    payload = {
-        "x": core.x,
-        "y": core.y,
-        "s_size": len(core.s_nodes),
-        "t_size": len(core.t_nodes),
-        "empty": core.is_empty,
-    }
-    if show_nodes:
-        graph = session.graph
-        payload["s_nodes"] = [str(graph.label_of(i)) for i in core.s_nodes]
-        payload["t_nodes"] = [str(graph.label_of(i)) for i in core.t_nodes]
-    return payload
 
 
 def _cmd_core(args: argparse.Namespace) -> int:
     session = _load_session(args)
-    print(json.dumps(_core_payload(session, args.x, args.y, args.show_nodes), indent=2))
+    print(json.dumps(core_payload(session, args.x, args.y, args.show_nodes), indent=2))
     return 0
-
-
-def _topk_payload(results: list[DDSResult]) -> list[dict]:
-    return [
-        {
-            "rank": rank,
-            "density": result.density,
-            "edge_count": result.edge_count,
-            "s_size": result.s_size,
-            "t_size": result.t_size,
-        }
-        for rank, result in enumerate(results, start=1)
-    ]
 
 
 def _cmd_topk(args: argparse.Namespace) -> int:
@@ -164,7 +128,7 @@ def _cmd_topk(args: argparse.Namespace) -> int:
     results = session.top_k(
         args.k, method=args.method, min_density=args.min_density, **_method_kwargs(args)
     )
-    print(json.dumps(_topk_payload(results), indent=2))
+    print(json.dumps(topk_payload(results), indent=2))
     return 0
 
 
@@ -181,88 +145,31 @@ def _cmd_summary(args: argparse.Namespace) -> int:
 
 
 # ----------------------------------------------------------------------
-# batch: many queries, one session
+# batch: many queries through the service tier
 # ----------------------------------------------------------------------
-def _pop_required(spec: dict[str, Any], key: str, query: str) -> Any:
-    if key not in spec:
-        raise SystemExit(f"batch query {query!r} requires a {key!r} field")
-    return spec.pop(key)
+def _batch_graph_source(args: argparse.Namespace) -> tuple[str, Any]:
+    """The batch's default graph key plus the executor's graph provider.
 
-
-def _as_number(value: Any, key: str, query: str, optional: bool = False) -> float | None:
-    if optional and value is None:
-        return None
-    if isinstance(value, bool) or not isinstance(value, (int, float)):
-        raise SystemExit(f"batch query {query!r} field {key!r} must be a number, got {value!r}")
-    return float(value)
-
-
-def _reject_leftovers(spec: dict[str, Any], query: str) -> None:
-    """Typo'd or inapplicable fields must error, not silently do nothing."""
-    if spec:
-        raise SystemExit(
-            f"batch query {query!r} got unexpected fields: {', '.join(sorted(spec))}"
-        )
-
-
-def _run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
-    """Execute one batch entry against the shared session.
-
-    ``densest`` / ``top-k`` forward their remaining fields into the typed
-    method configs (so unknown fields raise :class:`ConfigError`); the other
-    query kinds take a fixed field set and reject leftovers explicitly.
+    The default graph comes from ``--dataset``/``--edge-list`` exactly like
+    the single-query commands; per-query ``"dataset"`` fields address any
+    registered dataset on top of that.
     """
-    if not isinstance(spec, dict):
-        raise SystemExit(f"batch entries must be JSON objects, got: {spec!r}")
-    spec = dict(spec)
-    query = spec.pop("query", "densest")
-    if query == "densest":
-        method = spec.pop("method", "auto")
-        show_nodes = bool(spec.pop("show_nodes", False))
-        result = session.densest_subgraph(method, **spec)
-        return _find_payload(result, show_nodes)
-    if query == "top-k":
-        method = spec.pop("method", "auto")
-        k = spec.pop("k", 3)
-        min_density = spec.pop("min_density", 0.0)
-        return _topk_payload(session.top_k(k, method=method, min_density=min_density, **spec))
-    if query == "xy-core":
-        x = _pop_required(spec, "x", query)
-        y = _pop_required(spec, "y", query)
-        show_nodes = bool(spec.pop("show_nodes", False))
-        _reject_leftovers(spec, query)
-        return _core_payload(session, x, y, show_nodes)
-    if query == "max-core":
-        show_nodes = bool(spec.pop("show_nodes", False))
-        _reject_leftovers(spec, query)
-        return _core_payload(session, None, None, show_nodes)
-    if query == "fixed-ratio":
-        ratio = _as_number(_pop_required(spec, "ratio", query), "ratio", query)
-        tolerance = _as_number(spec.pop("tolerance", None), "tolerance", query, optional=True)
-        _reject_leftovers(spec, query)
-        outcome = session.fixed_ratio(ratio, tolerance=tolerance)
-        return {
-            "ratio": outcome.ratio,
-            "lower": outcome.lower,
-            "upper": outcome.upper,
-            "best_density": outcome.best_density,
-            "flow_calls": outcome.flow_calls,
-            "networks_built": outcome.networks_built,
-            "networks_reused": outcome.networks_reused,
-            "warm_starts_used": outcome.warm_starts_used,
-            "cold_starts": outcome.cold_starts,
-        }
-    if query == "summary":
-        _reject_leftovers(spec, query)
-        return session.summary()
-    raise SystemExit(
-        f"unknown batch query {query!r}; expected one of: "
-        "densest, top-k, xy-core, max-core, fixed-ratio, summary"
-    )
+    if args.dataset is not None:
+        default_key = args.dataset
+    elif args.edge_list is not None:
+        default_key = str(args.edge_list)
+    else:
+        raise SystemExit("either --dataset or --edge-list is required")
+
+    def provider(key: str) -> DiGraph:
+        if args.edge_list is not None and key == str(args.edge_list):
+            return read_edge_list(args.edge_list)
+        return load_dataset(key)
+
+    return default_key, provider
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    session = _load_session(args)
     try:
         with open(args.queries, "r", encoding="utf-8") as handle:
             queries = json.load(handle)
@@ -270,16 +177,71 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit(f"cannot read batch queries from {args.queries!r}: {error}")
     if not isinstance(queries, list):
         raise SystemExit("the batch file must contain a JSON list of query objects")
+    default_key, provider = _batch_graph_source(args)
+    store = SessionStore(args.store) if args.store is not None else None
     try:
-        results = [_run_batch_query(session, query) for query in queries]
+        plan = plan_batch(queries, default_graph_key=default_key, planned=not args.no_plan)
+        executor = BatchExecutor(provider, max_workers=args.jobs, store=store)
+        report = executor.execute(plan)
     except ConfigError as error:
         raise SystemExit(f"invalid configuration: {error}")
     except ReproError as error:
-        # Unknown method names, bad parameter values, ... — render the same
-        # clean one-line error every other CLI path produces.
+        # Unknown method names, malformed entries, bad parameter values, ... —
+        # render the same clean one-line error every other CLI path produces.
         raise SystemExit(f"batch query failed: {error}")
-    payload = {"results": results, "session": session.cache_stats()}
+    payload: dict[str, Any] = {
+        "results": report.results_in_input_order(),
+        "session": report.aggregate_stats(),
+    }
+    if args.explain:
+        explanation = plan.explain()
+        explanation["realized"] = report.realized_cache_hits()
+        explanation["timings"] = report.timings()
+        payload["plan"] = explanation
+    if store is not None:
+        payload["store"] = report.store_stats
     print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# warm / store: persistent warm-state management
+# ----------------------------------------------------------------------
+def _cmd_warm(args: argparse.Namespace) -> int:
+    # Open the store before computing anything: an incompatible store must
+    # fail fast, not after the expensive solves it could never persist.
+    store = SessionStore(args.store)
+    graph = _load_graph(args)
+    session = DDSSession(graph)
+    methods = args.method or ["auto"]
+    results = {}
+    for method in methods:
+        result = session.densest_subgraph(method)
+        results[method] = {"method": result.method, "density": result.density}
+    if args.max_core:
+        core = session.max_xy_core()
+        results["max-core"] = {"x": core.x, "y": core.y}
+    payload = {
+        "fingerprint": graph.content_fingerprint(),
+        "computed": results,
+        "saved": store.save_session(session),
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = SessionStore(args.root)
+    if args.clear:
+        print(json.dumps({"cleared_graphs": store.clear()}, indent=2))
+        return 0
+    payload: dict[str, Any] = {"root": str(store.root), "graphs": store.inventory()}
+    if args.verify:
+        problems = store.verify()
+        payload["problems"] = problems
+        print(json.dumps(payload, indent=2))
+        return 1 if problems else 0
+    print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -314,15 +276,67 @@ def build_parser() -> argparse.ArgumentParser:
     topk.set_defaults(handler=_cmd_topk)
 
     batch = subparsers.add_parser(
-        "batch", help="run a JSON list of queries against one shared session"
+        "batch", help="plan and execute a JSON list of queries on a session pool"
     )
     _add_graph_source(batch)
     batch.add_argument(
         "queries",
         help="path to a JSON file holding a list of query objects, e.g. "
-        '[{"query": "densest", "method": "core-exact"}, {"query": "top-k", "k": 2}]',
+        '[{"query": "densest", "method": "core-exact"}, {"query": "top-k", "k": 2}]; '
+        'an entry may address another registered dataset with "dataset": "<name>"',
+    )
+    batch.add_argument(
+        "--no-plan",
+        action="store_true",
+        help="execute in file order instead of the cache-aware planned order "
+        "(answers are identical; planned order maximises cache reuse)",
+    )
+    batch.add_argument(
+        "--explain",
+        action="store_true",
+        help="include the plan (groups, execution order, predicted vs realised "
+        "cache hits, per-query timings) in the output payload",
+    )
+    batch.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="maximum concurrent per-graph sessions (default: one per graph)",
+    )
+    batch.add_argument(
+        "--store",
+        default=None,
+        help="persistent session-store directory: sessions warm from it before "
+        "the first query and save back afterwards",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    warm = subparsers.add_parser(
+        "warm", help="precompute a graph's warm state into a persistent store"
+    )
+    _add_graph_source(warm)
+    warm.add_argument("--store", required=True, help="session-store directory to write")
+    warm.add_argument(
+        "--method",
+        action="append",
+        default=None,
+        choices=["auto"] + available_methods(),
+        help="method(s) whose results to precompute (repeatable; default: auto)",
+    )
+    warm.add_argument(
+        "--max-core",
+        action="store_true",
+        help="also compute (and persist) the maximum-product [x, y]-core",
+    )
+    warm.set_defaults(handler=_cmd_warm)
+
+    store = subparsers.add_parser("store", help="inspect, verify, or clear a session store")
+    store.add_argument("root", help="session-store directory")
+    store.add_argument(
+        "--verify", action="store_true", help="integrity-check every entry (exit 1 on problems)"
+    )
+    store.add_argument("--clear", action="store_true", help="delete every stored graph")
+    store.set_defaults(handler=_cmd_store)
 
     datasets = subparsers.add_parser("datasets", help="list registered datasets")
     datasets.set_defaults(handler=_cmd_datasets)
@@ -338,9 +352,9 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point (returns a process exit code).
 
     Library errors — unknown datasets, empty graphs, invalid configurations,
-    refused node limits — are rendered as clean one-line messages instead of
-    tracebacks; sub-command handlers may still raise more specific
-    :class:`SystemExit` messages of their own (e.g. ``batch``).
+    refused node limits, corrupt stores — are rendered as clean one-line
+    messages instead of tracebacks; sub-command handlers may still raise more
+    specific :class:`SystemExit` messages of their own (e.g. ``batch``).
     """
     parser = build_parser()
     args = parser.parse_args(argv)

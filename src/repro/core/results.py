@@ -13,12 +13,22 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.exceptions import StoreError
 from repro.graph.digraph import NodeLabel
 
 #: Version of the JSON document produced by :meth:`DDSResult.to_dict`.
-#: Bump whenever a key is renamed or removed (additions are backwards
-#: compatible and do not require a bump).
-RESULT_SCHEMA_VERSION = 1
+#: Bump whenever a key is renamed or removed, or an existing key's value
+#: contract changes (additions are backwards compatible and do not require
+#: a bump).  Version 2 tightened ``stats``: every value is now JSON-native
+#: (containers converted, exotic scalars stringified) so that
+#: ``from_json(result.to_json())`` is a lossless round trip — the contract
+#: the persistent session store (:mod:`repro.service.store`) relies on.
+RESULT_SCHEMA_VERSION = 2
+
+#: Schema versions :meth:`DDSResult.from_dict` knows how to read.  Version 1
+#: documents are a subset of version 2 (same keys, looser stats values), so
+#: both load.
+READABLE_SCHEMA_VERSIONS = (1, 2)
 
 
 def _json_label(label: NodeLabel) -> Any:
@@ -26,6 +36,34 @@ def _json_label(label: NodeLabel) -> Any:
     if isinstance(label, (str, int, float, bool)) or label is None:
         return label
     return str(label)
+
+
+def json_native_label(label: NodeLabel) -> bool:
+    """Whether ``label`` survives a JSON round trip unchanged.
+
+    ``bool`` is checked before ``int`` only for clarity — JSON keeps the
+    distinction anyway.  Labels failing this test are stringified by
+    :meth:`DDSResult.to_dict`, so a result holding them cannot round trip
+    losslessly; the persistent store skips such results.
+    """
+    return isinstance(label, (str, int, float, bool)) or label is None
+
+
+def _sanitize_stats_value(value: Any) -> Any:
+    """Recursively coerce a stats value to JSON-native types.
+
+    Dicts keep (stringified) keys, lists/tuples become lists, JSON scalars
+    pass through, everything else is stringified — the same fallback
+    ``to_json`` historically applied at dump time, now applied structurally
+    so ``to_dict`` output equals what ``json.loads(to_json(...))`` returns.
+    """
+    if isinstance(value, dict):
+        return {str(key): _sanitize_stats_value(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_sanitize_stats_value(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
 
 
 @dataclass
@@ -92,9 +130,11 @@ class DDSResult:
         """Stable JSON-ready document describing this result.
 
         The schema is versioned (``schema_version``) and covered by the test
-        suite; ``stats`` carries the per-algorithm instrumentation verbatim,
-        including the flow-engine counters and — for session-served queries —
-        the cache-hit markers (``result_cache_hit``, ``networks_reused``).
+        suite; ``stats`` carries the per-algorithm instrumentation —
+        including the flow-engine counters and, for session-served queries,
+        the cache-hit markers (``result_cache_hit``, ``networks_reused``) —
+        coerced to JSON-native values (schema version 2), so the document
+        round trips losslessly through :meth:`from_dict`.
         """
         return {
             "schema_version": RESULT_SCHEMA_VERSION,
@@ -107,12 +147,63 @@ class DDSResult:
             "t_nodes": [_json_label(node) for node in self.t_nodes],
             "is_exact": self.is_exact,
             "approximation_ratio": self.approximation_ratio,
-            "stats": self.stats,
+            "stats": _sanitize_stats_value(self.stats),
         }
 
     def to_json(self, indent: int | None = None) -> str:
         """Serialise :meth:`to_dict` (non-JSON stats values are stringified)."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=str)
+
+    @classmethod
+    def from_dict(cls, document: dict[str, Any]) -> "DDSResult":
+        """Rebuild a result from a :meth:`to_dict` document.
+
+        The inverse of :meth:`to_dict` for results whose node labels are
+        JSON-native (see :func:`json_native_label`) — exactly the results
+        the persistent store persists.  Accepts every schema version in
+        :data:`READABLE_SCHEMA_VERSIONS`; anything else — unknown versions,
+        missing keys, node lists disagreeing with the recorded sizes —
+        raises :class:`~repro.exceptions.StoreError`, which the store treats
+        as corruption rather than a crash.
+        """
+        if not isinstance(document, dict):
+            raise StoreError(f"result document must be a JSON object, got {type(document).__name__}")
+        version = document.get("schema_version")
+        if version not in READABLE_SCHEMA_VERSIONS:
+            raise StoreError(
+                f"unsupported result schema_version {version!r} "
+                f"(readable: {', '.join(map(str, READABLE_SCHEMA_VERSIONS))})"
+            )
+        try:
+            result = cls(
+                s_nodes=list(document["s_nodes"]),
+                t_nodes=list(document["t_nodes"]),
+                density=float(document["density"]),
+                edge_count=int(document["edge_count"]),
+                method=str(document["method"]),
+                is_exact=bool(document["is_exact"]),
+                approximation_ratio=float(document["approximation_ratio"]),
+                stats=dict(document["stats"]),
+            )
+            s_size = int(document["s_size"])
+            t_size = int(document["t_size"])
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(f"malformed result document: {error!r}")
+        if result.s_size != s_size or result.t_size != t_size:
+            raise StoreError(
+                "result document is internally inconsistent: node lists do not "
+                "match the recorded s_size/t_size"
+            )
+        return result
+
+    @classmethod
+    def from_json(cls, text: str) -> "DDSResult":
+        """Parse a :meth:`to_json` string back into a result (see :meth:`from_dict`)."""
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise StoreError(f"result document is not valid JSON: {error}")
+        return cls.from_dict(document)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -43,3 +43,13 @@ class ConfigError(AlgorithmError):
 
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be materialised."""
+
+
+class BatchQueryError(ReproError):
+    """Raised when a batch query entry is malformed (unknown kind, missing or
+    unexpected fields, wrong value types)."""
+
+
+class StoreError(ReproError):
+    """Raised when the persistent session store is missing, corrupt, or
+    incompatible (unknown schema version, checksum mismatch, wrong graph)."""

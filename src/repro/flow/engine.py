@@ -39,6 +39,12 @@ defined in :mod:`repro.core.network_cache`.
     Times a warm start was requested but the solver does not support it
     (e.g. ``edmonds-karp``); the run proceeded cold and the engine recorded
     why in ``warm_start_fallback_reason``.
+``height_reuses``
+    Warm push–relabel solves that adopted (and repaired) the height labels
+    stashed by the previous solve on the same network instead of
+    re-deriving the labelling from zero (see
+    :meth:`~repro.flow.network.FlowNetwork.stashed_heights`).  Always 0 for
+    solvers without height labels (``dinic``, ``edmonds-karp``).
 
 A :class:`~repro.session.DDSSession` keeps one engine per solver for its
 whole lifetime, so the counters are *cumulative across queries*; algorithms
@@ -62,6 +68,7 @@ _COUNTERS = (
     "warm_starts_used",
     "cold_starts",
     "warm_start_fallbacks",
+    "height_reuses",
 )
 
 
@@ -129,6 +136,8 @@ class FlowEngine:
         value = solver.max_flow()
         self.flow_calls += 1
         self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
+        if getattr(solver, "height_reused", False):
+            self.height_reuses += 1
         return value, solver
 
     def snapshot(self) -> tuple[int, ...]:

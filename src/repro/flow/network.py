@@ -66,6 +66,7 @@ class FlowNetwork:
         "_csr_order",
         "_csr_dirty",
         "_csr_lists",
+        "_height_stash",
     )
 
     def __init__(self, num_nodes: int) -> None:
@@ -80,6 +81,7 @@ class FlowNetwork:
         self._csr_order = array("q")
         self._csr_dirty = False
         self._csr_lists: tuple[list[list[int]], list[int]] | None = None
+        self._height_stash: dict[tuple[int, int], list[int]] = {}
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +90,7 @@ class FlowNetwork:
         """Append a new node and return its index."""
         self.num_nodes += 1
         self._csr_dirty = True
+        self._height_stash.clear()
         return self.num_nodes - 1
 
     def add_edge(self, source: int, target: int, capacity: float) -> int:
@@ -110,6 +113,7 @@ class FlowNetwork:
         self._base.append(0.0)
         self._tails.append(target)
         self._csr_dirty = True
+        self._height_stash.clear()
         return arc_index
 
     def set_capacity(self, arc_index: int, capacity: float) -> None:
@@ -314,6 +318,30 @@ class FlowNetwork:
     def reset_flow(self) -> None:
         """Restore all residual capacities to the original capacities."""
         self._cap[:] = self._base
+
+    # ------------------------------------------------------------------
+    # solver label stash (push-relabel height reuse)
+    # ------------------------------------------------------------------
+    def stash_heights(self, source: int, sink: int, heights: list[int]) -> None:
+        """Remember a solver's final height labels for ``(source, sink)``.
+
+        Push–relabel finishes every solve holding a height labelling that is
+        valid for the network's final residual graph; stashing it lets the
+        *next* warm solve on this network start from those labels instead of
+        re-deriving them from zero (see
+        :class:`~repro.flow.push_relabel.PushRelabelSolver`).  The labels are
+        advisory: capacities may be retuned between solves, so a consumer
+        must repair them against the residual graph it actually sees.  The
+        stash is dropped whenever the topology changes.
+        """
+        self._height_stash[(source, sink)] = list(heights)
+
+    def stashed_heights(self, source: int, sink: int) -> list[int] | None:
+        """The last stashed height labels for ``(source, sink)``, if any."""
+        heights = self._height_stash.get((source, sink))
+        if heights is None or len(heights) != self.num_nodes:
+            return None
+        return heights
 
     def residual_reachable(self, source: int) -> list[bool]:
         """Nodes reachable from ``source`` using arcs with positive residual capacity.

@@ -19,6 +19,7 @@ simple graphs, so loops are dropped by default but can be retained).
 
 from __future__ import annotations
 
+import hashlib
 from itertools import count
 from typing import Hashable, Iterable, Iterator, Sequence
 
@@ -61,6 +62,7 @@ class DiGraph:
         "_out_adj_cache",
         "_in_adj_cache",
         "_state_token",
+        "_fingerprint_cache",
     )
 
     def __init__(self, allow_self_loops: bool = False) -> None:
@@ -73,6 +75,7 @@ class DiGraph:
         self._out_adj_cache: list[list[int]] | None = None
         self._in_adj_cache: list[list[int]] | None = None
         self._state_token = next(_STATE_TOKENS)
+        self._fingerprint_cache: tuple[int, str] | None = None
 
     # ------------------------------------------------------------------
     # construction
@@ -176,6 +179,38 @@ class DiGraph:
         as decision networks (:mod:`repro.core.network_cache`).
         """
         return self._state_token
+
+    def content_fingerprint(self) -> str:
+        """Stable hex digest of this graph's structural content.
+
+        Unlike :attr:`state_token` — a process-local counter that never
+        repeats across runs — the fingerprint depends only on the graph's
+        content: the self-loop policy, the node labels in insertion order,
+        and the edge set.  Two graphs built the same way in different
+        processes share a fingerprint, which makes it the durable analogue
+        of the state token and the key of the on-disk session store
+        (:mod:`repro.service.store`).  Node *order* is deliberately part of
+        the digest: algorithms break ties by internal index, so cached
+        answers are only guaranteed to match byte-for-byte when the
+        label-to-index mapping matches too.
+
+        Computed in O(n + m log d) and cached per structural state.
+        """
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._state_token:
+            return cached[1]
+        hasher = hashlib.sha256()
+        hasher.update(b"digraph/v1;loops=1;" if self._allow_self_loops else b"digraph/v1;loops=0;")
+        for label in self._labels:
+            encoded = f"{type(label).__name__}:{label!r}"
+            hasher.update(b"\x00n\x00")
+            hasher.update(encoded.encode("utf-8", "backslashreplace"))
+        for ui, targets in enumerate(self._out_sets):
+            for vi in sorted(targets):
+                hasher.update(b"\x00e\x00%d>%d" % (ui, vi))
+        digest = hasher.hexdigest()
+        self._fingerprint_cache = (self._state_token, digest)
+        return digest
 
     def nodes(self) -> list[NodeLabel]:
         """All node labels in insertion order."""

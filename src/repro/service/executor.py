@@ -1,0 +1,224 @@
+"""Concurrent batch executor: a pool of graph-affine sessions serving a plan.
+
+The executor turns a :class:`~repro.service.planner.BatchPlan` into results.
+Its unit of concurrency is the planner's *lane* — all queries for one graph,
+in plan order.  Each lane gets its own :class:`~repro.session.DDSSession`
+and runs sequentially on one worker thread; distinct lanes run concurrently
+on a thread pool.  Sessions are therefore **graph-affine**: no session, and
+none of its caches (results, decision networks, residual flows), is ever
+touched by two threads, so the session layer needs no locks and the
+warm-start machinery keeps its strict solve ordering within a graph.
+
+With a :class:`~repro.service.store.SessionStore` attached, each lane warms
+its session from disk before the first query and persists the session's
+state after the last one — the full compute-once/serve-everywhere loop.
+
+Instrumentation: every query is individually timed, each lane's
+:meth:`~repro.session.DDSSession.cache_stats` snapshot is kept, and the
+report aggregates them (plus the planner's predicted-vs-realised hit
+counts) into the payload ``dds-repro batch --explain`` prints.
+
+A note on the GIL: lanes are pure-Python compute, so today's concurrency
+buys isolation and scheduling rather than parallel speed-up.  The lane
+boundary is exactly where a free-threaded build or a GIL-releasing solver
+backend (see the registry's numpy/compiled slot in the ROADMAP) turns the
+same code parallel — that is why the executor is shaped this way now.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.core.config import FlowConfig
+from repro.exceptions import BatchQueryError, ConfigError
+from repro.graph.digraph import DiGraph
+from repro.service.planner import BatchPlan, PlannedQuery
+from repro.service.queries import run_batch_query
+from repro.service.store import SessionStore
+from repro.session import DDSSession
+from repro.session.session import DEFAULT_RESULT_CACHE_SIZE
+from repro.utils.timer import time_call
+
+#: Source of graphs for lane sessions: a mapping or a ``key -> DiGraph`` callable.
+GraphProvider = Callable[[str], DiGraph]
+
+
+@dataclass
+class QueryExecution:
+    """One executed query: where it ran, what it returned, how long it took."""
+
+    index: int
+    graph_key: str
+    kind: str
+    seconds: float
+    payload: Any
+
+
+@dataclass
+class BatchReport:
+    """Everything a batch run produced, in both input and execution order."""
+
+    executions: list[QueryExecution]
+    session_stats: dict[str, dict[str, Any]]
+    store_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def results_in_input_order(self) -> list[Any]:
+        """Query payloads re-assembled in the order of the input file."""
+        return [execution.payload for execution in sorted(self.executions, key=lambda e: e.index)]
+
+    def aggregate_stats(self) -> dict[str, Any]:
+        """Session cache counters summed across every lane.
+
+        Keys match :meth:`DDSSession.cache_stats
+        <repro.session.DDSSession.cache_stats>`, so single-session consumers
+        (the CLI's historical ``"session"`` payload block) read the
+        aggregate exactly like one session's counters.
+        """
+        totals: dict[str, Any] = {}
+        for stats in self.session_stats.values():
+            for key, value in stats.items():
+                if isinstance(value, bool) or not isinstance(value, (int, float)):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+    def realized_cache_hits(self) -> dict[str, int]:
+        """The realised counterpart of the planner's predictions."""
+        totals = self.aggregate_stats()
+        return {
+            "result_cache_hits": int(totals.get("result_cache_hits", 0)),
+            "network_cache_hits": int(totals.get("network_cache_hits", 0)),
+        }
+
+    def timings(self) -> list[dict[str, Any]]:
+        """Per-query timing rows in execution order (for ``--explain``)."""
+        return [
+            {
+                "index": execution.index,
+                "graph": execution.graph_key,
+                "query": execution.kind,
+                "seconds": round(execution.seconds, 6),
+            }
+            for execution in self.executions
+        ]
+
+
+class BatchExecutor:
+    """Run batch plans over a pool of per-graph sessions.
+
+    Parameters
+    ----------
+    graphs:
+        Where lane sessions get their graphs: a mapping ``graph_key ->
+        DiGraph`` or a callable performing the lookup (e.g. the dataset
+        registry's ``load_dataset``).  An unknown key raises
+        :class:`~repro.exceptions.BatchQueryError` naming the lane.
+    flow:
+        Session-wide :class:`~repro.core.config.FlowConfig` (or solver name)
+        applied to every lane session.
+    result_cache_size:
+        Result-cache capacity of each lane session.
+    max_workers:
+        Thread-pool width; defaults to one thread per lane.  A batch with a
+        single lane is executed inline on the calling thread.
+    store:
+        Optional :class:`~repro.service.store.SessionStore`; when given,
+        lanes warm from it before their first query and save back afterwards.
+    """
+
+    def __init__(
+        self,
+        graphs: GraphProvider | Mapping[str, DiGraph],
+        *,
+        flow: FlowConfig | str | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        max_workers: int | None = None,
+        store: SessionStore | None = None,
+    ) -> None:
+        if isinstance(graphs, Mapping):
+            table = dict(graphs)
+
+            def provider(key: str) -> DiGraph:
+                """Mapping-backed lookup with a batch-flavoured error."""
+                try:
+                    return table[key]
+                except KeyError:
+                    raise BatchQueryError(f"batch references unknown graph {key!r}")
+
+            self._provider: GraphProvider = provider
+        else:
+            self._provider = graphs
+        if max_workers is not None and (not isinstance(max_workers, int) or max_workers < 1):
+            raise ConfigError(f"max_workers must be a positive int or None, got {max_workers!r}")
+        self._flow = flow
+        self._result_cache_size = result_cache_size
+        self._max_workers = max_workers
+        self._store = store
+
+    # ------------------------------------------------------------------
+    def _run_lane(
+        self, graph_key: str, lane: list[PlannedQuery]
+    ) -> tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]]:
+        """One worker's whole job: session up, warm, serve the lane, save."""
+        session = DDSSession(
+            self._provider(graph_key),
+            flow=self._flow,
+            result_cache_size=self._result_cache_size,
+        )
+        store_counters: dict[str, int] = {}
+        if self._store is not None:
+            store_counters.update(self._store.warm_session(session))
+        executions: list[QueryExecution] = []
+        for entry in lane:
+            payload, seconds = time_call(lambda: run_batch_query(session, entry.spec))
+            executions.append(
+                QueryExecution(
+                    index=entry.index,
+                    graph_key=graph_key,
+                    kind=entry.spec.get("query", "densest"),
+                    seconds=seconds,
+                    payload=payload,
+                )
+            )
+        if self._store is not None:
+            for key, value in self._store.save_session(session).items():
+                store_counters[key] = store_counters.get(key, 0) + value
+        return graph_key, executions, session.cache_stats(), store_counters
+
+    def execute(self, plan: BatchPlan) -> BatchReport:
+        """Execute ``plan`` and return its :class:`BatchReport`.
+
+        Lanes run concurrently; queries within a lane run in plan order on
+        the lane's session.  The first failing query aborts the batch: its
+        error is re-raised here after every already-running lane has
+        finished (lanes are independent, so letting them drain keeps the
+        store consistent).
+        """
+        lanes = plan.lanes
+        if not lanes:
+            return BatchReport(executions=[], session_stats={})
+        if len(lanes) == 1:
+            outcomes = [self._run_lane(*next(iter(lanes.items())))]
+        else:
+            width = min(len(lanes), self._max_workers if self._max_workers is not None else len(lanes))
+            with ThreadPoolExecutor(max_workers=width) as pool:
+                futures = [
+                    pool.submit(self._run_lane, graph_key, lane)
+                    for graph_key, lane in lanes.items()
+                ]
+                outcomes = [future.result() for future in futures]
+        executions: list[QueryExecution] = []
+        session_stats: dict[str, dict[str, Any]] = {}
+        store_stats: dict[str, dict[str, int]] = {}
+        # ``outcomes`` is collected in lane order and each lane is already
+        # sequential, so ``executions`` ends up in plan order.
+        for graph_key, lane_executions, stats, store_counters in outcomes:
+            executions.extend(lane_executions)
+            session_stats[graph_key] = stats
+            if store_counters:
+                store_stats[graph_key] = store_counters
+        return BatchReport(
+            executions=executions, session_stats=session_stats, store_stats=store_stats
+        )

@@ -1,0 +1,492 @@
+"""Persistent session store: warm per-graph state shared across processes.
+
+A :class:`~repro.session.DDSSession` accumulates expensive derived state —
+whole results, degree arrays, [x, y]-cores, density bounds — but only for
+the lifetime of one process.  :class:`SessionStore` serialises that warm
+state to a versioned on-disk layout so a service tier can share it across
+workers and restarts: compute once (``dds-repro warm``), serve everywhere.
+
+Keying
+------
+In memory, session caches key on :attr:`~repro.graph.digraph.DiGraph.state_token`
+— a process-local counter that can never collide but also never survives the
+process.  The store keys on its durable analogue,
+:meth:`DiGraph.content_fingerprint() <repro.graph.digraph.DiGraph.content_fingerprint>`:
+a SHA-256 over the graph's labels (in insertion order), edge set, and
+self-loop policy.  Same content ⇒ same fingerprint ⇒ the stored state is
+valid; any structural difference ⇒ different fingerprint ⇒ the store simply
+has nothing for that graph.
+
+On-disk layout (``STORE_SCHEMA_VERSION`` = 1)
+---------------------------------------------
+::
+
+    <root>/
+      store.json                      # {"store_schema_version": 1}
+      graphs/<fingerprint>/
+        manifest.json                 # graph shape: nodes / edges / loops
+        derived.json                  # degree arrays, cores, bounds
+        results/<entry-digest>.json   # one result-cache entry
+
+Every file under ``graphs/`` wraps its payload as ``{"checksum":
+sha256(canonical-json(payload)), "payload": ...}``.  Reads verify the
+checksum and the manifest's shape against the live graph; a failed check
+marks the entry corrupt — it is skipped and *counted*, never silently
+served.  Result payloads are the schema-versioned
+:meth:`DDSResult.to_dict() <repro.core.results.DDSResult.to_dict>` documents
+(schema version 2 guarantees JSON-native stats), so a loaded result is
+bit-identical to the one saved; results whose node labels would not survive
+a JSON round trip are skipped at save time (``results_skipped``) rather than
+persisted lossily.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+from repro.core.config import ApproxConfig, ExactConfig, FlowConfig, MethodConfig
+from repro.core.method_registry import get_method_spec
+from repro.core.results import DDSResult, json_native_label
+from repro.core.xycore import XYCore
+from repro.exceptions import AlgorithmError, ConfigError, GraphError, StoreError
+from repro.graph.digraph import DiGraph
+from repro.session import DDSSession
+
+#: Version of the on-disk layout.  Bump on any incompatible change; a store
+#: written by a different version is refused outright (no partial reads).
+STORE_SCHEMA_VERSION = 1
+
+
+def _canonical_json(payload: Any) -> str:
+    """Deterministic JSON text — the byte-stable form both checksums hash."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def _checksum(payload: Any) -> str:
+    return hashlib.sha256(_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _config_to_jsonable(config: MethodConfig) -> dict[str, Any] | None:
+    """Serialise a frozen method config, or ``None`` if it cannot round trip.
+
+    ``dataclasses.asdict`` flattens the nested :class:`FlowConfig`; tuples
+    (``ApproxConfig.ratios``) become lists.  A config whose values are not
+    JSON-native after that cannot be reconstructed faithfully, so the caller
+    skips the entry instead of persisting an approximation of it.
+    """
+    data = dataclasses.asdict(config)
+
+    def jsonable(value: Any) -> bool:
+        """Whether ``value`` (recursively) survives a JSON round trip."""
+        if isinstance(value, dict):
+            return all(isinstance(k, str) and jsonable(v) for k, v in value.items())
+        if isinstance(value, (list, tuple)):
+            return all(jsonable(item) for item in value)
+        return isinstance(value, (str, int, float, bool)) or value is None
+
+    if not jsonable(data):
+        return None
+    return json.loads(_canonical_json(data))  # tuples -> lists, canonical floats
+
+
+def _config_from_jsonable(config_type: type, data: dict[str, Any]) -> MethodConfig:
+    """Rebuild a method config of ``config_type`` from its serialised fields."""
+    if not isinstance(data, dict):
+        raise StoreError(f"config document must be an object, got {type(data).__name__}")
+    fields = dict(data)
+    if isinstance(fields.get("flow"), dict):
+        fields["flow"] = FlowConfig(**fields["flow"])
+    if isinstance(fields.get("ratios"), list):
+        fields["ratios"] = tuple(fields["ratios"])
+    try:
+        return config_type(**fields)
+    except (TypeError, ConfigError) as error:
+        raise StoreError(f"cannot rebuild {config_type.__name__} from stored fields: {error}")
+
+
+def _core_to_jsonable(core: XYCore) -> dict[str, Any]:
+    return {"x": core.x, "y": core.y, "s_nodes": list(core.s_nodes), "t_nodes": list(core.t_nodes)}
+
+
+def _core_from_jsonable(data: dict[str, Any]) -> XYCore:
+    try:
+        return XYCore(
+            x=int(data["x"]),
+            y=int(data["y"]),
+            s_nodes=[int(i) for i in data["s_nodes"]],
+            t_nodes=[int(i) for i in data["t_nodes"]],
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise StoreError(f"malformed stored [x, y]-core: {error!r}")
+
+
+class SessionStore:
+    """Versioned on-disk store of per-graph session warm state.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store.  Created (with its version marker) on
+        the first write; opening an existing directory written by a
+        different :data:`STORE_SCHEMA_VERSION` raises
+        :class:`~repro.exceptions.StoreError` immediately rather than
+        misreading it.
+
+    The store is a cache, not a database: every read re-verifies integrity
+    (schema version, graph shape, per-entry checksums), and anything that
+    fails verification is reported in the returned counters and otherwise
+    ignored.  Concurrent writers are tolerated via atomic
+    write-to-temp-then-rename of individual entries.
+    """
+
+    def __init__(self, root: str | os.PathLike[str]) -> None:
+        self.root = Path(root)
+        marker = self.root / "store.json"
+        if marker.exists():
+            document = self._read_json(marker)
+            version = document.get("store_schema_version") if isinstance(document, dict) else None
+            if version != STORE_SCHEMA_VERSION:
+                raise StoreError(
+                    f"store at {self.root} has schema version {version!r}; "
+                    f"this build reads version {STORE_SCHEMA_VERSION}"
+                )
+
+    # ------------------------------------------------------------------
+    # low-level plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _read_json(path: Path) -> Any:
+        """Parse one store file, mapping I/O and JSON failures to StoreError."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except OSError as error:
+            raise StoreError(f"cannot read store file {path}: {error}")
+        except json.JSONDecodeError as error:
+            raise StoreError(f"store file {path} is not valid JSON: {error}")
+
+    @staticmethod
+    def _write_json(path: Path, document: Any) -> None:
+        """Atomic write: unique temp file in the same directory, then rename.
+
+        The temp name must be unique per writer (``mkstemp``), not a fixed
+        ``<name>.tmp`` — concurrent writers of the same entry would truncate
+        each other's half-written temp file and one rename could land a
+        mangled document.  With unique temps, last-rename-wins and every
+        intermediate state of ``path`` is a complete document.
+        """
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            descriptor, temp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=path.parent
+            )
+            try:
+                with os.fdopen(descriptor, "w", encoding="utf-8") as handle:
+                    json.dump(document, handle, sort_keys=True, indent=1)
+                os.replace(temp_name, path)
+            except BaseException:
+                os.unlink(temp_name)
+                raise
+        except OSError as error:
+            raise StoreError(f"cannot write store file {path}: {error}")
+
+    def _graph_dir(self, fingerprint: str) -> Path:
+        """Directory holding one graph's manifest, derived state, and results."""
+        return self.root / "graphs" / fingerprint
+
+    def _ensure_marker(self) -> None:
+        """Write the store's schema-version marker on first use."""
+        marker = self.root / "store.json"
+        if not marker.exists():
+            self._write_json(marker, {"store_schema_version": STORE_SCHEMA_VERSION})
+
+    def _entry_is_current(self, path: Path, payload: Any) -> bool:
+        """Whether ``path`` already holds exactly this checksummed payload.
+
+        Lets ``save_session`` skip rewriting entries that a warm start just
+        loaded unchanged — on a warm store serving repeated batches that is
+        *every* entry, so the skip removes the write churn (and shrinks the
+        concurrent-writer window) of re-persisting identical bytes.
+        """
+        if not path.exists():
+            return False
+        try:
+            document = self._read_json(path)
+        except StoreError:
+            return False  # unreadable — rewrite it
+        return isinstance(document, dict) and document.get("checksum") == _checksum(payload)
+
+    def _check_manifest(self, graph: DiGraph, manifest_path: Path) -> None:
+        """Verify a manifest's checksum and ``graph``-shape (corruption tripwire)."""
+        manifest = self._verified_payload(manifest_path)
+        expected = {
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "allow_self_loops": graph.allow_self_loops,
+        }
+        for key, value in expected.items():
+            if manifest.get(key) != value:
+                raise StoreError(
+                    f"manifest {manifest_path} disagrees with the live graph on {key} "
+                    f"({manifest.get(key)!r} != {value!r}); the store entry is corrupt"
+                )
+
+    @staticmethod
+    def _entry_name(method: str, config_document: dict[str, Any]) -> str:
+        """Deterministic file name of one ``(method, config)`` result entry."""
+        digest = hashlib.sha256(
+            _canonical_json({"method": method, "config": config_document}).encode("utf-8")
+        ).hexdigest()
+        return f"{digest[:32]}.json"
+
+    # ------------------------------------------------------------------
+    # save
+    # ------------------------------------------------------------------
+    def save_session(self, session: DDSSession) -> dict[str, int]:
+        """Persist ``session``'s warm state; returns save counters.
+
+        Persists every result-cache entry whose labels and config survive a
+        JSON round trip (others count as ``results_skipped``), the degree
+        arrays and density bounds (cheap — computed now if the session has
+        not needed them yet), and whatever [x, y]-cores the session has
+        already computed (never forces a core decomposition).  Entries whose
+        on-disk bytes already match are left untouched and counted as
+        ``results_unchanged`` / ``derived_saved: 0``; a corrupt manifest is
+        rewritten from the live graph (the fingerprint, not the manifest, is
+        the graph's identity).
+        """
+        graph = session.graph
+        fingerprint = graph.content_fingerprint()
+        self._ensure_marker()
+        graph_dir = self._graph_dir(fingerprint)
+        manifest_path = graph_dir / "manifest.json"
+        manifest = {
+            "store_schema_version": STORE_SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+            "num_nodes": graph.num_nodes,
+            "num_edges": graph.num_edges,
+            "allow_self_loops": graph.allow_self_loops,
+        }
+        manifest_document = {"checksum": _checksum(manifest), "payload": manifest}
+        if manifest_path.exists():
+            try:
+                self._check_manifest(graph, manifest_path)
+            except StoreError:
+                self._write_json(manifest_path, manifest_document)  # self-heal corruption
+        else:
+            self._write_json(manifest_path, manifest_document)
+
+        counters = {
+            "results_saved": 0,
+            "results_skipped": 0,
+            "results_unchanged": 0,
+            "derived_saved": 0,
+        }
+        derived: dict[str, Any] = {
+            "out_degrees": session.out_degrees(),
+            "in_degrees": session.in_degrees(),
+            "density_upper_bound": session.density_upper_bound(),
+            "exactness_tolerance": session.exactness_tolerance(),
+            "xy_cores": [_core_to_jsonable(core) for core in session.cached_xy_cores()],
+        }
+        max_core = session.cached_max_core()
+        if max_core is not None:
+            derived["max_core"] = _core_to_jsonable(max_core)
+        derived_path = graph_dir / "derived.json"
+        if not self._entry_is_current(derived_path, derived):
+            self._write_json(derived_path, {"checksum": _checksum(derived), "payload": derived})
+            counters["derived_saved"] = 1
+
+        for method, config, result in session.cached_results():
+            if not all(json_native_label(label) for label in result.s_nodes + result.t_nodes):
+                counters["results_skipped"] += 1
+                continue
+            config_document = _config_to_jsonable(config)
+            if config_document is None or type(config) not in (ExactConfig, ApproxConfig):
+                # Custom config subclasses cannot be reconstructed from the
+                # class name alone; refuse to guess.
+                counters["results_skipped"] += 1
+                continue
+            entry = {
+                "method": method,
+                "config_type": type(config).__name__,
+                "config": config_document,
+                "result": result.to_dict(),
+            }
+            entry_path = graph_dir / "results" / self._entry_name(method, config_document)
+            if self._entry_is_current(entry_path, entry):
+                counters["results_unchanged"] += 1
+                continue
+            self._write_json(entry_path, {"checksum": _checksum(entry), "payload": entry})
+            counters["results_saved"] += 1
+        return counters
+
+    # ------------------------------------------------------------------
+    # load
+    # ------------------------------------------------------------------
+    def warm_session(self, session: DDSSession) -> dict[str, int]:
+        """Seed ``session`` from the store; returns load counters.
+
+        Counters: ``results_loaded`` / ``results_corrupt`` /
+        ``results_incompatible`` (entry is intact but names an unregistered
+        method or foreign config class), ``derived_loaded`` /
+        ``derived_corrupt``, and ``manifest_corrupt`` (the graph directory's
+        manifest fails verification — nothing under it is trusted or
+        loaded).  A graph the store has never seen loads nothing and returns
+        all-zero counters — warming is always safe to attempt and never
+        raises for on-disk damage; serving must not die because a cache
+        entry rotted.
+        """
+        graph = session.graph
+        counters = {
+            "results_loaded": 0,
+            "results_corrupt": 0,
+            "results_incompatible": 0,
+            "derived_loaded": 0,
+            "derived_corrupt": 0,
+            "manifest_corrupt": 0,
+        }
+        graph_dir = self._graph_dir(graph.content_fingerprint())
+        manifest_path = graph_dir / "manifest.json"
+        if not manifest_path.exists():
+            return counters
+        try:
+            self._check_manifest(graph, manifest_path)
+        except StoreError:
+            counters["manifest_corrupt"] = 1
+            return counters
+
+        derived_path = graph_dir / "derived.json"
+        if derived_path.exists():
+            try:
+                payload = self._verified_payload(derived_path)
+                session.seed_derived(
+                    out_degrees=payload["out_degrees"],
+                    in_degrees=payload["in_degrees"],
+                    xy_cores=[_core_from_jsonable(core) for core in payload.get("xy_cores", [])],
+                    max_core=(
+                        _core_from_jsonable(payload["max_core"])
+                        if "max_core" in payload
+                        else None
+                    ),
+                    density_upper_bound=payload["density_upper_bound"],
+                    exactness_tolerance=payload["exactness_tolerance"],
+                )
+                counters["derived_loaded"] = 1
+            except (StoreError, GraphError, KeyError, TypeError, ValueError):
+                counters["derived_corrupt"] = 1
+
+        results_dir = graph_dir / "results"
+        if results_dir.is_dir():
+            for entry_path in sorted(results_dir.glob("*.json")):
+                try:
+                    entry = self._verified_payload(entry_path)
+                    method = entry["method"]
+                    spec = get_method_spec(method)
+                    if entry.get("config_type") != spec.config_type.__name__:
+                        counters["results_incompatible"] += 1
+                        continue
+                    config = _config_from_jsonable(spec.config_type, entry["config"])
+                    result = DDSResult.from_dict(entry["result"])
+                except AlgorithmError:
+                    # Unknown method — a store written by a build with extra
+                    # registered methods; intact but unusable here.
+                    counters["results_incompatible"] += 1
+                    continue
+                except (StoreError, KeyError, TypeError, ValueError):
+                    counters["results_corrupt"] += 1
+                    continue
+                if session.seed_result(method, config, result):
+                    counters["results_loaded"] += 1
+        return counters
+
+    def _verified_payload(self, path: Path) -> dict[str, Any]:
+        """Read a checksummed entry, raising :class:`StoreError` on tampering."""
+        document = self._read_json(path)
+        if (
+            not isinstance(document, dict)
+            or "checksum" not in document
+            or "payload" not in document
+        ):
+            raise StoreError(f"store entry {path} is missing its checksum envelope")
+        payload = document["payload"]
+        if _checksum(payload) != document["checksum"]:
+            raise StoreError(f"store entry {path} fails its integrity checksum")
+        if not isinstance(payload, dict):
+            raise StoreError(f"store entry {path} payload is not an object")
+        return payload
+
+    # ------------------------------------------------------------------
+    # management
+    # ------------------------------------------------------------------
+    def inventory(self) -> list[dict[str, Any]]:
+        """One row per stored graph: fingerprint, shape, entry counts, bytes."""
+        rows: list[dict[str, Any]] = []
+        graphs_dir = self.root / "graphs"
+        if not graphs_dir.is_dir():
+            return rows
+        for graph_dir in sorted(graphs_dir.iterdir()):
+            if not graph_dir.is_dir():
+                continue
+            manifest_path = graph_dir / "manifest.json"
+            row: dict[str, Any] = {"fingerprint": graph_dir.name}
+            try:
+                manifest = self._verified_payload(manifest_path)
+                row["num_nodes"] = manifest.get("num_nodes")
+                row["num_edges"] = manifest.get("num_edges")
+            except StoreError:
+                row["num_nodes"] = row["num_edges"] = None
+            results_dir = graph_dir / "results"
+            row["results"] = len(list(results_dir.glob("*.json"))) if results_dir.is_dir() else 0
+            row["derived"] = (graph_dir / "derived.json").exists()
+            row["bytes"] = sum(
+                path.stat().st_size for path in graph_dir.rglob("*") if path.is_file()
+            )
+            rows.append(row)
+        return rows
+
+    def verify(self) -> list[str]:
+        """Integrity-check every entry (manifests included); returns problem strings."""
+        problems: list[str] = []
+        graphs_dir = self.root / "graphs"
+        if not graphs_dir.is_dir():
+            return problems
+        for graph_dir in sorted(graphs_dir.iterdir()):
+            if not graph_dir.is_dir():
+                continue
+            for path in [
+                graph_dir / "manifest.json",
+                graph_dir / "derived.json",
+                *sorted((graph_dir / "results").glob("*.json")),
+            ]:
+                if not path.exists():
+                    continue
+                try:
+                    self._verified_payload(path)
+                except StoreError as error:
+                    problems.append(str(error))
+        return problems
+
+    def clear(self) -> int:
+        """Delete every stored graph; returns how many were dropped."""
+        graphs_dir = self.root / "graphs"
+        if not graphs_dir.is_dir():
+            return 0
+        dropped = 0
+        for graph_dir in sorted(graphs_dir.iterdir()):
+            if not graph_dir.is_dir():
+                continue
+            for path in sorted(graph_dir.rglob("*"), reverse=True):
+                if path.is_file():
+                    path.unlink()
+                else:
+                    path.rmdir()
+            graph_dir.rmdir()
+            dropped += 1
+        return dropped

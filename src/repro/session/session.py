@@ -513,6 +513,105 @@ class DDSSession:
         return self._exact_tolerance
 
     # ------------------------------------------------------------------
+    # warm-state exchange (the persistent store's hooks)
+    # ------------------------------------------------------------------
+    def cached_results(self) -> list[tuple[str, MethodConfig, DDSResult]]:
+        """Snapshot of the whole-result cache as ``(method, config, result)`` triples.
+
+        Returns defensive copies in LRU order (least recently used first).
+        This is the export half of the persistent-store contract
+        (:class:`repro.service.store.SessionStore`); the import half is
+        :meth:`seed_result`.
+        """
+        return [
+            (method, config, _copy_result(result))
+            for (method, config), result in self._results.items()
+        ]
+
+    def seed_result(self, method: str, config: MethodConfig, result: DDSResult) -> bool:
+        """Deposit an externally computed result into the result cache.
+
+        The warm-start hook of the persistent store: a result computed by an
+        earlier process (or another worker) is inserted under ``(method,
+        config)`` so the next identical query is served as a
+        ``result_cache_hit`` without recomputation.  The method name and
+        config are validated through the registry exactly like a live query;
+        the *caller* vouches that ``result`` answers that query on this
+        session's graph — the store backs that up with its content
+        fingerprint and per-entry checksums.  Returns ``False`` (and caches
+        nothing) when result caching is disabled.
+        """
+        self._check_unmutated()
+        spec = get_method_spec(method)
+        cfg = spec.config_type.resolve(config)
+        if self._result_cache_size <= 0:
+            return False
+        key = (spec.name, cfg)
+        self._results[key] = _copy_result(result)
+        self._results.move_to_end(key)
+        while len(self._results) > self._result_cache_size:
+            self._results.popitem(last=False)
+        return True
+
+    def cached_xy_cores(self) -> list[XYCore]:
+        """Copies of every [x, y]-core this session has computed so far."""
+        return [_copy_core(core) for core in self._xy_cores.values()]
+
+    def cached_max_core(self) -> XYCore | None:
+        """The cached maximum-product core, or ``None`` — never computes it."""
+        return _copy_core(self._max_core) if self._max_core is not None else None
+
+    def seed_derived(
+        self,
+        *,
+        out_degrees: list[int] | None = None,
+        in_degrees: list[int] | None = None,
+        xy_cores: list[XYCore] | None = None,
+        max_core: XYCore | None = None,
+        density_upper_bound: float | None = None,
+        exactness_tolerance: float | None = None,
+    ) -> None:
+        """Adopt derived per-graph state computed elsewhere (store warm start).
+
+        Only the pieces passed are adopted; anything already cached is
+        overwritten.  Degree arrays are validated against the graph's node
+        count and core node indices against its index range (mismatched
+        state means it belongs to a different graph and raises
+        :class:`~repro.exceptions.GraphError` here, not an ``IndexError``
+        at some later query).
+        """
+        self._check_unmutated()
+        n = self.graph.num_nodes
+        for name, degrees in (("out_degrees", out_degrees), ("in_degrees", in_degrees)):
+            if degrees is not None and len(degrees) != n:
+                raise GraphError(
+                    f"seeded {name} has {len(degrees)} entries but the graph has {n} nodes"
+                )
+
+        def checked_core(core: XYCore) -> XYCore:
+            """Copy a core after verifying its indices fit this graph."""
+            if any(not 0 <= index < n for index in (*core.s_nodes, *core.t_nodes)):
+                raise GraphError(
+                    f"seeded [{core.x}, {core.y}]-core holds node indices outside "
+                    f"[0, {n}); it belongs to a different graph"
+                )
+            return _copy_core(core)
+
+        if out_degrees is not None:
+            self._out_degrees = [int(d) for d in out_degrees]
+        if in_degrees is not None:
+            self._in_degrees = [int(d) for d in in_degrees]
+        if xy_cores is not None:
+            for core in xy_cores:
+                self._xy_cores[(core.x, core.y)] = checked_core(core)
+        if max_core is not None:
+            self._max_core = checked_core(max_core)
+        if density_upper_bound is not None:
+            self._density_upper = float(density_upper_bound)
+        if exactness_tolerance is not None:
+            self._exact_tolerance = float(exactness_tolerance)
+
+    # ------------------------------------------------------------------
     # introspection / maintenance
     # ------------------------------------------------------------------
     def cache_stats(self) -> dict[str, Any]:
@@ -539,6 +638,7 @@ class DDSSession:
             "warm_starts_used",
             "cold_starts",
             "warm_start_fallbacks",
+            "height_reuses",
         ):
             stats[counter] = sum(getattr(engine, counter) for engine in self._engines.values())
         stats["xy_cores_cached"] = len(self._xy_cores) + (1 if self._max_core is not None else 0)

@@ -285,3 +285,121 @@ class TestBatchCommand:
         path = self._write_queries(tmp_path, [{"query": "summary", "x": 1}])
         with pytest.raises(SystemExit, match="unexpected fields: x"):
             main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+
+class TestBatchPlanning:
+    """The batch command drives the service tier: planner + executor + store."""
+
+    def _write_queries(self, tmp_path, queries):
+        path = tmp_path / "queries.json"
+        path.write_text(json.dumps(queries))
+        return path
+
+    MIXED = [
+        {"query": "densest", "method": "core-exact"},
+        {"query": "fixed-ratio", "ratio": 1.0},
+        {"query": "densest", "method": "core-approx"},
+        {"query": "densest", "method": "core-exact"},
+        {"query": "fixed-ratio", "ratio": 1.0},
+    ]
+
+    def test_planned_and_no_plan_agree_on_answers(self, edge_list_file, tmp_path, capsys):
+        path = self._write_queries(tmp_path, self.MIXED)
+        assert main(["batch", "--edge-list", str(edge_list_file), str(path)]) == 0
+        planned = json.loads(capsys.readouterr().out)
+        assert main(["batch", "--edge-list", str(edge_list_file), str(path), "--no-plan"]) == 0
+        unplanned = json.loads(capsys.readouterr().out)
+        # densest payloads carry no order-dependent counters: exact equality.
+        assert planned["results"][0] == unplanned["results"][0]
+        assert planned["results"][0] == planned["results"][3]
+        assert len(planned["results"]) == len(self.MIXED)
+
+    def test_explain_reports_plan_and_realized_hits(self, edge_list_file, tmp_path, capsys):
+        path = self._write_queries(tmp_path, self.MIXED)
+        assert main(["batch", "--edge-list", str(edge_list_file), str(path), "--explain"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        plan = payload["plan"]
+        assert plan["planned"] is True
+        assert sorted(plan["execution_order"]) == list(range(len(self.MIXED)))
+        assert plan["predicted"]["result_cache_hits"] >= 1
+        assert plan["realized"]["result_cache_hits"] >= 1
+        assert len(plan["timings"]) == len(self.MIXED)
+
+    def test_per_query_dataset_routes_to_own_session(self, tmp_path, capsys):
+        queries = [
+            {"query": "densest", "method": "core-approx"},
+            {"query": "densest", "method": "core-approx", "dataset": "social-tiny"},
+        ]
+        path = self._write_queries(tmp_path, queries)
+        assert main(["batch", "--dataset", "foodweb-tiny", str(path)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"][0]["density"] != payload["results"][1]["density"]
+
+    def test_batch_store_round_trip_serves_second_run_from_cache(
+        self, edge_list_file, tmp_path, capsys
+    ):
+        path = self._write_queries(tmp_path, [{"query": "densest", "method": "core-exact"}])
+        store_dir = str(tmp_path / "store")
+        argv = ["batch", "--edge-list", str(edge_list_file), str(path), "--store", store_dir]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert sum(row["results_saved"] for row in first["store"].values()) == 1
+        assert first["session"]["result_cache_hits"] == 0
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert sum(row["results_loaded"] for row in second["store"].values()) == 1
+        # The only query is answered straight from the persistent store.
+        assert second["session"]["result_cache_hits"] == 1
+        assert second["session"]["flow_calls"] == 0
+        assert second["results"] == first["results"]
+
+    def test_unknown_per_query_dataset_is_clean_error(self, edge_list_file, tmp_path):
+        path = self._write_queries(
+            tmp_path, [{"query": "summary", "dataset": "not-a-dataset"}]
+        )
+        with pytest.raises(SystemExit, match="unknown dataset"):
+            main(["batch", "--edge-list", str(edge_list_file), str(path)])
+
+
+class TestWarmAndStoreCommands:
+    def test_warm_then_store_inventory_and_clear(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert (
+            main(["warm", "--dataset", "foodweb-tiny", "--store", store_dir, "--max-core"]) == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["saved"]["results_saved"] == 1
+        assert "max-core" in payload["computed"]
+        assert len(payload["fingerprint"]) == 64
+
+        assert main(["store", store_dir]) == 0
+        inventory = json.loads(capsys.readouterr().out)
+        assert len(inventory["graphs"]) == 1
+        assert inventory["graphs"][0]["results"] == 1
+
+        assert main(["store", store_dir, "--verify"]) == 0
+        assert json.loads(capsys.readouterr().out)["problems"] == []
+
+        assert main(["store", store_dir, "--clear"]) == 0
+        assert json.loads(capsys.readouterr().out)["cleared_graphs"] == 1
+
+    def test_warm_with_explicit_methods(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        argv = [
+            "warm", "--dataset", "foodweb-tiny", "--store", store_dir,
+            "--method", "core-approx", "--method", "core-exact",
+        ]
+        assert main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["saved"]["results_saved"] == 2
+
+    def test_store_verify_fails_on_tampering(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--dataset", "foodweb-tiny", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        [entry] = (store_dir / "graphs").glob("*/results/*.json")
+        document = json.loads(entry.read_text())
+        document["payload"]["result"]["density"] = 123.0
+        entry.write_text(json.dumps(document))
+        assert main(["store", str(store_dir), "--verify"]) == 1
+        assert json.loads(capsys.readouterr().out)["problems"]

@@ -1,0 +1,280 @@
+"""The persistent session store: lossless round trips and integrity checks.
+
+Acceptance criteria of the service tier (ISSUE 4): a result loaded from
+disk compares equal — subgraph, density, stats — to the freshly computed
+one; corruption (tampered payloads, wrong schema versions, mismatched
+graphs) is detected and counted, never silently served.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import ApproxConfig, ExactConfig, FlowConfig
+from repro.datasets.registry import load_dataset
+from repro.exceptions import StoreError
+from repro.graph.digraph import DiGraph
+from repro.service import STORE_SCHEMA_VERSION, SessionStore
+from repro.session import DDSSession
+
+
+@pytest.fixture
+def graph():
+    return load_dataset("foodweb-tiny")
+
+
+def _strip_hit_marker(result):
+    stats = dict(result.stats)
+    stats.pop("result_cache_hit", None)
+    return stats
+
+
+class TestFingerprint:
+    def test_stable_across_instances(self):
+        a = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        b = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        assert a.content_fingerprint() == b.content_fingerprint()
+        assert a.state_token != b.state_token
+
+    def test_changes_with_structure_and_node_order(self):
+        base = DiGraph.from_edges([("a", "b"), ("b", "c")])
+        more = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        reordered = DiGraph.from_edges([("b", "c"), ("a", "b")])
+        assert base.content_fingerprint() != more.content_fingerprint()
+        # Node insertion order is part of the identity (index tie-breaking).
+        assert base.content_fingerprint() != reordered.content_fingerprint()
+
+    def test_cache_invalidated_on_mutation(self):
+        graph = DiGraph.from_edges([("a", "b")])
+        before = graph.content_fingerprint()
+        graph.add_edge("b", "a")
+        assert graph.content_fingerprint() != before
+
+
+class TestRoundTrip:
+    def test_result_round_trip_is_lossless(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        warm = DDSSession(graph)
+        fresh = warm.densest_subgraph("core-exact")
+        warm.xy_core(2, 2)
+        warm.max_xy_core()
+        counters = store.save_session(warm)
+        assert counters["results_saved"] == 1
+        assert counters["derived_saved"] == 1
+
+        cold = DDSSession(load_dataset("foodweb-tiny"))
+        loaded = store.warm_session(cold)
+        assert loaded["results_loaded"] == 1
+        assert loaded["derived_loaded"] == 1
+        assert loaded["results_corrupt"] == 0
+        served = cold.densest_subgraph("core-exact")
+        # Served straight from the store: no recomputation happened ...
+        assert served.stats["result_cache_hit"] is True
+        assert cold.cache_stats()["flow_calls"] == 0
+        # ... and the answer is bit-identical to the freshly computed one.
+        assert served.s_nodes == fresh.s_nodes
+        assert served.t_nodes == fresh.t_nodes
+        assert served.density == fresh.density
+        assert served.edge_count == fresh.edge_count
+        assert served.is_exact == fresh.is_exact
+        assert _strip_hit_marker(served) == _strip_hit_marker(fresh)
+
+    def test_derived_state_round_trips(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        warm = DDSSession(graph)
+        core = warm.max_xy_core()
+        store.save_session(warm)
+
+        cold = DDSSession(load_dataset("foodweb-tiny"))
+        store.warm_session(cold)
+        assert cold.out_degrees() == warm.out_degrees()
+        assert cold.in_degrees() == warm.in_degrees()
+        assert cold.density_upper_bound() == warm.density_upper_bound()
+        restored = cold.cached_max_core()
+        assert restored is not None
+        assert (restored.x, restored.y) == (core.x, core.y)
+        assert restored.s_nodes == core.s_nodes
+
+    def test_distinct_configs_stored_separately(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        session = DDSSession(graph)
+        session.densest_subgraph("core-exact")
+        session.densest_subgraph("core-exact", config=ExactConfig(tolerance=0.5))
+        session.densest_subgraph("core-approx", config=ApproxConfig())
+        assert store.save_session(session)["results_saved"] == 3
+        cold = DDSSession(load_dataset("foodweb-tiny"))
+        assert store.warm_session(cold)["results_loaded"] == 3
+        hit = cold.densest_subgraph("core-exact", config=ExactConfig(tolerance=0.5))
+        assert hit.stats["result_cache_hit"] is True
+
+    def test_non_json_native_labels_are_skipped_not_mangled(self, tmp_path):
+        graph = DiGraph.from_edges([((1, "a"), (2, "b")), ((1, "a"), (3, "c"))])
+        session = DDSSession(graph)
+        session.densest_subgraph("core-approx")
+        counters = SessionStore(tmp_path).save_session(session)
+        assert counters["results_saved"] == 0
+        assert counters["results_skipped"] == 1
+
+    def test_unknown_graph_warms_nothing(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        counters = store.warm_session(DDSSession(graph))
+        assert counters == {
+            "results_loaded": 0,
+            "results_corrupt": 0,
+            "results_incompatible": 0,
+            "derived_loaded": 0,
+            "derived_corrupt": 0,
+            "manifest_corrupt": 0,
+        }
+
+
+class TestIntegrity:
+    def _populated_store(self, graph, root) -> SessionStore:
+        store = SessionStore(root)
+        session = DDSSession(graph)
+        session.densest_subgraph("core-exact")
+        store.save_session(session)
+        return store
+
+    def test_tampered_result_is_counted_and_skipped(self, graph, tmp_path):
+        store = self._populated_store(graph, tmp_path)
+        [entry] = (tmp_path / "graphs").glob("*/results/*.json")
+        document = json.loads(entry.read_text())
+        document["payload"]["result"]["density"] = 999.0  # checksum now lies
+        entry.write_text(json.dumps(document))
+        cold = DDSSession(load_dataset("foodweb-tiny"))
+        counters = store.warm_session(cold)
+        assert counters["results_corrupt"] == 1
+        assert counters["results_loaded"] == 0
+        # The poisoned entry is never served: the query recomputes.
+        assert cold.densest_subgraph("core-exact").stats["result_cache_hit"] is False
+
+    def test_verify_reports_tampering(self, graph, tmp_path):
+        store = self._populated_store(graph, tmp_path)
+        assert store.verify() == []
+        [entry] = (tmp_path / "graphs").glob("*/results/*.json")
+        document = json.loads(entry.read_text())
+        document["payload"]["result"]["density"] = 999.0
+        entry.write_text(json.dumps(document))
+        problems = store.verify()
+        assert len(problems) == 1 and "checksum" in problems[0]
+
+    def test_wrong_store_schema_version_is_refused(self, tmp_path):
+        (tmp_path / "store.json").write_text(
+            json.dumps({"store_schema_version": STORE_SCHEMA_VERSION + 1})
+        )
+        with pytest.raises(StoreError, match="schema version"):
+            SessionStore(tmp_path)
+
+    def test_corrupt_manifest_loads_nothing_but_never_raises(self, graph, tmp_path):
+        """Serving must not die because a cache entry rotted: a bad manifest
+        distrusts the whole graph directory, counted, and the query recomputes."""
+        store = self._populated_store(graph, tmp_path)
+        [manifest] = (tmp_path / "graphs").glob("*/manifest.json")
+        document = json.loads(manifest.read_text())
+        document["payload"]["num_edges"] += 1
+        manifest.write_text(json.dumps(document))
+        # The tamper is visible to the operator tool ...
+        assert any("manifest.json" in problem for problem in store.verify())
+        # ... and to the serving path, which distrusts the directory.
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        counters = store.warm_session(session)
+        assert counters["manifest_corrupt"] == 1
+        assert counters["results_loaded"] == 0
+        assert session.densest_subgraph("core-exact").stats["result_cache_hit"] is False
+        # Saving self-heals the manifest from the live graph ...
+        store.save_session(session)
+        healed = store.warm_session(DDSSession(load_dataset("foodweb-tiny")))
+        # ... so the next warm start trusts the directory again.
+        assert healed["manifest_corrupt"] == 0
+        assert healed["results_loaded"] == 1
+
+    def test_incompatible_method_is_counted_not_fatal(self, graph, tmp_path):
+        store = self._populated_store(graph, tmp_path)
+        [entry] = (tmp_path / "graphs").glob("*/results/*.json")
+        document = json.loads(entry.read_text())
+        document["payload"]["method"] = "not-a-registered-method"
+        # Re-checksum so only the method name is "wrong", not the envelope.
+        import hashlib
+
+        canonical = json.dumps(document["payload"], sort_keys=True, separators=(",", ":"))
+        document["checksum"] = hashlib.sha256(canonical.encode()).hexdigest()
+        entry.write_text(json.dumps(document))
+        counters = store.warm_session(DDSSession(load_dataset("foodweb-tiny")))
+        assert counters["results_incompatible"] == 1
+        assert counters["results_corrupt"] == 0
+
+
+class TestManagement:
+    def test_inventory_and_clear(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        assert store.inventory() == []
+        session = DDSSession(graph)
+        session.densest_subgraph("core-approx")
+        store.save_session(session)
+        other = DDSSession(load_dataset("social-tiny"))
+        other.densest_subgraph("core-approx")
+        store.save_session(other)
+        rows = store.inventory()
+        assert len(rows) == 2
+        assert all(row["results"] == 1 and row["derived"] for row in rows)
+        assert {row["num_nodes"] for row in rows} == {
+            graph.num_nodes,
+            other.graph.num_nodes,
+        }
+        assert store.clear() == 2
+        assert store.inventory() == []
+
+    def test_save_is_idempotent_and_skips_unchanged_entries(self, graph, tmp_path):
+        store = SessionStore(tmp_path)
+        session = DDSSession(graph)
+        session.densest_subgraph("core-exact")
+        first = store.save_session(session)
+        assert first["results_saved"] == 1 and first["derived_saved"] == 1
+        # Re-saving identical state rewrites nothing (no write churn on the
+        # warm->serve->save loop of a store-backed batch).
+        second = store.save_session(session)
+        assert second["results_saved"] == 0
+        assert second["results_unchanged"] == 1
+        assert second["derived_saved"] == 0
+        [graph_dir] = (tmp_path / "graphs").iterdir()
+        assert len(list((graph_dir / "results").glob("*.json"))) == 1
+
+
+class TestSessionSeedHooks:
+    def test_seed_result_respects_disabled_cache(self, graph):
+        donor = DDSSession(graph)
+        donor.densest_subgraph("core-approx")
+        [(method, config, cached)] = donor.cached_results()
+        disabled = DDSSession(load_dataset("foodweb-tiny"), result_cache_size=0)
+        assert disabled.seed_result(method, config, cached) is False
+
+    def test_seed_derived_validates_degree_lengths(self, graph):
+        from repro.exceptions import GraphError
+
+        session = DDSSession(graph)
+        with pytest.raises(GraphError, match="seeded out_degrees"):
+            session.seed_derived(out_degrees=[1, 2, 3])
+
+    def test_seed_derived_rejects_foreign_core_indices(self, graph):
+        from repro.core.xycore import XYCore
+        from repro.exceptions import GraphError
+
+        session = DDSSession(graph)
+        alien = XYCore(x=1, y=1, s_nodes=[graph.num_nodes + 5], t_nodes=[0])
+        with pytest.raises(GraphError, match="different graph"):
+            session.seed_derived(xy_cores=[alien])
+        with pytest.raises(GraphError, match="different graph"):
+            session.seed_derived(max_core=alien)
+
+    def test_session_flow_config_is_independent_of_store(self, graph, tmp_path):
+        # A store written under one solver warms sessions using another: the
+        # cached *results* are solver-independent facts about the graph.
+        store = SessionStore(tmp_path)
+        donor = DDSSession(graph, flow=FlowConfig(solver="push-relabel"))
+        donor.densest_subgraph("core-approx")
+        store.save_session(donor)
+        receiver = DDSSession(load_dataset("foodweb-tiny"))
+        assert store.warm_session(receiver)["results_loaded"] == 1

@@ -23,9 +23,10 @@ import pytest
 import repro.core.api as api_module
 from repro.core.api import densest_subgraph
 from repro.core.config import ExactConfig
+from repro.core.results import DDSResult
 from repro.core.topk import top_k_densest
 from repro.datasets.registry import load_dataset
-from repro.exceptions import AlgorithmError, EmptyGraphError, GraphError
+from repro.exceptions import AlgorithmError, EmptyGraphError, GraphError, StoreError
 from repro.graph.digraph import DiGraph
 from repro.graph.generators import complete_bipartite_digraph, gnm_random_digraph
 from repro.session import DDSSession
@@ -351,7 +352,7 @@ class TestToJson:
         session = DDSSession(load_dataset("foodweb-tiny"))
         result = session.densest_subgraph("core-exact")
         document = json.loads(result.to_json())
-        assert document["schema_version"] == 1
+        assert document["schema_version"] == 2
         for key in (
             "method",
             "density",
@@ -375,3 +376,28 @@ class TestToJson:
         result = DDSSession(graph).densest_subgraph("core-approx")
         document = json.loads(result.to_json())
         assert document["s_nodes"] == [str((1, "a"))]
+
+    def test_from_json_roundtrip_is_lossless(self):
+        # The schema-2 contract: to_dict emits JSON-native values only, so a
+        # dump/parse/rebuild cycle reproduces the result exactly (the
+        # invariant the persistent session store rests on).
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        result = session.densest_subgraph("core-exact")
+        rebuilt = DDSResult.from_json(result.to_json())
+        assert rebuilt == result
+
+    def test_from_dict_rejects_unknown_schema_and_corruption(self):
+        result = DDSSession(load_dataset("foodweb-tiny")).densest_subgraph("core-approx")
+        document = result.to_dict()
+        bad_version = dict(document, schema_version=99)
+        with pytest.raises(StoreError, match="schema_version"):
+            DDSResult.from_dict(bad_version)
+        inconsistent = dict(document, s_size=document["s_size"] + 1)
+        with pytest.raises(StoreError, match="inconsistent"):
+            DDSResult.from_dict(inconsistent)
+        missing = dict(document)
+        del missing["s_size"]
+        with pytest.raises(StoreError, match="malformed"):
+            DDSResult.from_dict(missing)
+        with pytest.raises(StoreError):
+            DDSResult.from_json("{not json")

@@ -388,3 +388,61 @@ class TestSessionWarmStarts:
         with warnings_module.catch_warnings():
             warnings_module.simplefilter("error", UserWarning)
             session.densest_subgraph("brute-force", config=config)
+
+
+# ----------------------------------------------------------------------
+# Push-relabel height reuse (labels survive warm retunes)
+# ----------------------------------------------------------------------
+class TestHeightReuse:
+    def _pr_config(self, warm: bool = True) -> ExactConfig:
+        return _config("push-relabel", warm)
+
+    def test_warm_solves_reuse_heights_and_match_cold(self):
+        graph = load_dataset("foodweb-tiny")
+        warm = DDSSession(graph, flow=FlowConfig(solver="push-relabel"))
+        warm_result = warm.densest_subgraph("core-exact")
+        cold = DDSSession(graph, flow=FlowConfig(solver="push-relabel", warm_start=False))
+        cold_result = cold.densest_subgraph("core-exact")
+        assert warm_result.stats["height_reuses"] >= 1
+        assert cold_result.stats["height_reuses"] == 0
+        # Height reuse is a work optimisation, never an answer change.
+        assert warm_result.density == cold_result.density
+        assert sorted(map(str, warm_result.s_nodes)) == sorted(map(str, cold_result.s_nodes))
+        assert sorted(map(str, warm_result.t_nodes)) == sorted(map(str, cold_result.t_nodes))
+        assert warm_result.stats["arcs_pushed"] < cold_result.stats["arcs_pushed"]
+
+    @pytest.mark.parametrize("seed", [3, 11, 29])
+    def test_repeated_retuned_solves_stay_exact(self, seed):
+        """Sweep guesses up and down on one network: every warm solve with
+        reused (repaired) heights must match a cold solve from scratch."""
+        graph = gnm_random_digraph(12, 50, seed=seed)
+        subproblem = STSubproblem.from_graph(graph)
+        network = build_decision_network(subproblem, 1.0, 1.0)
+        engine = FlowEngine("push-relabel")
+        guesses = [1.0, 2.5, 0.75, 3.5, 0.25, 2.0]
+        for index, guess in enumerate(guesses):
+            network.retune(1.0, guess, warm_start=True)
+            value, _ = engine.min_cut(
+                network.network, network.source, network.sink, warm_start=index > 0
+            )
+            reference = build_decision_network(subproblem, 1.0, guess)
+            cold_engine = FlowEngine("push-relabel")
+            expected, _ = cold_engine.min_cut(reference.network, reference.source, reference.sink)
+            assert value == pytest.approx(expected, abs=1e-9)
+        assert engine.height_reuses >= len(guesses) - 1
+
+    def test_heights_stash_dropped_on_topology_change(self):
+        network = FlowNetwork(3)
+        network.add_edge(0, 1, 2.0)
+        network.add_edge(1, 2, 1.0)
+        engine = FlowEngine("push-relabel")
+        engine.min_cut(network, 0, 2)
+        assert network.stashed_heights(0, 2) is not None
+        network.add_node()
+        assert network.stashed_heights(0, 2) is None
+
+    def test_dinic_never_reports_height_reuse(self):
+        session = DDSSession(load_dataset("foodweb-tiny"))  # dinic default
+        result = session.densest_subgraph("core-exact")
+        assert result.stats["height_reuses"] == 0
+        assert session.cache_stats()["height_reuses"] == 0

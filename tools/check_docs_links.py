@@ -4,7 +4,10 @@
 Used by the CI docs job.  Walks ``README.md`` and every ``docs/*.md`` file,
 extracts Markdown link targets, and fails (exit code 1) when
 
-* a *relative* link points at a file that does not exist, or
+* a *relative* link points at a file that does not exist,
+* a link's ``#fragment`` — intra-document or into another Markdown file —
+  names a heading anchor that does not exist in the target (GitHub
+  slugification rules), or
 * a ``repro.*`` dotted reference in backticked inline code names a module
   that cannot be found under ``src/``.
 
@@ -16,11 +19,44 @@ from __future__ import annotations
 
 import re
 import sys
+from functools import lru_cache
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 MODULE_PATTERN = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z0-9_]*)+)`")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*?)\s*#*\s*$")
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of one heading line."""
+    text = re.sub(r"`([^`]*)`", r"\1", heading)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep their text
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+@lru_cache(maxsize=None)
+def _anchors_of(path: Path) -> frozenset[str]:
+    """Every heading anchor a Markdown file exposes (duplicates numbered)."""
+    anchors: list[str] = []
+    counts: dict[str, int] = {}
+    in_code_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if line.lstrip().startswith("```"):
+            in_code_fence = not in_code_fence
+            continue
+        if in_code_fence:
+            continue
+        match = HEADING_PATTERN.match(line)
+        if not match:
+            continue
+        slug = _slugify(match.group(1))
+        seen = counts.get(slug, 0)
+        counts[slug] = seen + 1
+        anchors.append(slug if seen == 0 else f"{slug}-{seen}")
+    return frozenset(anchors)
 
 
 def _doc_files() -> list[Path]:
@@ -36,14 +72,20 @@ def _check_links(path: Path) -> list[str]:
         target = match.group(1)
         if target.startswith(("http://", "https://", "mailto:")):
             continue
-        if target.startswith("#"):  # intra-document anchor; headings move freely
-            continue
-        relative = target.split("#", 1)[0]
-        if not relative:
-            continue
-        resolved = (path.parent / relative).resolve()
-        if not resolved.exists():
-            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+        relative, _, fragment = target.partition("#")
+        if relative:
+            resolved = (path.parent / relative).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(REPO_ROOT)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path  # intra-document anchor
+        if fragment and resolved.suffix == ".md":
+            if fragment.lower() not in _anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(REPO_ROOT)}: broken anchor -> {target} "
+                    f"(no heading '#{fragment}' in {resolved.relative_to(REPO_ROOT)})"
+                )
     return errors
 
 
