@@ -29,11 +29,21 @@ E6-style workload (:func:`repro.bench.workloads.service_mixed_workload`) the
 planned execution order must record **strictly more** result + network
 cache hits than ``--no-plan`` file order, while both orders return
 bit-identical per-query answers.
+
+Finally, when numpy is importable the smoke gates the vectorised flow
+backend: on the large E6 workload (dc-exact over ``er-medium``, whose
+decision networks sit far above the ``auto`` arc threshold) the
+``numpy-push-relabel`` backend must return the **bit-identical** densest
+subgraph **in strictly lower wall-clock time** than ``dinic``, and the
+``auto`` policy must actually select it (``backend_selections`` > 0).
+Without numpy the gate reports itself skipped (registry degradation is
+covered by the test suite).
 """
 
 from __future__ import annotations
 
 import sys
+import time
 
 import pytest
 from conftest import emit
@@ -44,6 +54,7 @@ from repro.bench.workloads import service_mixed_workload
 from repro.core.config import ExactConfig, FlowConfig
 from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
+from repro.flow.registry import VECTOR_SOLVER, has_vector_backend
 from repro.service import BatchExecutor, payload_answer, plan_batch
 from repro.session import DDSSession
 
@@ -161,6 +172,79 @@ def run_planner_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Dataset + method of the vector-backend smoke gate: the largest workload
+#: the smoke can afford, with decision networks (~27k arcs) far above the
+#: auto policy's threshold.
+VECTOR_SMOKE_DATASET = "er-medium"
+VECTOR_SMOKE_METHOD = "dc-exact"
+
+
+def run_vector_smoke(failures: list[str]) -> dict:
+    """Vector-backend gate: bit-identical answers, strictly lower wall-clock.
+
+    Runs :data:`VECTOR_SMOKE_METHOD` on :data:`VECTOR_SMOKE_DATASET` once
+    with ``dinic`` and once with ``numpy-push-relabel`` (fresh sessions),
+    asserting (1) bit-identical density and vertex sets, (2) strictly lower
+    numpy wall-clock on this large workload, and (3) that the ``auto``
+    policy selects the vectorised backend here.  Appends failure strings to
+    ``failures`` and returns a table row; when numpy is missing the gate is
+    reported as skipped instead of failing.
+    """
+    if not has_vector_backend():
+        return {
+            "dataset": VECTOR_SMOKE_DATASET,
+            "method": VECTOR_SMOKE_METHOD,
+            "status": "skipped (numpy not importable)",
+        }
+    graph = load_dataset(VECTOR_SMOKE_DATASET)
+    runs = {}
+    for solver in ("dinic", VECTOR_SOLVER):
+        # Best-of-2: the expected margin is 2-3x, so one repeat per solver
+        # keeps a noisy-neighbour stall on a shared CI runner from flipping
+        # the strict wall-clock comparison.
+        walls = []
+        for _ in range(2):
+            session = DDSSession(graph.copy(), flow=FlowConfig(solver=solver))
+            start = time.perf_counter()
+            result = session.densest_subgraph(VECTOR_SMOKE_METHOD)
+            walls.append(time.perf_counter() - start)
+        runs[solver] = (min(walls), result)
+    dinic_wall, dinic_result = runs["dinic"]
+    numpy_wall, numpy_result = runs[VECTOR_SOLVER]
+    if (
+        dinic_result.density != numpy_result.density
+        or sorted(map(str, dinic_result.s_nodes)) != sorted(map(str, numpy_result.s_nodes))
+        or sorted(map(str, dinic_result.t_nodes)) != sorted(map(str, numpy_result.t_nodes))
+    ):
+        failures.append(
+            f"vector backend: {VECTOR_SOLVER} and dinic disagree on the "
+            f"{VECTOR_SMOKE_DATASET} subgraph "
+            f"({numpy_result.density} vs {dinic_result.density})"
+        )
+    if numpy_wall >= dinic_wall:
+        failures.append(
+            f"vector backend: {VECTOR_SOLVER} wall-clock {numpy_wall:.2f}s is not "
+            f"strictly below dinic's {dinic_wall:.2f}s on the large workload"
+        )
+    auto_session = DDSSession(graph.copy(), flow=FlowConfig(solver="auto"))
+    auto_session.densest_subgraph(VECTOR_SMOKE_METHOD)
+    auto_stats = auto_session.cache_stats()
+    if auto_stats.get("auto_backends", {}).get(VECTOR_SOLVER, 0) < 1:
+        failures.append(
+            "vector backend: the auto policy never selected "
+            f"{VECTOR_SOLVER} on {VECTOR_SMOKE_DATASET} "
+            f"(auto_backends: {auto_stats.get('auto_backends')!r})"
+        )
+    return {
+        "dataset": VECTOR_SMOKE_DATASET,
+        "method": VECTOR_SMOKE_METHOD,
+        "dinic_ms": round(dinic_wall * 1000, 1),
+        "numpy_ms": round(numpy_wall * 1000, 1),
+        "speedup": round(dinic_wall / numpy_wall, 2),
+        "backend_selections": auto_stats.get("backend_selections", 0),
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -230,6 +314,8 @@ def run_smoke() -> int:
     print(format_table(rows, title="E6 smoke: flow-call regression gate"))
     planner_row = run_planner_smoke(failures)
     print(format_table([planner_row], title="E6 smoke: batch-planner cache-hit gate"))
+    vector_row = run_vector_smoke(failures)
+    print(format_table([vector_row], title="E6 smoke: vectorised-backend gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -1,11 +1,23 @@
 """Setuptools shim.
 
-The canonical metadata lives in ``setup.cfg``; this file exists so that
-legacy editable installs (``pip install -e .`` with older setuptools/pip
-stacks that lack the ``wheel`` package, as in the offline evaluation
-environment) keep working.
+This file exists so that legacy editable installs (``pip install -e .`` with
+older setuptools/pip stacks that lack the ``wheel`` package, as in the
+offline evaluation environment) keep working.
+
+Extras
+------
+``vector``
+    numpy, enabling the vectorised ``numpy-push-relabel`` flow backend and
+    the bulk-array fast paths in the retune/excess-return machinery.  The
+    package is fully functional without it: the solver registry simply does
+    not list the vectorised backend and ``flow_solver="auto"`` resolves to
+    ``dinic`` everywhere.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        "vector": ["numpy>=1.22"],
+    },
+)

@@ -32,7 +32,7 @@ from typing import Any, Sequence
 from repro.core.method_registry import available_methods
 from repro.datasets.registry import dataset_specs, load_dataset
 from repro.exceptions import ConfigError, ReproError
-from repro.flow.registry import available_flow_solvers
+from repro.flow.registry import flow_solver_choices
 from repro.graph.digraph import DiGraph
 from repro.graph.io import read_edge_list
 from repro.service import BatchExecutor, SessionStore, plan_batch
@@ -67,8 +67,10 @@ def _add_method_options(parser: argparse.ArgumentParser, *, with_quality: bool) 
     parser.add_argument(
         "--flow-solver",
         default=None,
-        choices=available_flow_solvers(),
-        help="max-flow backend for the flow-backed exact methods (default: dinic)",
+        choices=flow_solver_choices(),
+        help="max-flow backend for the flow-backed exact methods (default: dinic; "
+        "'auto' picks the vectorised numpy backend for large decision networks "
+        "when numpy is installed)",
     )
     parser.add_argument(
         "--cold-start",
@@ -181,7 +183,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     store = SessionStore(args.store) if args.store is not None else None
     try:
         plan = plan_batch(queries, default_graph_key=default_key, planned=not args.no_plan)
-        executor = BatchExecutor(provider, max_workers=args.jobs, store=store)
+        executor = BatchExecutor(
+            provider, flow=args.flow_solver, max_workers=args.jobs, store=store
+        )
         report = executor.execute(plan)
     except ConfigError as error:
         raise SystemExit(f"invalid configuration: {error}")
@@ -235,7 +239,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
     if args.clear:
         print(json.dumps({"cleared_graphs": store.clear()}, indent=2))
         return 0
-    payload: dict[str, Any] = {"root": str(store.root), "graphs": store.inventory()}
+    payload: dict[str, Any] = {"root": str(store.root)}
+    if args.evict_older_than is not None or args.max_bytes is not None:
+        # Eviction composes with --verify below: sweep first, then report
+        # (and integrity-check) what survived.
+        payload["evicted"] = store.evict(
+            older_than_days=args.evict_older_than, max_bytes=args.max_bytes
+        )
+    payload["graphs"] = store.inventory()
     if args.verify:
         problems = store.verify()
         payload["problems"] = problems
@@ -301,7 +312,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs",
         type=int,
         default=None,
-        help="maximum concurrent per-graph sessions (default: one per graph)",
+        help="maximum concurrent per-graph sessions (default: one per graph); "
+        "with the numpy flow backend ('--flow-solver numpy-push-relabel' or "
+        "'auto') the per-graph lanes run genuinely in parallel, because the "
+        "vectorised solver releases the GIL inside its bulk array operations",
+    )
+    batch.add_argument(
+        "--flow-solver",
+        default=None,
+        choices=flow_solver_choices(),
+        help="max-flow backend applied to every lane session (default: dinic)",
     )
     batch.add_argument(
         "--store",
@@ -336,6 +356,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--verify", action="store_true", help="integrity-check every entry (exit 1 on problems)"
     )
     store.add_argument("--clear", action="store_true", help="delete every stored graph")
+    store.add_argument(
+        "--evict-older-than",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="delete result entries whose content has not changed in DAYS days",
+    )
+    store.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="evict result entries oldest-first (then whole graphs) until the "
+        "store occupies at most N bytes on disk",
+    )
     store.set_defaults(handler=_cmd_store)
 
     datasets = subparsers.add_parser("datasets", help="list registered datasets")

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any
 
 from repro.exceptions import ConfigError
-from repro.flow.registry import DEFAULT_SOLVER, get_solver_class
+from repro.flow.registry import DEFAULT_SOLVER, validate_solver_choice
 
 #: Intervals containing at most this many distinct candidate ratios are
 #: leaves of the divide-and-conquer recursion (canonical definition; the
@@ -110,7 +110,11 @@ class FlowConfig(MethodConfig):
     Attributes
     ----------
     solver:
-        Registry name of the max-flow solver (see :mod:`repro.flow.registry`).
+        Registry name of the max-flow solver (see :mod:`repro.flow.registry`),
+        or ``"auto"`` — the engine then picks the vectorised
+        ``numpy-push-relabel`` backend for decision networks at or above the
+        arc threshold and ``dinic`` below it (and everywhere when numpy is
+        not installed), recording each choice as ``backend_selections``.
     network_cache_size:
         Capacity of the decision-network LRU cache shared across fixed-ratio
         searches (0 disables caching entirely).
@@ -130,8 +134,9 @@ class FlowConfig(MethodConfig):
     warm_start: bool = True
 
     def __post_init__(self) -> None:
-        # Resolve the name eagerly so an unknown solver fails at config time.
-        get_solver_class(self.solver)
+        # Resolve the name eagerly so an unknown solver fails at config time
+        # ("auto" is accepted as a policy and resolved per network).
+        validate_solver_choice(self.solver)
         if not isinstance(self.network_cache_size, int) or self.network_cache_size < 0:
             raise ConfigError(
                 f"network_cache_size must be a non-negative int, got {self.network_cache_size!r}"

@@ -43,6 +43,11 @@ from repro.core.subproblem import STSubproblem
 from repro.exceptions import AlgorithmError
 from repro.flow.network import FlowNetwork
 
+try:  # optional acceleration: retune's penalty sweep vectorises under numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI lane
+    _np = None
+
 #: Slack used when comparing a min-cut value against ``2m'``; the comparison
 #: involves sums of ``O(m)`` floats so the tolerance scales with ``m``.
 CUT_RELATIVE_TOLERANCE = 1e-9
@@ -118,6 +123,12 @@ class DecisionNetwork:
         just enough to stay feasible.  Either way the subsequent max-flow is
         exact — warm starting changes the amount of *work*, never the
         answer.
+
+        Both paths run their penalty-arc sweep as bulk numpy operations on
+        the network's zero-copy views when numpy is importable (the
+        elementwise arithmetic is identical to the scalar loop, so residual
+        states are bit-identical either way); without numpy the original
+        per-arc loop runs.
         """
         if ratio <= 0:
             raise AlgorithmError(f"ratio must be > 0, got {ratio}")
@@ -127,6 +138,9 @@ class DecisionNetwork:
         s_penalty = guess / root
         t_penalty = guess * root
         network = self.network
+        if _np is not None:
+            self._retune_vectorised(s_penalty, t_penalty, warm_start)
+            return
         if not warm_start:
             for arc_index in self.s_penalty_arcs:
                 network.set_capacity(arc_index, s_penalty)
@@ -147,6 +161,65 @@ class DecisionNetwork:
                 excess.append((t_offset + position, overflow))
         if excess:
             network.return_excess(excess, self.source)
+
+    def _retune_vectorised(self, s_penalty: float, t_penalty: float, warm_start: bool) -> None:
+        """Bulk-array implementation of the penalty sweep (numpy present).
+
+        Elementwise it performs exactly the arithmetic of
+        :meth:`FlowNetwork.set_capacity` /
+        :meth:`FlowNetwork.set_capacity_preserving_flow` — same operands,
+        same operations, no re-association — so the resulting residual
+        state is bit-identical to the scalar loop's.  Only the clamp
+        *detection* is vectorised; returning the clamped excess still goes
+        through the generic :meth:`FlowNetwork.return_excess` walk, in the
+        same (node, amount) order the scalar loop would produce.
+        """
+        network = self.network
+        _, _, _, caps, _, base = network.numpy_csr()
+        arcs = self._penalty_arc_index()
+        penalties = _np.empty(arcs.shape[0], dtype=_np.float64)
+        penalties[: len(self.s_penalty_arcs)] = s_penalty
+        penalties[len(self.s_penalty_arcs) :] = t_penalty
+        base[arcs] = penalties
+        if not warm_start:
+            # reset_flow() copies base over every capacity, so the scalar
+            # path's interim cap/twin writes are subsumed by the reset.
+            network.reset_flow()
+            return
+        flows = caps[arcs + 1]
+        fits = flows <= penalties
+        caps[arcs] = _np.where(fits, penalties - flows, 0.0)
+        caps[arcs + 1] = _np.where(fits, flows, penalties)
+        overflow = flows - penalties
+        clamped = _np.flatnonzero(overflow > 0.0)
+        if clamped.size:
+            nodes = self._penalty_node_index()[clamped]
+            network.return_excess(
+                list(zip(nodes.tolist(), overflow[clamped].tolist())), self.source
+            )
+
+    def _penalty_arc_index(self) -> "object":
+        """The S- then T-penalty arc indices as one cached int64 array."""
+        cached = getattr(self, "_np_penalty_arcs", None)
+        if cached is None:
+            cached = _np.asarray(self.s_penalty_arcs + self.t_penalty_arcs, dtype=_np.int64)
+            self._np_penalty_arcs = cached
+        return cached
+
+    def _penalty_node_index(self) -> "object":
+        """Network node of each penalty arc's tail, aligned with :meth:`_penalty_arc_index`."""
+        cached = getattr(self, "_np_penalty_nodes", None)
+        if cached is None:
+            s_offset = 2
+            t_offset = 2 + len(self.s_nodes)
+            cached = _np.concatenate(
+                [
+                    s_offset + _np.arange(len(self.s_penalty_arcs), dtype=_np.int64),
+                    t_offset + _np.arange(len(self.t_penalty_arcs), dtype=_np.int64),
+                ]
+            )
+            self._np_penalty_nodes = cached
+        return cached
 
 
 def build_decision_network(

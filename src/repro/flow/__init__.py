@@ -16,6 +16,10 @@ The DDS exact algorithms reduce the density decision problem to a minimum
   worst-case bound,
 * :class:`EdmondsKarpSolver` / :func:`edmonds_karp_max_flow` — a simple
   reference solver used to cross-check the other two in the test suite,
+* ``NumpyPushRelabelSolver`` (:mod:`repro.flow.numpy_backend`) — the
+  vectorised bulk-synchronous push–relabel backend running on zero-copy
+  numpy views of the CSR buffers (``None`` here, and unlisted in the
+  registry, when numpy is not installed),
 * :mod:`repro.flow.registry` — the name → solver-class registry behind the
   ``flow_solver=`` parameter of the exact APIs and the ``--flow-solver``
   CLI flag,
@@ -51,10 +55,16 @@ from repro.flow.engine import FlowEngine
 from repro.flow.network import INFINITY, FlowNetwork
 from repro.flow.push_relabel import PushRelabelSolver, push_relabel_max_flow
 from repro.flow.registry import (
+    AUTO_SOLVER,
     DEFAULT_SOLVER,
+    VECTOR_SOLVER,
+    NumpyPushRelabelSolver,
     available_flow_solvers,
+    flow_solver_choices,
     get_solver_class,
+    has_vector_backend,
     register_solver,
+    resolve_auto_solver,
     unregister_solver,
 )
 
@@ -68,9 +78,15 @@ __all__ = [
     "edmonds_karp_max_flow",
     "PushRelabelSolver",
     "push_relabel_max_flow",
+    "NumpyPushRelabelSolver",
+    "AUTO_SOLVER",
     "DEFAULT_SOLVER",
+    "VECTOR_SOLVER",
     "available_flow_solvers",
+    "flow_solver_choices",
     "get_solver_class",
+    "has_vector_backend",
     "register_solver",
+    "resolve_auto_solver",
     "unregister_solver",
 ]

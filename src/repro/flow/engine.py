@@ -45,6 +45,15 @@ defined in :mod:`repro.core.network_cache`.
     re-deriving the labelling from zero (see
     :meth:`~repro.flow.network.FlowNetwork.stashed_heights`).  Always 0 for
     solvers without height labels (``dinic``, ``edmonds-karp``).
+``backend_selections``
+    Min-cut computations for which the ``"auto"`` policy chose the backend
+    per network (vectorised ``numpy-push-relabel`` at or above the arc
+    threshold, ``dinic`` below — see
+    :func:`repro.flow.registry.resolve_auto_solver`).  Always 0 for engines
+    configured with a concrete solver name; the per-backend breakdown is
+    exposed as :attr:`FlowEngine.auto_backend_choices` (surfaced by
+    :meth:`DDSSession.cache_stats() <repro.session.DDSSession.cache_stats>`
+    as ``auto_backends``).
 
 A :class:`~repro.session.DDSSession` keeps one engine per solver for its
 whole lifetime, so the counters are *cumulative across queries*; algorithms
@@ -57,7 +66,12 @@ from __future__ import annotations
 from typing import Any
 
 from repro.flow.network import FlowNetwork
-from repro.flow.registry import DEFAULT_SOLVER, get_solver_class
+from repro.flow.registry import (
+    AUTO_SOLVER,
+    DEFAULT_SOLVER,
+    get_solver_class,
+    resolve_auto_solver,
+)
 
 #: Counter attribute names, in the order used by :meth:`FlowEngine.snapshot`.
 _COUNTERS = (
@@ -69,6 +83,7 @@ _COUNTERS = (
     "cold_starts",
     "warm_start_fallbacks",
     "height_reuses",
+    "backend_selections",
 )
 
 
@@ -80,19 +95,46 @@ def zero_snapshot() -> tuple[int, ...]:
 class FlowEngine:
     """Pluggable min-cut executor with per-run instrumentation."""
 
-    __slots__ = ("solver_name", "solver_class", "warm_start_fallback_reason") + _COUNTERS
+    __slots__ = (
+        "solver_name",
+        "solver_class",
+        "warm_start_fallback_reason",
+        "auto_backend_choices",
+    ) + _COUNTERS
 
     def __init__(self, flow_solver: str = DEFAULT_SOLVER) -> None:
         self.solver_name = flow_solver
-        self.solver_class = get_solver_class(flow_solver)
+        # ``"auto"`` is a per-network selection policy, not a class: the
+        # concrete backend is resolved inside min_cut() from the network's
+        # arc count (and counted as ``backend_selections``).
+        self.solver_class = None if flow_solver == AUTO_SOLVER else get_solver_class(flow_solver)
         self.warm_start_fallback_reason: str | None = None
+        #: Lifetime ``{backend name: times chosen}`` of the auto policy
+        #: (empty for engines configured with a concrete solver).
+        self.auto_backend_choices: dict[str, int] = {}
         for name in _COUNTERS:
             setattr(self, name, 0)
 
     @property
     def warm_capable(self) -> bool:
-        """Whether the configured solver can continue from a nonzero flow."""
+        """Whether the configured solver can continue from a nonzero flow.
+
+        Both backends the ``"auto"`` policy can pick (``dinic`` and the
+        vectorised push–relabel) support warm starts, so an auto engine is
+        warm-capable by construction.
+        """
+        if self.solver_class is None:
+            return True
         return bool(getattr(self.solver_class, "supports_warm_start", False))
+
+    def _resolve_class(self, network: FlowNetwork):
+        """The concrete solver class for ``network`` (auto policy applied)."""
+        if self.solver_class is not None:
+            return self.solver_class
+        name, solver_class = resolve_auto_solver(network.num_arcs)
+        self.backend_selections += 1
+        self.auto_backend_choices[name] = self.auto_backend_choices.get(name, 0) + 1
+        return solver_class
 
     def note_network_built(self) -> None:
         """Record that a decision network was constructed from scratch."""
@@ -127,11 +169,12 @@ class FlowEngine:
             self.note_warm_fallback()
             network.reset_flow()
             warm_start = False
+        solver_class = self._resolve_class(network)
         if warm_start:
-            solver = self.solver_class(network, source, sink, warm_start=True)
+            solver = solver_class(network, source, sink, warm_start=True)
             self.warm_starts_used += 1
         else:
-            solver = self.solver_class(network, source, sink)
+            solver = solver_class(network, source, sink)
             self.cold_starts += 1
         value = solver.max_flow()
         self.flow_calls += 1

@@ -26,6 +26,11 @@ from typing import Iterator
 
 from repro.exceptions import FlowError
 
+try:  # optional vectorised fast paths; everything works scalar without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI lane
+    _np = None
+
 #: Capacity used for "uncuttable" arcs.
 INFINITY = float("inf")
 
@@ -66,6 +71,7 @@ class FlowNetwork:
         "_csr_order",
         "_csr_dirty",
         "_csr_lists",
+        "_np_views",
         "_height_stash",
     )
 
@@ -81,6 +87,7 @@ class FlowNetwork:
         self._csr_order = array("q")
         self._csr_dirty = False
         self._csr_lists: tuple[list[list[int]], list[int]] | None = None
+        self._np_views: tuple | None = None
         self._height_stash: dict[tuple[int, int], list[int]] = {}
 
     # ------------------------------------------------------------------
@@ -90,6 +97,7 @@ class FlowNetwork:
         """Append a new node and return its index."""
         self.num_nodes += 1
         self._csr_dirty = True
+        self._np_views = None
         self._height_stash.clear()
         return self.num_nodes - 1
 
@@ -104,14 +112,34 @@ class FlowNetwork:
             raise FlowError(f"capacity must be >= 0, got {capacity}")
         arc_index = len(self._to)
         capacity = float(capacity)
-        self._to.append(target)
-        self._cap.append(capacity)
-        self._base.append(capacity)
-        self._tails.append(source)
-        self._to.append(source)
-        self._cap.append(0.0)
-        self._base.append(0.0)
-        self._tails.append(target)
+        # Drop our cached numpy views before resizing: a live buffer export
+        # would make the appends below raise BufferError.  (Views handed out
+        # by numpy_csr() and still held by callers do keep the buffers
+        # pinned — growing a network mid-solve is an error either way.)
+        self._np_views = None
+        appends = (
+            (self._to, target),
+            (self._cap, capacity),
+            (self._base, capacity),
+            (self._tails, source),
+            (self._to, source),
+            (self._cap, 0.0),
+            (self._base, 0.0),
+            (self._tails, target),
+        )
+        done = 0
+        try:
+            for buffer, value in appends:
+                buffer.append(value)
+                done += 1
+        except BufferError:
+            # A caller-held view pins one of the buffers mid-sequence; the
+            # parallel arrays must stay aligned, so undo the partial appends
+            # (only non-pinned buffers were touched, so the pops succeed)
+            # before re-raising.
+            for buffer, _ in reversed(appends[:done]):
+                buffer.pop()
+            raise
         self._csr_dirty = True
         self._height_stash.clear()
         return arc_index
@@ -179,8 +207,16 @@ class FlowNetwork:
         to accumulate.  Raises :class:`FlowError` if an excess beyond float
         noise cannot be returned, which indicates the residual state was not
         a clamped valid flow.
+
+        When numpy is importable the walk runs as round-based bulk array
+        operations (:meth:`_return_excess_vectorised`) — per round, every
+        surplus cancels greedily against its node's flow-carrying incoming
+        arcs in the same CSR order the scalar walk scans, so the two paths
+        route the cancellation along the same arcs.
         """
         self._check_node(source)
+        if _np is not None and len(self._to):
+            return self._return_excess_vectorised(excess, source)
         heads, targets = self.solver_views()
         cap = self._cap
         returned = 0.0
@@ -209,6 +245,85 @@ class FlowNetwork:
                     "no flow-carrying incoming arcs (residual state is not a clamped flow)"
                 )
         return returned
+
+    def _return_excess_vectorised(
+        self,
+        excess: list[tuple[int, float]],
+        source: int,
+        on_moves: "object | None" = None,
+    ) -> float:
+        """Bulk-array implementation of the excess-return walk (numpy present).
+
+        Round-based: each round cancels every surplus-holding node against
+        its flow-carrying incoming arcs (positive-capacity odd twins),
+        greedily in CSR order via a per-segment exclusive prefix sum, and
+        scatters the cancelled amounts onto the predecessor nodes as the
+        next round's surpluses — excess hops one arc towards the source per
+        round instead of one arc per interpreted loop iteration.  A round
+        that can move nothing while an above-``EPSILON`` surplus remains
+        raises :class:`FlowError`, mirroring the scalar walk.
+
+        ``on_moves``, when given, is called with the number of per-arc
+        residual updates of each round — the hook the vectorised solver uses
+        to keep its ``arcs_pushed`` counter honest when it reuses this walk
+        as the second phase of the preflow algorithm.
+        """
+        starts, order, _, caps, _, _ = self.numpy_csr()
+        _, pos_head, seg_starts, empty_seg, _, counts, valid_segments = (
+            self.numpy_position_index()
+        )
+        # True (unclipped) reduceat boundaries of the non-trailing-empty
+        # segments; trailing arc-less nodes are covered by the zero fill.
+        reduce_starts = starts[:valid_segments]
+        exc = _np.zeros(self.num_nodes, dtype=_np.float64)
+        for node, amount in excess:
+            self._check_node(node)
+            if amount > 0.0:
+                exc[node] += amount
+        pos_odd = (order & 1) == 1
+        returned = 0.0
+        while True:
+            if exc[source] > 0.0:
+                returned += float(exc[source])
+                exc[source] = 0.0
+            if not (exc > 0.0).any():
+                return returned
+            pos_caps = caps[order]
+            # Odd arcs with positive capacity are residual twins: capacity
+            # there is flow on the forward arc *into* this position's tail.
+            cand = _np.where(pos_odd & (pos_caps > 0.0), pos_caps, 0.0)
+            cum = _np.cumsum(cand)
+            exclusive = cum - cand
+            # The per-segment prefix comes from differences of one global
+            # cumsum; rounding can leave it a few ulps negative, which would
+            # manufacture phantom surplus at zero-excess nodes — clamp.
+            prefix = _np.maximum(
+                exclusive - _np.repeat(exclusive[seg_starts], counts), 0.0
+            )
+            room = _np.repeat(exc, counts)
+            delta = _np.minimum(_np.maximum(room - prefix, 0.0), cand)
+            moved_positions = _np.flatnonzero(delta > 0.0)
+            if moved_positions.size == 0:
+                stuck = float(exc.max())
+                if stuck > EPSILON:
+                    node = int(exc.argmax())
+                    raise FlowError(
+                        f"cannot return {stuck!r} units of excess from node {node}: "
+                        "no flow-carrying incoming arcs (residual state is not a clamped flow)"
+                    )
+                return returned
+            arcs = order[moved_positions]
+            moved = delta[moved_positions]
+            caps[arcs] -= moved
+            caps[arcs ^ 1] += moved
+            if on_moves is not None:
+                on_moves(int(moved_positions.size))
+            sent = _np.zeros(self.num_nodes, dtype=_np.float64)
+            if valid_segments:
+                sent[:valid_segments] = _np.add.reduceat(delta, reduce_starts)
+            sent[empty_seg] = 0.0
+            exc = _np.maximum(exc - sent, 0.0)
+            _np.add.at(exc, pos_head[moved_positions], moved)
 
     def flow_value(self, source: int) -> float:
         """Net flow currently leaving ``source`` (the value of a valid flow).
@@ -265,6 +380,80 @@ class FlowNetwork:
             ]
             self._csr_lists = (heads, self._to.tolist())
         return self._csr_lists
+
+    def numpy_csr(self) -> tuple:
+        """Zero-copy numpy views ``(starts, order, targets, capacities, tails, base)``.
+
+        Every array is a ``numpy.frombuffer`` view over this network's flat
+        CSR storage — ``int64`` over the ``array('q')`` buffers, ``float64``
+        over the ``array('d')`` capacities — so vectorised solvers read *and
+        write* the canonical residual state directly: a write through the
+        capacities view is immediately visible via :attr:`arc_capacities`
+        (and vice versa), with no snapshot or write-back step.  The views
+        are cached per topology and rebuilt lazily, like :meth:`csr`.
+
+        numpy is imported lazily here; callers are expected to be
+        import-guarded themselves (see :mod:`repro.flow.registry`), so a
+        missing numpy surfaces as the backend not being registered rather
+        than as an import error in this core module.
+        """
+        import numpy
+
+        if self._csr_dirty:
+            self._rebuild_csr()
+        if self._np_views is None:
+            self._np_views = (
+                numpy.frombuffer(self._csr_starts, dtype=numpy.int64),
+                numpy.frombuffer(self._csr_order, dtype=numpy.int64),
+                numpy.frombuffer(self._to, dtype=numpy.int64),
+                numpy.frombuffer(self._cap, dtype=numpy.float64),
+                numpy.frombuffer(self._tails, dtype=numpy.int64),
+                numpy.frombuffer(self._base, dtype=numpy.float64),
+            )
+        return self._np_views[:6]
+
+    def numpy_position_index(self) -> tuple:
+        """Derived position-space index for vectorised per-node segment reductions.
+
+        ``(pos_tail, pos_head, seg_starts, empty_seg, pos_of_arc, counts,
+        valid_segments)``, all cached per topology: the tail/head node of
+        the arc at each CSR position, gather-safe segment start indices
+        (clipped to ``m - 1``, only ever dereferenced for segments that
+        repeat a positive count) with the matching empty-segment mask, the
+        inverse permutation mapping an arc index to its CSR position, the
+        per-node arc counts (segment lengths), and the number of leading
+        segments whose *true* start is below ``m``.  ``reduceat`` callers
+        must slice the true ``starts`` to ``valid_segments`` — passing the
+        clipped indices would silently truncate the last non-empty segment
+        whenever trailing nodes have no arcs.  Unlike :meth:`numpy_csr`
+        these are *computed* (O(m), once per topology), not views — they
+        never change between retunes, which is exactly why they are cached
+        on the network rather than rebuilt per solve.
+        """
+        import numpy
+
+        views = self.numpy_csr()
+        if len(self._np_views) == 6:
+            starts, order, targets, _, tails, _ = views
+            m = len(order)
+            pos_tail = tails[order]
+            pos_head = targets[order]
+            seg_starts = numpy.minimum(starts[:-1], max(m - 1, 0))
+            empty_seg = starts[:-1] == starts[1:]
+            pos_of_arc = numpy.empty(m, dtype=numpy.int64)
+            pos_of_arc[order] = numpy.arange(m, dtype=numpy.int64)
+            counts = numpy.diff(starts)
+            valid_segments = int(numpy.searchsorted(starts[:-1], m, side="left"))
+            self._np_views = views + (
+                pos_tail,
+                pos_head,
+                seg_starts,
+                empty_seg,
+                pos_of_arc,
+                counts,
+                valid_segments,
+            )
+        return self._np_views[6:]
 
     @property
     def heads(self) -> list[list[int]]:
@@ -384,6 +573,7 @@ class FlowNetwork:
         self._csr_order = order
         self._csr_dirty = False
         self._csr_lists = None
+        self._np_views = None
 
     def _original_capacity(self, forward_index: int) -> float:
         return self._base[forward_index]

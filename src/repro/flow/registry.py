@@ -24,12 +24,27 @@ three positional arguments and run cold — the engine resets the network and
 records a ``warm_start_fallbacks`` count when a warm start was requested
 (see the glossary in :mod:`repro.flow.engine`).
 
-Third-party backends (e.g. a numpy- or Rust-accelerated solver) plug in via
+Third-party backends (e.g. a Rust-accelerated solver) plug in via
 :func:`register_solver` without touching any algorithm code::
 
     from repro.flow.registry import register_solver
     register_solver("my-solver", MySolverClass)
     dc_exact(graph, flow_solver="my-solver")
+
+The built-in vectorised backend (:mod:`repro.flow.numpy_backend`) is
+registered the same way, but **import-guarded**: when numpy is not
+importable the registry simply does not list ``numpy-push-relabel`` and
+everything else keeps working on the pure-python solvers.
+
+Besides concrete solver names, configs and the CLI accept the *policy* name
+:data:`AUTO_SOLVER` (``"auto"``): the engine then picks a backend per
+network — the vectorised backend for networks with at least
+:data:`AUTO_ARC_THRESHOLD` stored arcs (where bulk array ops amortise their
+per-call overhead), ``dinic`` below that, and ``dinic`` everywhere when
+numpy is missing.  ``"auto"`` is deliberately not a registry entry: it names
+a selection rule, not a solver class (see
+:func:`resolve_auto_solver` and the ``backend_selections`` counter in
+:mod:`repro.flow.engine`).
 """
 
 from __future__ import annotations
@@ -41,19 +56,72 @@ from repro.flow.dinic import DinicSolver
 from repro.flow.edmonds_karp import EdmondsKarpSolver
 from repro.flow.push_relabel import PushRelabelSolver
 
+try:  # the vectorised backend only exists where numpy does
+    from repro.flow.numpy_backend import NumpyPushRelabelSolver
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI lane
+    NumpyPushRelabelSolver = None  # type: ignore[assignment]
+
 #: The default solver used when no name is given.
 DEFAULT_SOLVER = "dinic"
+
+#: Registry name of the vectorised numpy backend (absent without numpy).
+VECTOR_SOLVER = "numpy-push-relabel"
+
+#: Policy name accepted by configs/CLI: per-network backend selection.
+AUTO_SOLVER = "auto"
+
+#: Networks with at least this many stored arcs are routed to the vectorised
+#: backend by the ``"auto"`` policy; smaller ones run ``dinic``, whose
+#: per-arc Python loop beats numpy's per-call overhead at that scale.  The
+#: value was calibrated with ``tools/bench_trajectory.py`` (see
+#: ``BENCH_flow.json``).
+AUTO_ARC_THRESHOLD = 4096
 
 _SOLVERS: dict[str, Type] = {
     "dinic": DinicSolver,
     "push-relabel": PushRelabelSolver,
     "edmonds-karp": EdmondsKarpSolver,
 }
+if NumpyPushRelabelSolver is not None:
+    _SOLVERS[VECTOR_SOLVER] = NumpyPushRelabelSolver
 
 
 def available_flow_solvers() -> list[str]:
     """Registered solver names, sorted."""
     return sorted(_SOLVERS)
+
+
+def has_vector_backend() -> bool:
+    """Whether the numpy-vectorised backend is registered (numpy importable)."""
+    return VECTOR_SOLVER in _SOLVERS
+
+
+def flow_solver_choices() -> list[str]:
+    """Every name a ``flow_solver=`` knob accepts: registered solvers + ``"auto"``."""
+    return sorted([*_SOLVERS, AUTO_SOLVER])
+
+
+def validate_solver_choice(name: str) -> None:
+    """Validate a ``flow_solver=`` value eagerly (``"auto"`` included).
+
+    Raises :class:`~repro.exceptions.FlowError` for unknown names, like
+    :func:`get_solver_class`, but additionally accepts the ``"auto"``
+    policy — which resolves to a concrete class per network, not here.
+    """
+    if name != AUTO_SOLVER:
+        get_solver_class(name)
+
+
+def resolve_auto_solver(num_arcs: int) -> tuple[str, Type]:
+    """The ``"auto"`` policy: pick ``(name, class)`` for a network of ``num_arcs``.
+
+    Vectorised backend at or above :data:`AUTO_ARC_THRESHOLD` stored arcs
+    when it is registered; ``dinic`` otherwise (small networks, or numpy
+    missing).
+    """
+    if num_arcs >= AUTO_ARC_THRESHOLD and VECTOR_SOLVER in _SOLVERS:
+        return VECTOR_SOLVER, _SOLVERS[VECTOR_SOLVER]
+    return DEFAULT_SOLVER, _SOLVERS[DEFAULT_SOLVER]
 
 
 def get_solver_class(name: str = DEFAULT_SOLVER) -> Type:

@@ -42,13 +42,20 @@ persisted lossily.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import hashlib
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Iterator
+
+try:  # POSIX-only advisory locks; writes stay atomic-rename-safe without them
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 from repro.core.config import ApproxConfig, ExactConfig, FlowConfig, MethodConfig
 from repro.core.method_registry import get_method_spec
@@ -200,6 +207,39 @@ class SessionStore:
         """Directory holding one graph's manifest, derived state, and results."""
         return self.root / "graphs" / fingerprint
 
+    @contextlib.contextmanager
+    def _locked(self, graph_dir: Path) -> Iterator[None]:
+        """Advisory per-graph-directory write lock (POSIX ``flock``).
+
+        Serialises *writers* — concurrent ``dds-repro warm`` processes,
+        batch lanes saving the same graph, eviction sweeps — on one graph
+        directory, so a second warmer blocks until the first has persisted
+        and then skips every now-``_entry_is_current`` entry instead of
+        re-serialising (and re-writing) the same state.  The read path
+        (:meth:`warm_session`) takes no lock: entry reads stay safe under
+        concurrent writers because every write is an atomic
+        write-temp-then-rename of a checksummed document.  On platforms
+        without :mod:`fcntl` the lock degrades to a no-op and writers fall
+        back to plain last-rename-wins behaviour.
+        """
+        if fcntl is None:
+            yield
+            return
+        graph_dir.mkdir(parents=True, exist_ok=True)
+        lock_path = graph_dir / ".lock"
+        try:
+            handle = open(lock_path, "a+")
+        except OSError as error:
+            raise StoreError(f"cannot open store lock file {lock_path}: {error}")
+        try:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
     def _ensure_marker(self) -> None:
         """Write the store's schema-version marker on first use."""
         marker = self.root / "store.json"
@@ -265,66 +305,74 @@ class SessionStore:
         fingerprint = graph.content_fingerprint()
         self._ensure_marker()
         graph_dir = self._graph_dir(fingerprint)
-        manifest_path = graph_dir / "manifest.json"
-        manifest = {
-            "store_schema_version": STORE_SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-            "num_nodes": graph.num_nodes,
-            "num_edges": graph.num_edges,
-            "allow_self_loops": graph.allow_self_loops,
-        }
-        manifest_document = {"checksum": _checksum(manifest), "payload": manifest}
-        if manifest_path.exists():
-            try:
-                self._check_manifest(graph, manifest_path)
-            except StoreError:
-                self._write_json(manifest_path, manifest_document)  # self-heal corruption
-        else:
-            self._write_json(manifest_path, manifest_document)
-
         counters = {
             "results_saved": 0,
             "results_skipped": 0,
             "results_unchanged": 0,
             "derived_saved": 0,
         }
-        derived: dict[str, Any] = {
-            "out_degrees": session.out_degrees(),
-            "in_degrees": session.in_degrees(),
-            "density_upper_bound": session.density_upper_bound(),
-            "exactness_tolerance": session.exactness_tolerance(),
-            "xy_cores": [_core_to_jsonable(core) for core in session.cached_xy_cores()],
-        }
-        max_core = session.cached_max_core()
-        if max_core is not None:
-            derived["max_core"] = _core_to_jsonable(max_core)
-        derived_path = graph_dir / "derived.json"
-        if not self._entry_is_current(derived_path, derived):
-            self._write_json(derived_path, {"checksum": _checksum(derived), "payload": derived})
-            counters["derived_saved"] = 1
-
-        for method, config, result in session.cached_results():
-            if not all(json_native_label(label) for label in result.s_nodes + result.t_nodes):
-                counters["results_skipped"] += 1
-                continue
-            config_document = _config_to_jsonable(config)
-            if config_document is None or type(config) not in (ExactConfig, ApproxConfig):
-                # Custom config subclasses cannot be reconstructed from the
-                # class name alone; refuse to guess.
-                counters["results_skipped"] += 1
-                continue
-            entry = {
-                "method": method,
-                "config_type": type(config).__name__,
-                "config": config_document,
-                "result": result.to_dict(),
+        # The whole per-graph write sequence runs under the graph's advisory
+        # lock: a concurrent warmer of the same graph blocks here, then sees
+        # every just-written entry as current and skips the duplicate work.
+        with self._locked(graph_dir):
+            manifest_path = graph_dir / "manifest.json"
+            manifest = {
+                "store_schema_version": STORE_SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+                "num_nodes": graph.num_nodes,
+                "num_edges": graph.num_edges,
+                "allow_self_loops": graph.allow_self_loops,
             }
-            entry_path = graph_dir / "results" / self._entry_name(method, config_document)
-            if self._entry_is_current(entry_path, entry):
-                counters["results_unchanged"] += 1
-                continue
-            self._write_json(entry_path, {"checksum": _checksum(entry), "payload": entry})
-            counters["results_saved"] += 1
+            manifest_document = {"checksum": _checksum(manifest), "payload": manifest}
+            if manifest_path.exists():
+                try:
+                    self._check_manifest(graph, manifest_path)
+                except StoreError:
+                    self._write_json(manifest_path, manifest_document)  # self-heal corruption
+            else:
+                self._write_json(manifest_path, manifest_document)
+
+            derived: dict[str, Any] = {
+                "out_degrees": session.out_degrees(),
+                "in_degrees": session.in_degrees(),
+                "density_upper_bound": session.density_upper_bound(),
+                "exactness_tolerance": session.exactness_tolerance(),
+                "xy_cores": [_core_to_jsonable(core) for core in session.cached_xy_cores()],
+            }
+            max_core = session.cached_max_core()
+            if max_core is not None:
+                derived["max_core"] = _core_to_jsonable(max_core)
+            derived_path = graph_dir / "derived.json"
+            if not self._entry_is_current(derived_path, derived):
+                self._write_json(
+                    derived_path, {"checksum": _checksum(derived), "payload": derived}
+                )
+                counters["derived_saved"] = 1
+
+            for method, config, result in session.cached_results():
+                if not all(
+                    json_native_label(label) for label in result.s_nodes + result.t_nodes
+                ):
+                    counters["results_skipped"] += 1
+                    continue
+                config_document = _config_to_jsonable(config)
+                if config_document is None or type(config) not in (ExactConfig, ApproxConfig):
+                    # Custom config subclasses cannot be reconstructed from the
+                    # class name alone; refuse to guess.
+                    counters["results_skipped"] += 1
+                    continue
+                entry = {
+                    "method": method,
+                    "config_type": type(config).__name__,
+                    "config": config_document,
+                    "result": result.to_dict(),
+                }
+                entry_path = graph_dir / "results" / self._entry_name(method, config_document)
+                if self._entry_is_current(entry_path, entry):
+                    counters["results_unchanged"] += 1
+                    continue
+                self._write_json(entry_path, {"checksum": _checksum(entry), "payload": entry})
+                counters["results_saved"] += 1
         return counters
 
     # ------------------------------------------------------------------
@@ -472,6 +520,151 @@ class SessionStore:
                 except StoreError as error:
                     problems.append(str(error))
         return problems
+
+    def evict(
+        self,
+        *,
+        older_than_days: float | None = None,
+        max_bytes: int | None = None,
+        now: float | None = None,
+    ) -> dict[str, int]:
+        """Age + LRU sweep over the stored result entries (disk-usage cap).
+
+        Two independent policies, applied in order:
+
+        * ``older_than_days`` — delete every ``graphs/*/results/*.json``
+          whose mtime is older than the cutoff.  The save path deliberately
+          skips rewriting unchanged entries, and warm loads never touch
+          mtimes, so an entry's mtime is the last time its *content*
+          changed — age eviction removes state no recent workload has
+          refreshed.
+        * ``max_bytes`` — while the store's total on-disk size (the
+          ``bytes`` measure of :meth:`inventory`, summed) exceeds the
+          budget, delete result entries oldest-mtime-first (LRU under the
+          same mtime reading); graph directories whose results are all gone
+          are then dropped whole (manifest and derived state included) if
+          the budget is still exceeded.
+
+        Deletions in a graph directory run under its advisory write lock,
+        so a sweep never races a concurrent warmer's writes.  Returns
+        counters: ``results_evicted``, ``graphs_evicted``, ``bytes_freed``,
+        ``bytes_remaining``.  At least one policy must be given.
+        """
+        if older_than_days is None and max_bytes is None:
+            raise StoreError("evict requires older_than_days and/or max_bytes")
+        if older_than_days is not None and older_than_days < 0:
+            raise StoreError(f"older_than_days must be >= 0, got {older_than_days!r}")
+        if max_bytes is not None and max_bytes < 0:
+            raise StoreError(f"max_bytes must be >= 0, got {max_bytes!r}")
+        counters = {
+            "results_evicted": 0,
+            "graphs_evicted": 0,
+            "bytes_freed": 0,
+            "bytes_remaining": 0,
+        }
+        graphs_dir = self.root / "graphs"
+        if not graphs_dir.is_dir():
+            return counters
+        current_time = time.time() if now is None else float(now)
+
+        def graph_dirs() -> list[Path]:
+            return sorted(path for path in graphs_dir.iterdir() if path.is_dir())
+
+        def unlink(path: Path) -> int | None:
+            """Remove one file; bytes it occupied, or ``None`` if removal failed."""
+            try:
+                size = path.stat().st_size
+                path.unlink()
+            except OSError:
+                return None
+            return size
+
+        if older_than_days is not None:
+            cutoff = current_time - float(older_than_days) * 86400.0
+            for graph_dir in graph_dirs():
+                with self._locked(graph_dir):
+                    for entry in sorted((graph_dir / "results").glob("*.json")):
+                        try:
+                            mtime = entry.stat().st_mtime
+                        except OSError:
+                            continue
+                        if mtime < cutoff:
+                            freed = unlink(entry)
+                            if freed is not None:
+                                counters["bytes_freed"] += freed
+                                counters["results_evicted"] += 1
+
+        def total_bytes() -> int:
+            return sum(
+                path.stat().st_size
+                for graph_dir in graph_dirs()
+                for path in graph_dir.rglob("*")
+                if path.is_file()
+            )
+
+        if max_bytes is not None:
+            remaining = total_bytes()
+            entries: list[tuple[float, Path]] = []
+            for graph_dir in graph_dirs():
+                for entry in (graph_dir / "results").glob("*.json"):
+                    try:
+                        entries.append((entry.stat().st_mtime, entry))
+                    except OSError:
+                        continue
+            entries.sort(key=lambda pair: (pair[0], str(pair[1])))
+            for _, entry in entries:
+                if remaining <= max_bytes:
+                    break
+                with self._locked(entry.parent.parent):
+                    freed = unlink(entry)
+                if freed is None:
+                    continue
+                counters["bytes_freed"] += freed
+                counters["results_evicted"] += 1
+                remaining -= freed
+            if remaining > max_bytes:
+                # Result entries alone cannot meet the budget: drop whole
+                # graph directories (oldest manifest first) until it fits.
+                ranked = sorted(
+                    graph_dirs(),
+                    key=lambda path: (
+                        (path / "manifest.json").stat().st_mtime
+                        if (path / "manifest.json").exists()
+                        else 0.0,
+                        str(path),
+                    ),
+                )
+                for graph_dir in ranked:
+                    if remaining <= max_bytes:
+                        break
+                    lock_path = graph_dir / ".lock"
+                    with self._locked(graph_dir):
+                        # Everything except the lock file goes while the
+                        # lock is held: unlinking .lock here would detach
+                        # the very inode concurrent writers flock on and
+                        # let one into the "exclusive" section mid-sweep.
+                        freed = 0
+                        for path in sorted(graph_dir.rglob("*"), reverse=True):
+                            if path == lock_path:
+                                continue
+                            if path.is_file():
+                                freed += unlink(path) or 0
+                            else:
+                                with contextlib.suppress(OSError):
+                                    path.rmdir()
+                    # Only after releasing: drop the lock file and the dir.
+                    # A warmer that slips in between simply recreates the
+                    # graph (rmdir fails on the non-empty dir) — last writer
+                    # wins, nothing is torn.
+                    with contextlib.suppress(OSError):
+                        lock_path.unlink()
+                    with contextlib.suppress(OSError):
+                        graph_dir.rmdir()
+                    counters["bytes_freed"] += freed
+                    counters["graphs_evicted"] += 1
+                    remaining -= freed
+        counters["bytes_remaining"] = total_bytes()
+        return counters
 
     def clear(self) -> int:
         """Delete every stored graph; returns how many were dropped."""

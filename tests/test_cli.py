@@ -403,3 +403,72 @@ class TestWarmAndStoreCommands:
         entry.write_text(json.dumps(document))
         assert main(["store", str(store_dir), "--verify"]) == 1
         assert json.loads(capsys.readouterr().out)["problems"]
+
+    def test_store_evict_older_than(self, tmp_path, capsys):
+        import os
+        import time
+
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--dataset", "foodweb-tiny", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        [entry] = (store_dir / "graphs").glob("*/results/*.json")
+        past = time.time() - 30 * 86400
+        os.utime(entry, (past, past))
+        assert main(["store", str(store_dir), "--evict-older-than", "7"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"]["results_evicted"] == 1
+        assert not entry.exists()
+        assert payload["graphs"][0]["results"] == 0
+
+    def test_store_evict_max_bytes(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--dataset", "foodweb-tiny", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        assert main(["store", str(store_dir), "--max-bytes", "0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["evicted"]["graphs_evicted"] == 1
+        assert payload["evicted"]["bytes_remaining"] == 0
+        assert payload["graphs"] == []
+
+    def test_store_evict_composes_with_verify(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--dataset", "foodweb-tiny", "--store", str(store_dir)]) == 0
+        capsys.readouterr()
+        # Clean store: evict-then-verify reports no problems and exits 0.
+        assert main(["store", str(store_dir), "--evict-older-than", "7", "--verify"]) == 0
+        assert json.loads(capsys.readouterr().out)["problems"] == []
+        # Tampered store: the combined invocation must still exit 1.
+        [entry] = (store_dir / "graphs").glob("*/results/*.json")
+        document = json.loads(entry.read_text())
+        document["payload"]["result"]["density"] = 99.0
+        entry.write_text(json.dumps(document))
+        assert main(["store", str(store_dir), "--evict-older-than", "7", "--verify"]) == 1
+        assert json.loads(capsys.readouterr().out)["problems"]
+
+
+class TestFlowSolverFlags:
+    def test_find_accepts_auto(self, capsys):
+        assert main(
+            ["find", "--dataset", "foodweb-tiny", "--method", "core-exact",
+             "--flow-solver", "auto"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["flow_solver"] == "auto"
+        assert payload["is_exact"] is True
+
+    def test_batch_accepts_flow_solver(self, tmp_path, capsys):
+        queries = tmp_path / "queries.json"
+        queries.write_text(json.dumps([{"query": "densest", "method": "dc-exact"}]))
+        baseline = main(["batch", "--dataset", "foodweb-tiny", str(queries)])
+        assert baseline == 0
+        plain = json.loads(capsys.readouterr().out)
+        assert (
+            main(
+                ["batch", "--dataset", "foodweb-tiny", str(queries),
+                 "--flow-solver", "auto", "--jobs", "2"]
+            )
+            == 0
+        )
+        routed = json.loads(capsys.readouterr().out)
+        assert routed["results"][0]["density"] == plain["results"][0]["density"]
+        assert routed["session"]["backend_selections"] == routed["session"]["flow_calls"]

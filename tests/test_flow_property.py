@@ -12,6 +12,12 @@ random *decision* networks (the DAGs the DDS reduction produces), a chain of
 warm-start retunes and solves must reproduce, guess for guess, the cut
 values and extracted pairs of cold rebuild-and-solve runs — for every
 registered solver, including the ones that silently fall back to cold.
+
+Because every class parametrises over ``available_flow_solvers()``, the
+vectorised ``numpy-push-relabel`` backend is covered automatically exactly
+when numpy is importable (the registry lists it only then) — including by
+the hypothesis-driven :class:`TestHypothesisCrossSolver`, which searches the
+network space adversarially instead of sampling it from fixed seeds.
 """
 
 from __future__ import annotations
@@ -19,6 +25,8 @@ from __future__ import annotations
 import random
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.flow.network import INFINITY, FlowNetwork
 from repro.flow.registry import available_flow_solvers, get_solver_class
@@ -129,6 +137,75 @@ class TestCrossSolverAgreement:
             assert value == pytest.approx(reference, abs=1e-6), (
                 f"{name} disagrees with {SOLVER_NAMES[0]} on seed {seed}"
             )
+
+
+@st.composite
+def _network_description(draw):
+    """A hypothesis-built network: node count plus an arbitrary arc list.
+
+    Capacities mix integers, awkward floats, and (on interior arcs only,
+    keeping the max flow finite) ``INFINITY`` — the same regimes the seeded
+    generator covers, but with hypothesis free to shrink and to probe
+    corners such as parallel arcs, zero capacities, and dangling nodes.
+    """
+    n = draw(st.integers(min_value=2, max_value=10))
+    arcs = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+                st.one_of(
+                    st.integers(min_value=0, max_value=6).map(float),
+                    st.floats(min_value=0.0, max_value=8.0, allow_nan=False, width=32),
+                    st.just(INFINITY),
+                ),
+            ),
+            max_size=30,
+        )
+    )
+    return n, arcs
+
+
+def _build_from_description(description) -> FlowNetwork:
+    n, arcs = description
+    network = FlowNetwork(n)
+    for u, v, capacity in arcs:
+        if u == v:
+            continue
+        if capacity == INFINITY and (u in (0, n - 1) or v in (0, n - 1)):
+            capacity = 4.0  # keep the max flow finite, like the seeded generator
+        network.add_edge(u, v, capacity)
+    return network
+
+
+class TestHypothesisCrossSolver:
+    """Property: every registered solver agrees on hypothesis-found networks."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(description=_network_description())
+    def test_all_solvers_agree_and_certify(self, description):
+        n = description[0]
+        source, sink = 0, n - 1
+        values = {}
+        sides = {}
+        for name in SOLVER_NAMES:
+            network = _build_from_description(description)
+            solver = get_solver_class(name)(network, source, sink)
+            values[name] = solver.max_flow()
+            side = solver.min_cut_source_side()
+            sides[name] = side
+            assert source in side
+            assert sink not in side
+            assert _crossing_capacity(network, side) == pytest.approx(
+                values[name], abs=1e-6
+            )
+        reference = values[SOLVER_NAMES[0]]
+        for name, value in values.items():
+            assert value == pytest.approx(reference, abs=1e-6), name
+        # The canonical cut (residual reachability) is a max-flow invariant:
+        # every solver must produce the same source side, node for node.
+        for name, side in sides.items():
+            assert side == sides[SOLVER_NAMES[0]], name
 
 
 class TestWarmColdEquivalence:

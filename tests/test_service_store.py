@@ -243,6 +243,150 @@ class TestManagement:
         assert len(list((graph_dir / "results").glob("*.json"))) == 1
 
 
+class TestEviction:
+    def _store_with_entries(self, tmp_path, datasets=("foodweb-tiny", "social-tiny")):
+        """A store holding one exact + one approx result per dataset."""
+        store = SessionStore(tmp_path)
+        for name in datasets:
+            session = DDSSession(load_dataset(name))
+            session.densest_subgraph("core-approx")
+            session.densest_subgraph("core-exact")
+            store.save_session(session)
+        return store
+
+    def test_evict_requires_a_policy(self, tmp_path):
+        with pytest.raises(StoreError, match="older_than_days and/or max_bytes"):
+            SessionStore(tmp_path).evict()
+        with pytest.raises(StoreError, match="older_than_days"):
+            SessionStore(tmp_path).evict(older_than_days=-1)
+        with pytest.raises(StoreError, match="max_bytes"):
+            SessionStore(tmp_path).evict(max_bytes=-5)
+
+    def test_age_sweep_removes_only_stale_entries(self, tmp_path):
+        import os
+        import time as time_module
+
+        store = self._store_with_entries(tmp_path)
+        entries = sorted((tmp_path / "graphs").glob("*/results/*.json"))
+        assert len(entries) == 4
+        now = time_module.time()
+        stale = entries[:2]
+        for path in stale:
+            os.utime(path, (now - 10 * 86400, now - 10 * 86400))
+        counters = store.evict(older_than_days=7, now=now)
+        assert counters["results_evicted"] == 2
+        assert counters["bytes_freed"] > 0
+        remaining = sorted((tmp_path / "graphs").glob("*/results/*.json"))
+        assert remaining == sorted(set(entries) - set(stale))
+        # The surviving store is still fully loadable.
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        counters = store.warm_session(session)
+        assert counters["results_corrupt"] == 0
+
+    def test_max_bytes_evicts_lru_first(self, tmp_path):
+        import os
+        import time as time_module
+
+        store = self._store_with_entries(tmp_path)
+        entries = sorted((tmp_path / "graphs").glob("*/results/*.json"))
+        now = time_module.time()
+        # Make one entry clearly the oldest.
+        oldest = entries[0]
+        os.utime(oldest, (now - 100, now - 100))
+        total = sum(
+            p.stat().st_size for p in (tmp_path / "graphs").rglob("*") if p.is_file()
+        )
+        counters = store.evict(max_bytes=total - 1, now=now)
+        assert counters["results_evicted"] >= 1
+        assert not oldest.exists()
+        assert counters["bytes_remaining"] <= total - 1
+
+    def test_max_bytes_zero_drops_whole_graphs(self, tmp_path):
+        store = self._store_with_entries(tmp_path)
+        counters = store.evict(max_bytes=0)
+        assert counters["graphs_evicted"] == 2
+        assert counters["bytes_remaining"] == 0
+        assert store.inventory() == []
+        # An evicted store warms nothing but never raises.
+        session = DDSSession(load_dataset("foodweb-tiny"))
+        assert store.warm_session(session)["results_loaded"] == 0
+
+    def test_age_sweep_keeps_fresh_store_intact(self, tmp_path):
+        store = self._store_with_entries(tmp_path)
+        counters = store.evict(older_than_days=7)
+        assert counters["results_evicted"] == 0
+        assert counters["graphs_evicted"] == 0
+        assert len(store.inventory()) == 2
+
+
+class TestConcurrentWriters:
+    def test_parallel_saves_leave_a_consistent_store(self, graph, tmp_path):
+        """Two warmers racing on one graph dir must not corrupt anything."""
+        import threading
+
+        sessions = []
+        for _ in range(4):
+            session = DDSSession(graph.copy())
+            session.densest_subgraph("core-exact")
+            session.densest_subgraph("core-approx")
+            sessions.append(session)
+        store = SessionStore(tmp_path)
+        errors = []
+
+        def save(session):
+            try:
+                store.save_session(session)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [threading.Thread(target=save, args=(s,)) for s in sessions]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert store.verify() == []
+        [row] = store.inventory()
+        assert row["results"] == 2
+        fresh = DDSSession(graph.copy())
+        counters = store.warm_session(fresh)
+        assert counters["results_loaded"] == 2
+        assert counters["results_corrupt"] == 0
+
+    def test_lock_serialises_writers(self, graph, tmp_path):
+        """The advisory lock really excludes a second writer while held."""
+        fcntl = pytest.importorskip("fcntl")
+        import multiprocessing
+
+        store = SessionStore(tmp_path)
+        session = DDSSession(graph)
+        session.densest_subgraph("core-approx")
+        store.save_session(session)
+        [graph_dir] = (tmp_path / "graphs").iterdir()
+        lock_path = graph_dir / ".lock"
+        assert lock_path.exists()
+        with store._locked(graph_dir):
+            # A second process cannot take the lock while we hold it.
+            def try_lock(path, queue):
+                with open(path, "a+") as handle:
+                    try:
+                        fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    except OSError:
+                        queue.put("blocked")
+                    else:
+                        queue.put("acquired")
+
+            queue = multiprocessing.Queue()
+            process = multiprocessing.Process(target=try_lock, args=(lock_path, queue))
+            process.start()
+            process.join(timeout=10)
+            assert queue.get(timeout=10) == "blocked"
+        # Released: the same probe now succeeds.
+        with open(lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+
 class TestSessionSeedHooks:
     def test_seed_result_respects_disabled_cache(self, graph):
         donor = DDSSession(graph)
