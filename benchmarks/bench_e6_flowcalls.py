@@ -35,9 +35,14 @@ backend: on the large E6 workload (dc-exact over ``er-medium``, whose
 decision networks sit far above the ``auto`` arc threshold) the
 ``numpy-push-relabel`` backend must return the **bit-identical** densest
 subgraph **in strictly lower wall-clock time** than ``dinic``, and the
-``auto`` policy must actually select it (``backend_selections`` > 0).
-Without numpy the gate reports itself skipped (registry degradation is
-covered by the test suite).
+``auto`` policy must actually select it (``backend_selections`` > 0) —
+plus the batched-solve parity gate: on the small guess-sequence workload
+(flow-exact over ``foodweb-tiny``, whose decision networks are each *below*
+the auto threshold) the block-diagonal batched auto run must return the
+bit-identical subgraph of a batching-disabled auto run with the same
+``flow_calls``, while actually batching (``batched_solves`` > 0) onto the
+vectorised backend.  Without numpy the gates report themselves skipped
+(registry degradation is covered by the test suite).
 """
 
 from __future__ import annotations
@@ -245,6 +250,80 @@ def run_vector_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Dataset + method of the batched-solve parity gate: a guess-sequence
+#: workload whose decision networks (~300 arcs each) all sit below the auto
+#: arc threshold — the regime where sequential vector solves lose to dinic
+#: and the block-diagonal batch wins the vector width back.
+BATCH_SMOKE_DATASET = "foodweb-tiny"
+BATCH_SMOKE_METHOD = "flow-exact"
+
+
+def run_batched_smoke(failures: list[str]) -> dict:
+    """Batched-solve gate: bit-identical to the sequential auto run, and real.
+
+    Runs :data:`BATCH_SMOKE_METHOD` on :data:`BATCH_SMOKE_DATASET` under the
+    ``auto`` policy with batching disabled (``batch_size=1``) and enabled
+    (the default), asserting (1) bit-identical density and vertex sets,
+    (2) identical ``flow_calls`` (the lockstep search replays the sequential
+    guess sequence exactly), and (3) that batching actually engaged —
+    ``batched_solves`` > 0 with the vectorised backend recorded in
+    ``auto_backends``.  Appends failure strings to ``failures`` and returns
+    a table row; when numpy is missing the gate reports itself skipped.
+    """
+    if not has_vector_backend():
+        return {
+            "dataset": BATCH_SMOKE_DATASET,
+            "method": BATCH_SMOKE_METHOD,
+            "status": "skipped (numpy not importable)",
+        }
+    graph = load_dataset(BATCH_SMOKE_DATASET)
+    runs = {}
+    for batch_size in (1, FlowConfig().batch_size):
+        session = DDSSession(
+            graph.copy(), flow=FlowConfig(solver="auto", batch_size=batch_size)
+        )
+        start = time.perf_counter()
+        result = session.densest_subgraph(BATCH_SMOKE_METHOD)
+        wall = time.perf_counter() - start
+        runs[batch_size] = (wall, result, session.cache_stats())
+    seq_wall, seq_result, _ = runs[1]
+    bat_wall, bat_result, bat_stats = runs[FlowConfig().batch_size]
+    if (
+        seq_result.density != bat_result.density
+        or sorted(map(str, seq_result.s_nodes)) != sorted(map(str, bat_result.s_nodes))
+        or sorted(map(str, seq_result.t_nodes)) != sorted(map(str, bat_result.t_nodes))
+    ):
+        failures.append(
+            f"batched solve: batched and sequential auto runs disagree on the "
+            f"{BATCH_SMOKE_DATASET} subgraph "
+            f"({bat_result.density} vs {seq_result.density})"
+        )
+    if bat_result.stats["flow_calls"] != seq_result.stats["flow_calls"]:
+        failures.append(
+            f"batched solve: flow_calls {bat_result.stats['flow_calls']} != "
+            f"sequential {seq_result.stats['flow_calls']} "
+            "(the lockstep search no longer replays the guess sequence)"
+        )
+    if bat_stats.get("batched_solves", 0) < 1:
+        failures.append(
+            f"batched solve: batched_solves {bat_stats.get('batched_solves')} on "
+            f"{BATCH_SMOKE_DATASET}/{BATCH_SMOKE_METHOD} — batching never engaged"
+        )
+    if bat_stats.get("auto_backends", {}).get(VECTOR_SOLVER, 0) < 1:
+        failures.append(
+            "batched solve: the auto policy never put batched members on "
+            f"{VECTOR_SOLVER} (auto_backends: {bat_stats.get('auto_backends')!r})"
+        )
+    return {
+        "dataset": BATCH_SMOKE_DATASET,
+        "method": BATCH_SMOKE_METHOD,
+        "sequential_ms": round(seq_wall * 1000, 1),
+        "batched_ms": round(bat_wall * 1000, 1),
+        "batched_solves": bat_stats.get("batched_solves", 0),
+        "flow_calls": bat_result.stats["flow_calls"],
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -316,6 +395,8 @@ def run_smoke() -> int:
     print(format_table([planner_row], title="E6 smoke: batch-planner cache-hit gate"))
     vector_row = run_vector_smoke(failures)
     print(format_table([vector_row], title="E6 smoke: vectorised-backend gate"))
+    batched_row = run_batched_smoke(failures)
+    print(format_table([batched_row], title="E6 smoke: batched-solve parity gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -127,11 +127,20 @@ class FlowConfig(MethodConfig):
         that cannot warm start (``edmonds-karp``) fall back to cold solves
         and record the fallback — see the stats glossary in
         :mod:`repro.flow.engine`.
+    batch_size:
+        Under the ``"auto"`` policy, up to this many fixed-ratio searches
+        over the same sub-problem are run in lockstep as one block-diagonal
+        batched solve whenever their *aggregate* arc count clears the auto
+        threshold that each network misses alone (see
+        :class:`repro.flow.batch.BatchedFlowNetwork` and
+        ``batched_solves`` in the stats glossary).  ``1`` disables batching;
+        explicit solver names are never batched.
     """
 
     solver: str = DEFAULT_SOLVER
     network_cache_size: int = DEFAULT_NETWORK_CACHE_SIZE
     warm_start: bool = True
+    batch_size: int = 32
 
     def __post_init__(self) -> None:
         # Resolve the name eagerly so an unknown solver fails at config time
@@ -143,6 +152,10 @@ class FlowConfig(MethodConfig):
             )
         if not isinstance(self.warm_start, bool):
             raise ConfigError(f"warm_start must be a bool, got {self.warm_start!r}")
+        if not isinstance(self.batch_size, int) or self.batch_size < 1:
+            raise ConfigError(
+                f"batch_size must be an int >= 1, got {self.batch_size!r}"
+            )
 
 
 @dataclass(frozen=True)

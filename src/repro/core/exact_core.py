@@ -63,4 +63,5 @@ def core_exact(
         engine=engine,
         network_cache=network_cache,
         warm_start=cfg.flow.warm_start,
+        batch_size=cfg.flow.batch_size,
     )

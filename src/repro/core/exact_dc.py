@@ -55,7 +55,8 @@ from repro.core.density import (
     global_density_upper_bound,
     interval_relaxation_factor,
 )
-from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.fixed_ratio import maximize_fixed_ratio, maximize_fixed_ratio_batch
+from repro.core.flow_network import decision_network_arc_count
 from repro.core.network_cache import NetworkCache
 from repro.core.ratio import (
     candidate_ratios_in_interval,
@@ -192,6 +193,7 @@ def _dc_driver(
     engine: FlowEngine | None = None,
     network_cache: NetworkCache | None = None,
     warm_start: bool = True,
+    batch_size: int = 1,
 ) -> DDSResult:
     if graph.num_edges == 0:
         raise EmptyGraphError(f"{method} requires a graph with at least one edge")
@@ -234,23 +236,51 @@ def _dc_driver(
         return STSubproblem.from_graph(graph, core.s_nodes, core.t_nodes)
 
     def solve_leaf(ratios: list[Fraction], subproblem: STSubproblem, upper_bound: float) -> None:
+        pending: list[Fraction] = []
         for ratio in ratios:
             if ratio in state.examined_exact_ratios:
                 continue
             state.examined_exact_ratios.add(ratio)
             state.ratios_examined += 1
             state.leaf_ratios += 1
-            outcome = maximize_fixed_ratio(
-                subproblem,
-                float(ratio),
-                lower=state.best_density,
-                upper=max(upper_bound, state.best_density),
-                tolerance=tolerance,
-                engine=state.engine,
-                network_cache=state.network_cache,
-                warm_start=warm_start,
-            )
-            state.absorb_outcome(outcome)
+            pending.append(ratio)
+        index = 0
+        while index < len(pending):
+            chunk = pending[index : index + batch_size]
+            index += len(chunk)
+            if len(chunk) >= 2 and state.engine.supports_batching(
+                [decision_network_arc_count(subproblem)] * len(chunk)
+            ):
+                # Lockstep batched leaf: all of the chunk's searches share the
+                # incumbent *at chunk entry* as their lower bound (a sequential
+                # sweep would tighten later ratios' bounds with earlier ratios'
+                # incumbents — that only changes guess counts, never which
+                # pairs are optimal).
+                outcomes = maximize_fixed_ratio_batch(
+                    subproblem,
+                    [float(ratio) for ratio in chunk],
+                    lower=state.best_density,
+                    upper=max(upper_bound, state.best_density),
+                    tolerance=tolerance,
+                    engine=state.engine,
+                    network_cache=state.network_cache,
+                    warm_start=warm_start,
+                )
+                for outcome in outcomes:
+                    state.absorb_outcome(outcome)
+                continue
+            for ratio in chunk:
+                outcome = maximize_fixed_ratio(
+                    subproblem,
+                    float(ratio),
+                    lower=state.best_density,
+                    upper=max(upper_bound, state.best_density),
+                    tolerance=tolerance,
+                    engine=state.engine,
+                    network_cache=state.network_cache,
+                    warm_start=warm_start,
+                )
+                state.absorb_outcome(outcome)
 
     # Depth-first traversal of the ratio-interval tree.  Each entry carries a
     # certified upper bound on the optimum *conditional on the optimal ratio
@@ -425,4 +455,5 @@ def dc_exact(
         engine=engine,
         network_cache=network_cache,
         warm_start=cfg.flow.warm_start,
+        batch_size=cfg.flow.batch_size,
     )

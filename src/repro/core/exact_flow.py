@@ -19,7 +19,8 @@ from repro.core.density import (
     exactness_tolerance,
     global_density_upper_bound,
 )
-from repro.core.fixed_ratio import maximize_fixed_ratio
+from repro.core.fixed_ratio import maximize_fixed_ratio, maximize_fixed_ratio_batch
+from repro.core.flow_network import decision_network_arc_count
 from repro.core.network_cache import NetworkCache
 from repro.core.ratio import all_candidate_ratios
 from repro.core.results import DDSResult
@@ -89,22 +90,46 @@ def flow_exact(
     fixed_ratio_searches = 0
     ratios = all_candidate_ratios(n)
 
-    for ratio in ratios:
-        outcome = maximize_fixed_ratio(
-            subproblem,
-            float(ratio),
-            lower=0.0,
-            upper=upper,
-            tolerance=tolerance,
-            engine=engine,
-            network_cache=network_cache,
-            warm_start=cfg.flow.warm_start,
-        )
-        if outcome.flow_calls:
-            fixed_ratio_searches += 1
-        if outcome.best_density > best_density:
-            best_density = outcome.best_density
-            best_s, best_t = outcome.best_s, outcome.best_t
+    # Under the auto policy, consecutive ratios whose (identically sized)
+    # decision networks are each below the vector backend's arc threshold but
+    # clear it in aggregate are searched in lockstep as one block-diagonal
+    # batched solve; everything else takes the sequential path unchanged.
+    arc_count = decision_network_arc_count(subproblem)
+    index = 0
+    while index < len(ratios):
+        chunk = ratios[index : index + cfg.flow.batch_size]
+        index += len(chunk)
+        if len(chunk) >= 2 and engine.supports_batching([arc_count] * len(chunk)):
+            outcomes = maximize_fixed_ratio_batch(
+                subproblem,
+                [float(ratio) for ratio in chunk],
+                lower=0.0,
+                upper=upper,
+                tolerance=tolerance,
+                engine=engine,
+                network_cache=network_cache,
+                warm_start=cfg.flow.warm_start,
+            )
+        else:
+            outcomes = [
+                maximize_fixed_ratio(
+                    subproblem,
+                    float(ratio),
+                    lower=0.0,
+                    upper=upper,
+                    tolerance=tolerance,
+                    engine=engine,
+                    network_cache=network_cache,
+                    warm_start=cfg.flow.warm_start,
+                )
+                for ratio in chunk
+            ]
+        for outcome in outcomes:
+            if outcome.flow_calls:
+                fixed_ratio_searches += 1
+            if outcome.best_density > best_density:
+                best_density = outcome.best_density
+                best_s, best_t = outcome.best_s, outcome.best_t
 
     if not best_s or not best_t:
         raise AlgorithmError("flow_exact failed to find any non-empty pair")

@@ -56,6 +56,224 @@ from repro.flow.engine import FlowEngine
 NetworkObserver = Callable[[int, int], None]
 
 
+class _LockstepSearch:
+    """Per-ratio binary-search state of one member of a batched solve."""
+
+    __slots__ = (
+        "ratio",
+        "low",
+        "high",
+        "best_s",
+        "best_t",
+        "best_density",
+        "last_s",
+        "last_t",
+        "last_surrogate",
+        "flow_calls",
+        "networks_built",
+        "networks_reused",
+        "warm_starts_used",
+        "cold_starts",
+        "network_nodes",
+        "network_arcs",
+        "decision",
+        "guess",
+    )
+
+    def __init__(self, ratio: float, lower: float, upper: float) -> None:
+        self.ratio = ratio
+        self.low = float(lower)
+        self.high = max(float(upper), self.low)
+        self.best_s: list[int] = []
+        self.best_t: list[int] = []
+        self.best_density = 0.0
+        self.last_s: list[int] = []
+        self.last_t: list[int] = []
+        self.last_surrogate = 0.0
+        self.flow_calls = 0
+        self.networks_built = 0
+        self.networks_reused = 0
+        self.warm_starts_used = 0
+        self.cold_starts = 0
+        self.network_nodes: list[int] = []
+        self.network_arcs: list[int] = []
+        self.decision = None
+        self.guess = 0.0
+
+    def outcome(self) -> FixedRatioOutcome:
+        return FixedRatioOutcome(
+            ratio=self.ratio,
+            lower=self.low,
+            upper=self.high,
+            best_s=self.best_s,
+            best_t=self.best_t,
+            best_density=self.best_density,
+            flow_calls=self.flow_calls,
+            networks_built=self.networks_built,
+            networks_reused=self.networks_reused,
+            warm_starts_used=self.warm_starts_used,
+            cold_starts=self.cold_starts,
+            last_s=self.last_s,
+            last_t=self.last_t,
+            last_surrogate=self.last_surrogate,
+            network_nodes=self.network_nodes,
+            network_arcs=self.network_arcs,
+        )
+
+
+def maximize_fixed_ratio_batch(
+    subproblem: STSubproblem,
+    ratios: list[float],
+    lower: float,
+    upper: float,
+    tolerance: float,
+    network_observer: NetworkObserver | None = None,
+    engine: FlowEngine | None = None,
+    network_cache: NetworkCache | None = None,
+    warm_start: bool = True,
+) -> list[FixedRatioOutcome]:
+    """Run one :func:`maximize_fixed_ratio` per ratio, batched block-diagonally.
+
+    All searches share ``subproblem`` and the initial ``(lower, upper)``
+    bracket; each advances its own bracket.  The searches run in *lockstep*:
+    every round retunes the still-unconverged members to their midpoint
+    guesses and solves all of them as one stacked min-cut through
+    :meth:`FlowEngine.min_cut_batch
+    <repro.flow.engine.FlowEngine.min_cut_batch>` — B small solves become
+    one big solve with B× the vector width, which is what makes the
+    vectorised backend pay off on networks that are each below the auto arc
+    threshold.  Members whose bracket closes are masked out of later rounds.
+
+    Per member, every step — cache lookup, build-or-retune, warm/cold
+    accounting, cut-improvement test, pair extraction, Dinkelbach bracket
+    update — mirrors the sequential search exactly, and the per-block cut is
+    the same canonical (residual-reachable) cut a solo solve certifies, so
+    the returned outcomes carry identical subgraphs.  One documented
+    deviation: all members read the *same* entry ``lower`` (a sequential
+    sweep could tighten later searches' lower bounds with earlier searches'
+    incumbents); a looser lower bound never changes which pairs are optimal,
+    only how many guesses a search spends, so densities are unaffected.
+
+    Callers gate eligibility with :meth:`FlowEngine.supports_batching
+    <repro.flow.engine.FlowEngine.supports_batching>`; this function assumes
+    the gate passed (at least two distinct ratios, ``"auto"`` engine,
+    vectorised backend available).
+    """
+    if lower < 0 or upper < 0:
+        raise AlgorithmError("bounds must be non-negative")
+    if tolerance <= 0:
+        raise AlgorithmError(f"tolerance must be > 0, got {tolerance}")
+    if len(ratios) < 2:
+        raise AlgorithmError("a batched search needs at least two ratios")
+    if len(set(ratios)) != len(ratios):
+        raise AlgorithmError("batched ratios must be distinct (they share one cache)")
+    if subproblem.is_empty:
+        return [
+            FixedRatioOutcome(
+                ratio=ratio,
+                lower=0.0,
+                upper=0.0,
+                best_s=[],
+                best_t=[],
+                best_density=0.0,
+                flow_calls=0,
+            )
+            for ratio in ratios
+        ]
+
+    if engine is None:
+        engine = FlowEngine()
+    use_warm = bool(warm_start) and engine.warm_capable
+    if warm_start and not engine.warm_capable:
+        engine.note_warm_fallback()
+
+    graph = subproblem.graph
+    members = [_LockstepSearch(float(ratio), lower, upper) for ratio in ratios]
+    batch = None
+
+    while True:
+        active = [
+            index
+            for index, member in enumerate(members)
+            if member.high - member.low >= tolerance
+        ]
+        if not active:
+            break
+
+        warm_flags: list[bool] = []
+        for index in active:
+            member = members[index]
+            member.guess = (member.low + member.high) / 2.0
+            solve_warm = use_warm
+            if member.decision is None:
+                if network_cache is not None:
+                    member.decision = network_cache.get(subproblem, member.ratio)
+                if member.decision is not None:
+                    engine.note_network_reused()
+                    member.networks_reused += 1
+                    member.decision.retune(member.ratio, member.guess, warm_start=use_warm)
+                else:
+                    member.decision = build_decision_network(
+                        subproblem, member.ratio, member.guess
+                    )
+                    engine.note_network_built()
+                    member.networks_built += 1
+                    solve_warm = False  # a fresh network holds no flow to reuse
+                    if network_cache is not None:
+                        network_cache.put(subproblem, member.ratio, member.decision)
+                if network_observer is not None:
+                    network_observer(member.decision.num_nodes, member.decision.num_arcs)
+            else:
+                member.decision.retune(member.ratio, member.guess, warm_start=use_warm)
+            member.network_nodes.append(member.decision.num_nodes)
+            member.network_arcs.append(member.decision.num_arcs)
+            warm_flags.append(solve_warm)
+
+        if batch is None:
+            # All members were active in round one, so every decision
+            # network exists by the time the stack is assembled.
+            from repro.flow.batch import BatchedFlowNetwork
+
+            batch = BatchedFlowNetwork(
+                [
+                    (member.decision.network, member.decision.source, member.decision.sink)
+                    for member in members
+                ]
+            )
+
+        results = engine.min_cut_batch(batch, active, warm_flags)
+        for position, index in enumerate(active):
+            member = members[index]
+            cut_value, source_side, _block_pushes = results[position]
+            member.flow_calls += 1
+            if warm_flags[position]:
+                member.warm_starts_used += 1
+            else:
+                member.cold_starts += 1
+
+            extracted = False
+            if decision_cut_is_improving(cut_value, member.decision.total_capacity):
+                s_side, t_side = member.decision.extract_pair(source_side)
+                if s_side and t_side:
+                    extracted = True
+                    edges = graph.count_edges_between(s_side, t_side)
+                    surrogate = surrogate_density(
+                        edges, len(s_side), len(t_side), member.ratio
+                    )
+                    density = directed_density_from_indices(graph, s_side, t_side)
+                    if density > member.best_density:
+                        member.best_density = density
+                        member.best_s, member.best_t = s_side, t_side
+                    if surrogate >= member.last_surrogate:
+                        member.last_surrogate = surrogate
+                        member.last_s, member.last_t = s_side, t_side
+                    member.low = max(member.guess, surrogate)
+            if not extracted:
+                member.high = member.guess
+
+    return [member.outcome() for member in members]
+
+
 def maximize_fixed_ratio(
     subproblem: STSubproblem,
     ratio: float,

@@ -49,11 +49,27 @@ defined in :mod:`repro.core.network_cache`.
     Min-cut computations for which the ``"auto"`` policy chose the backend
     per network (vectorised ``numpy-push-relabel`` at or above the arc
     threshold, ``dinic`` below — see
-    :func:`repro.flow.registry.resolve_auto_solver`).  Always 0 for engines
+    :func:`repro.flow.registry.resolve_auto_solver`) or per *batch* (the
+    aggregate rule of :func:`repro.flow.registry.resolve_auto_solver_batch`;
+    every member of a batched solve counts once).  Always 0 for engines
     configured with a concrete solver name; the per-backend breakdown is
     exposed as :attr:`FlowEngine.auto_backend_choices` (surfaced by
     :meth:`DDSSession.cache_stats() <repro.session.DDSSession.cache_stats>`
     as ``auto_backends``).
+``batched_solves``
+    Block-diagonal batched solves executed through :meth:`FlowEngine.min_cut_batch`
+    (one per *stacked* solver run, however many members it carried; the
+    members themselves count under ``flow_calls``).  Always 0 for engines
+    configured with a concrete solver name — only the ``"auto"`` policy
+    batches.
+``small_vector_solves``
+    Min-cut computations a *forced* ``numpy-push-relabel`` engine ran on a
+    network below the ``auto`` arc threshold — the small-workload regime
+    where the vectorised backend is known to lose to ``dinic``
+    (``BENCH_flow.json``, small workloads).  The session layer surfaces a
+    once-per-session ``backend_mismatch`` advisory when this counter moves;
+    the ``"auto"`` policy never increments it (it batches or falls back to
+    ``dinic`` instead).
 
 A :class:`~repro.session.DDSSession` keeps one engine per solver for its
 whole lifetime, so the counters are *cumulative across queries*; algorithms
@@ -65,12 +81,17 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.exceptions import FlowError
 from repro.flow.network import FlowNetwork
 from repro.flow.registry import (
+    AUTO_ARC_THRESHOLD,
     AUTO_SOLVER,
     DEFAULT_SOLVER,
+    VECTOR_SOLVER,
+    batch_eligible,
     get_solver_class,
     resolve_auto_solver,
+    resolve_auto_solver_batch,
 )
 
 #: Counter attribute names, in the order used by :meth:`FlowEngine.snapshot`.
@@ -84,6 +105,8 @@ _COUNTERS = (
     "warm_start_fallbacks",
     "height_reuses",
     "backend_selections",
+    "batched_solves",
+    "small_vector_solves",
 )
 
 
@@ -181,7 +204,102 @@ class FlowEngine:
         self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
         if getattr(solver, "height_reused", False):
             self.height_reuses += 1
+        if (
+            self.solver_name == VECTOR_SOLVER
+            and network.num_arcs < AUTO_ARC_THRESHOLD
+        ):
+            # A forced vectorised solve under the auto threshold: the known
+            # small-workload regression regime (see the glossary and the
+            # session layer's ``backend_mismatch`` advisory).
+            self.small_vector_solves += 1
         return value, solver
+
+    def supports_batching(self, arc_counts: list[int]) -> bool:
+        """Whether these networks should be solved as one block-diagonal batch.
+
+        True only for ``"auto"`` engines (an explicit solver choice is
+        honoured verbatim, never widened into a batch) whose family passes
+        the registry's aggregate gate: every member below the arc threshold,
+        the aggregate at or above it, and the vectorised backend available.
+        """
+        return self.solver_class is None and batch_eligible(arc_counts)
+
+    def min_cut_batch(
+        self,
+        batch: Any,
+        active: list[int],
+        warm_flags: list[bool],
+    ) -> list[tuple[float, list[int], int]]:
+        """One block-diagonal solve of ``batch``'s active members.
+
+        ``batch`` is a :class:`~repro.flow.batch.BatchedFlowNetwork`;
+        ``active`` lists the member indices to solve this round (the rest
+        stay masked) and ``warm_flags`` says, per active member, whether its
+        residual state should be counted as a warm continuation — mirroring
+        exactly what a sequential solve of that member would have recorded.
+        Returns, per active member, ``(flow_value, member-local cut source
+        side, arcs pushed inside that block)``.
+
+        Counting policy: each active member counts as one ``flow_calls`` /
+        ``backend_selections`` / warm-or-cold start (the batched path must
+        be counter-compatible with the sequential path it replaces), the
+        stacked run itself counts once under ``batched_solves``, and the
+        backend chosen by the aggregate policy is charged once per member in
+        :attr:`auto_backend_choices`.  The policy is resolved on the *whole
+        family's* aggregate (the engagement decision), not the active
+        subset, so a batch stays on the vectorised backend as its members
+        converge and drop out.
+        """
+        if self.solver_class is not None:
+            raise FlowError(
+                "batched solves are only available under the 'auto' policy; "
+                f"engine is configured with {self.solver_name!r}"
+            )
+        if not active:
+            return []
+        name, solver_class = resolve_auto_solver_batch(batch.member_arc_counts)
+        if name != VECTOR_SOLVER:
+            raise FlowError(
+                "batched solve requires the vectorised backend for the aggregate "
+                "arc count; gate with supports_batching() first"
+            )
+        import numpy
+
+        batch.gather(active)
+        if any(warm_flags):
+            solver = solver_class(
+                batch.network, batch.source, batch.sink, warm_start=True
+            )
+        else:
+            solver = solver_class(batch.network, batch.source, batch.sink)
+        solver.arc_owner = batch.arc_owner
+        solver.owner_pushes = numpy.zeros(batch.num_members, dtype=numpy.int64)
+        solver.max_flow()
+        batch.scatter(active)
+
+        members = len(active)
+        warm = sum(1 for flag in warm_flags if flag)
+        self.flow_calls += members
+        self.warm_starts_used += warm
+        self.cold_starts += members - warm
+        self.backend_selections += members
+        self.auto_backend_choices[name] = (
+            self.auto_backend_choices.get(name, 0) + members
+        )
+        self.arcs_pushed += solver.arcs_pushed
+        if solver.height_reused:
+            self.height_reuses += members
+        self.batched_solves += 1
+
+        source_side = solver.min_cut_source_side()
+        return [
+            (
+                batch.block_flow_value(index),
+                batch.block_cut(source_side, index),
+                int(solver.owner_pushes[index]),
+            )
+            for index in active
+        ]
 
     def snapshot(self) -> tuple[int, ...]:
         """Opaque counter snapshot for later :meth:`stats_since` deltas."""

@@ -144,6 +144,68 @@ class FlowNetwork:
         self._height_stash.clear()
         return arc_index
 
+    def append_paired_arcs(self, tails, targets, capacities, base_capacities) -> int:
+        """Bulk-append already-paired arcs and return the first new arc index.
+
+        The four sequences are *arc-indexed* (not edge-indexed): position
+        ``i`` and ``i ^ 1`` must already be residual twins, exactly as the
+        flat buffers store them — this is the fast path the block-diagonal
+        stacking layer uses to copy whole member networks (whose buffers are
+        already interleaved) into one big network without a per-edge
+        ``add_edge`` loop.  All four sequences must have the same even
+        length; numpy arrays take a zero-copy ``tobytes`` path, any other
+        sequence is extended element-wise.
+        """
+        length = len(tails)
+        if length % 2 != 0:
+            raise FlowError("append_paired_arcs expects an even number of arcs")
+        if not (len(targets) == len(capacities) == len(base_capacities) == length):
+            raise FlowError("append_paired_arcs sequences must have equal lengths")
+        first_index = len(self._to)
+        # Same BufferError discipline as add_edge: drop cached views first,
+        # and keep the parallel buffers aligned if a pinned buffer raises.
+        self._np_views = None
+        if _np is not None:
+            columns = (
+                (self._to, _np.ascontiguousarray(targets, dtype=_np.int64)),
+                (self._cap, _np.ascontiguousarray(capacities, dtype=_np.float64)),
+                (self._base, _np.ascontiguousarray(base_capacities, dtype=_np.float64)),
+                (self._tails, _np.ascontiguousarray(tails, dtype=_np.int64)),
+            )
+            done: list[array] = []
+            try:
+                for buffer, column in columns:
+                    buffer.frombytes(column.tobytes())
+                    done.append(buffer)
+            except BufferError:
+                for buffer in reversed(done):
+                    del buffer[first_index:]
+                raise
+        else:
+            self._to.extend(int(value) for value in targets)
+            self._cap.extend(float(value) for value in capacities)
+            self._base.extend(float(value) for value in base_capacities)
+            self._tails.extend(int(value) for value in tails)
+        if length:
+            endpoints = (
+                min(self._tails[first_index:]),
+                max(self._tails[first_index:]),
+                min(self._to[first_index:]),
+                max(self._to[first_index:]),
+            )
+            bad = next(
+                (node for node in endpoints if not 0 <= node < self.num_nodes), None
+            )
+            if bad is not None:
+                del self._to[first_index:]
+                del self._cap[first_index:]
+                del self._base[first_index:]
+                del self._tails[first_index:]
+                raise FlowError(f"node {bad} out of range [0, {self.num_nodes})")
+        self._csr_dirty = True
+        self._height_stash.clear()
+        return first_index
+
     def set_capacity(self, arc_index: int, capacity: float) -> None:
         """Replace the original capacity of forward arc ``arc_index`` in place.
 
@@ -263,10 +325,12 @@ class FlowNetwork:
         that can move nothing while an above-``EPSILON`` surplus remains
         raises :class:`FlowError`, mirroring the scalar walk.
 
-        ``on_moves``, when given, is called with the number of per-arc
-        residual updates of each round — the hook the vectorised solver uses
-        to keep its ``arcs_pushed`` counter honest when it reuses this walk
-        as the second phase of the preflow algorithm.
+        ``on_moves``, when given, is called once per round with the array of
+        arc indices whose residuals the round updated — the hook the
+        vectorised solver uses to keep its ``arcs_pushed`` counter (and,
+        for block-diagonal batched networks, its per-owner push attribution)
+        honest when it reuses this walk as the second phase of the preflow
+        algorithm.
         """
         starts, order, _, caps, _, _ = self.numpy_csr()
         _, pos_head, seg_starts, empty_seg, _, counts, valid_segments = (
@@ -317,7 +381,7 @@ class FlowNetwork:
             caps[arcs] -= moved
             caps[arcs ^ 1] += moved
             if on_moves is not None:
-                on_moves(int(moved_positions.size))
+                on_moves(arcs)
             sent = _np.zeros(self.num_nodes, dtype=_np.float64)
             if valid_segments:
                 sent[:valid_segments] = _np.add.reduceat(delta, reduce_starts)
@@ -556,19 +620,38 @@ class FlowNetwork:
 
     # ------------------------------------------------------------------
     def _rebuild_csr(self) -> None:
-        """Recompute the per-node arc slices (counting sort by arc tail)."""
+        """Recompute the per-node arc slices (counting sort by arc tail).
+
+        With numpy available the counting sort is replaced by a stable
+        ``argsort`` on the tail array — bit-identical output (a stable sort
+        by tail *is* the counting sort: arcs keep their index order within
+        each node's segment) without the per-arc interpreted loop, which
+        matters for the block-diagonal batched networks whose CSR spans many
+        stacked members.
+        """
         num_nodes = self.num_nodes
         tails = self._tails
-        starts = array("q", bytes(8 * (num_nodes + 1)))
-        for tail in tails:
-            starts[tail + 1] += 1
-        for node in range(num_nodes):
-            starts[node + 1] += starts[node]
-        order = array("q", bytes(8 * len(tails)))
-        cursor = starts.tolist()
-        for arc_index, tail in enumerate(tails):
-            order[cursor[tail]] = arc_index
-            cursor[tail] += 1
+        if _np is not None and len(tails):
+            np_tails = _np.frombuffer(tails, dtype=_np.int64)
+            counts = _np.bincount(np_tails, minlength=num_nodes)
+            starts_np = _np.zeros(num_nodes + 1, dtype=_np.int64)
+            _np.cumsum(counts, out=starts_np[1:])
+            order_np = _np.argsort(np_tails, kind="stable")
+            starts = array("q")
+            starts.frombytes(starts_np.tobytes())
+            order = array("q")
+            order.frombytes(_np.ascontiguousarray(order_np, dtype=_np.int64).tobytes())
+        else:
+            starts = array("q", bytes(8 * (num_nodes + 1)))
+            for tail in tails:
+                starts[tail + 1] += 1
+            for node in range(num_nodes):
+                starts[node + 1] += starts[node]
+            order = array("q", bytes(8 * len(tails)))
+            cursor = starts.tolist()
+            for arc_index, tail in enumerate(tails):
+                order[cursor[tail]] = arc_index
+                cursor[tail] += 1
         self._csr_starts = starts
         self._csr_order = order
         self._csr_dirty = False

@@ -128,6 +128,14 @@ class NumpyPushRelabelSolver:
         self.sink = sink
         self.warm_start = warm_start
         self.arcs_pushed = 0
+        #: Optional per-arc owner labels for block-diagonal batched solves.
+        #: When :class:`~repro.flow.batch.BatchedFlowNetwork` assigns these
+        #: (an ``int64`` array over arc indices plus a zeroed per-owner
+        #: accumulator) before :meth:`max_flow`, every counted push is also
+        #: attributed to the owning block in ``owner_pushes`` — the split
+        #: the engine reports per member network.
+        self.arc_owner: np.ndarray | None = None
+        self.owner_pushes: np.ndarray | None = None
         #: Whether this solve adopted the previous solve's height labels.
         self.height_reused = False
         #: Number of global-relabel passes this solve ran (instrumentation).
@@ -248,7 +256,7 @@ class NumpyPushRelabelSolver:
                     caps[src_sel] -= amounts
                     caps[src_sel ^ 1] += amounts
                     np.add.at(excess, targets[src_sel], amounts)
-                    self.arcs_pushed += int(src_sel.size)
+                    self._tally_pushes(src_sel)
             if (excess[interior] > EPSILON).any():
                 if attempt == 0 and self.height_reused:
                     self._repair_heights(height, big)
@@ -388,7 +396,7 @@ class NumpyPushRelabelSolver:
                     caps[twins] += moved
                     excess[active_nodes] -= sub_reduce(np.add, delta, 0.0)
                     np.add.at(excess, sub_head[pushed], moved)
-                    self.arcs_pushed += int(pushed.size)
+                    self._tally_pushes(sel_arcs)
                     # Keep the dense pos_caps mirror coherent for later
                     # dense supersteps.
                     pos_caps[sub_pos[pushed]] = caps[sel_arcs]
@@ -442,7 +450,7 @@ class NumpyPushRelabelSolver:
                     caps[twins] += moved
                     excess -= self._segment_reduce(np.add, delta, 0.0)
                     np.add.at(excess, pos_head[pushed], moved)
-                    self.arcs_pushed += int(pushed.size)
+                    self._tally_pushes(sel_arcs)
                     # Incremental residual-capacity maintenance: only the
                     # pushed arcs and their twins changed.
                     pos_caps[pushed] = caps[sel_arcs]
@@ -519,17 +527,20 @@ class NumpyPushRelabelSolver:
         """
         stranded = np.flatnonzero(interior & (excess > 0.0))
         if stranded.size:
-
-            def count_moves(moves: int) -> None:
-                """Fold phase-2 residual updates into ``arcs_pushed``."""
-                self.arcs_pushed += moves
-
             self.network._return_excess_vectorised(
                 list(zip(stranded.tolist(), excess[stranded].tolist())),
                 self.source,
-                on_moves=count_moves,
+                on_moves=self._tally_pushes,
             )
             excess[stranded] = 0.0
+
+    def _tally_pushes(self, sel_arcs: np.ndarray) -> None:
+        """Count a bulk push's arcs, splitting them per owner when batched."""
+        self.arcs_pushed += int(sel_arcs.size)
+        if self.arc_owner is not None:
+            self.owner_pushes += np.bincount(
+                self.arc_owner[sel_arcs], minlength=self.owner_pushes.size
+            )
 
     def _residual_seen(self) -> np.ndarray:
         """Boolean mask of nodes residual-reachable from the source (BFS)."""

@@ -41,10 +41,14 @@ Besides concrete solver names, configs and the CLI accept the *policy* name
 network — the vectorised backend for networks with at least
 :data:`AUTO_ARC_THRESHOLD` stored arcs (where bulk array ops amortise their
 per-call overhead), ``dinic`` below that, and ``dinic`` everywhere when
-numpy is missing.  ``"auto"`` is deliberately not a registry entry: it names
-a selection rule, not a solver class (see
-:func:`resolve_auto_solver` and the ``backend_selections`` counter in
-:mod:`repro.flow.engine`).
+numpy is missing.  When a whole *family* of closely related networks is
+solved together, the policy judges the family's **aggregate** arc count
+instead (:func:`resolve_auto_solver_batch`): many sub-threshold networks
+stacked block-diagonally fill the vector width that none of them fills
+alone (:func:`batch_eligible`, :class:`~repro.flow.batch.BatchedFlowNetwork`).
+``"auto"`` is deliberately not a registry entry: it names a selection rule,
+not a solver class (see :func:`resolve_auto_solver` and the
+``backend_selections`` counter in :mod:`repro.flow.engine`).
 """
 
 from __future__ import annotations
@@ -122,6 +126,38 @@ def resolve_auto_solver(num_arcs: int) -> tuple[str, Type]:
     if num_arcs >= AUTO_ARC_THRESHOLD and VECTOR_SOLVER in _SOLVERS:
         return VECTOR_SOLVER, _SOLVERS[VECTOR_SOLVER]
     return DEFAULT_SOLVER, _SOLVERS[DEFAULT_SOLVER]
+
+
+def resolve_auto_solver_batch(arc_counts: list[int]) -> tuple[str, Type]:
+    """The ``"auto"`` policy over a *batch*: resolve on aggregate arcs.
+
+    This is the crossover fix for block-diagonal batched solves: a family
+    of networks that are each below :data:`AUTO_ARC_THRESHOLD` — and would
+    therefore each resolve to ``dinic`` on their own — fills the vectorised
+    backend's vector width once they are stacked, so the policy must judge
+    the *sum* of their stored arcs, not each member.  A batch whose
+    aggregate still sits under the threshold (or an empty batch) resolves
+    exactly like a single network of that size.
+    """
+    return resolve_auto_solver(sum(arc_counts))
+
+
+def batch_eligible(arc_counts: list[int]) -> bool:
+    """Whether a family of networks should be solved block-diagonally.
+
+    True when stacking pays: at least two members, every member *below*
+    :data:`AUTO_ARC_THRESHOLD` (an at-or-above-threshold member already
+    fills the vector width alone and resolves to the vectorised backend
+    per network), the aggregate at or above the threshold, and the
+    vectorised backend registered.  This gate only ever widens the
+    ``"auto"`` policy — explicit solver selections are never batched.
+    """
+    return (
+        len(arc_counts) >= 2
+        and VECTOR_SOLVER in _SOLVERS
+        and all(count < AUTO_ARC_THRESHOLD for count in arc_counts)
+        and sum(arc_counts) >= AUTO_ARC_THRESHOLD
+    )
 
 
 def get_solver_class(name: str = DEFAULT_SOLVER) -> Type:

@@ -47,7 +47,15 @@ RESERVED_FIELDS = ("dataset",)
 #: Everything else in a payload is the *answer* and must be bit-identical
 #: under any plan permutation (pinned by the planner property test).
 VOLATILE_PAYLOAD_KEYS = frozenset(
-    {"flow_calls", "networks_built", "networks_reused", "warm_starts_used", "cold_starts"}
+    {
+        "flow_calls",
+        "networks_built",
+        "networks_reused",
+        "warm_starts_used",
+        "cold_starts",
+        "batched_solves",
+        "small_vector_solves",
+    }
 )
 
 

@@ -131,6 +131,7 @@ class DDSSession:
         self._density_upper: float | None = None
         self._exact_tolerance: float | None = None
         self._warned_ignored_solvers: set[tuple[str, str, bool]] = set()
+        self._warned_backend_mismatch = False
 
     # ------------------------------------------------------------------
     # internal plumbing
@@ -316,6 +317,28 @@ class DDSSession:
                 warnings.warn(
                     f"method {spec.name!r} performs no min-cuts; "
                     f"flow_solver={ignored_solver!r} is ignored",
+                    UserWarning,
+                    stacklevel=3,
+                )
+        small = result.stats.get("small_vector_solves", 0)
+        if small:
+            # The query forced the vectorised backend onto networks below the
+            # auto arc threshold — the one regime BENCH_flow.json shows it
+            # losing to dinic in.  Mirror of ``flow_solver_ignored``: stats
+            # on every affected result, a UserWarning once per session.
+            result.stats["backend_mismatch"] = {
+                "flow_solver": result.stats.get("flow_solver"),
+                "method": spec.name,
+                "small_vector_solves": small,
+            }
+            if not self._warned_backend_mismatch:
+                self._warned_backend_mismatch = True
+                warnings.warn(
+                    f"{small} forced {result.stats.get('flow_solver')!r} solves ran on "
+                    "networks below the auto arc threshold, where the vectorised "
+                    "backend is slower than dinic; use flow_solver='auto' to let "
+                    "small solves take dinic and small *families* batch onto the "
+                    "vectorised backend",
                     UserWarning,
                     stacklevel=3,
                 )
@@ -640,6 +663,8 @@ class DDSSession:
             "warm_start_fallbacks",
             "height_reuses",
             "backend_selections",
+            "batched_solves",
+            "small_vector_solves",
         ):
             stats[counter] = sum(getattr(engine, counter) for engine in self._engines.values())
         auto_backends: dict[str, int] = {}

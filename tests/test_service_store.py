@@ -311,6 +311,35 @@ class TestEviction:
         session = DDSSession(load_dataset("foodweb-tiny"))
         assert store.warm_session(session)["results_loaded"] == 0
 
+    def test_max_bytes_ties_break_deterministically_by_path(self, tmp_path):
+        """Equal-mtime entries sweep in path order — eviction is reproducible.
+
+        The LRU sweep sorts by ``(mtime, path)``; with every mtime forced
+        equal, the path tie-break alone decides, so the same two
+        lexicographically-first entries must go on every run regardless of
+        filesystem enumeration order.
+        """
+        import os
+        import time as time_module
+
+        store = self._store_with_entries(tmp_path)
+        entries = sorted((tmp_path / "graphs").glob("*/results/*.json"))
+        assert len(entries) == 4
+        now = time_module.time()
+        stamp = now - 50
+        for path in entries:
+            os.utime(path, (stamp, stamp))
+        total = sum(
+            p.stat().st_size for p in (tmp_path / "graphs").rglob("*") if p.is_file()
+        )
+        budget = total - entries[0].stat().st_size - entries[1].stat().st_size
+        counters = store.evict(max_bytes=budget, now=now)
+        assert counters["results_evicted"] == 2
+        assert not entries[0].exists()
+        assert not entries[1].exists()
+        assert entries[2].exists()
+        assert entries[3].exists()
+
     def test_age_sweep_keeps_fresh_store_intact(self, tmp_path):
         store = self._store_with_entries(tmp_path)
         counters = store.evict(older_than_days=7)

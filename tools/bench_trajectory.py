@@ -3,13 +3,20 @@
 Runs the E2/E6-style smoke workloads once per registered flow solver (plus
 the ``auto`` policy), times them, and writes a flat row list
 
-    {"workload": ..., "solver": ..., "wall_ms": ..., "arcs_pushed": ...,
-     "warm_starts_used": ...}
+    {"workload": ..., "solver": ..., "mode": ..., "wall_ms": ...,
+     "arcs_pushed": ..., "warm_starts_used": ..., "batched_solves": ...}
 
 to ``BENCH_flow.json`` so future PRs have a committed, diffable baseline to
 compare solver work against (wall clock is machine-dependent; ``arcs_pushed``
-is not).  Two extra row families capture the vectorised backend's headline
-wins:
+is not).  ``mode`` (schema v2) distinguishes ``sequential`` runs — one
+min-cut per network, the only shape explicit solver names support — from
+``batched`` runs, where the ``auto`` policy stacks each fixed-ratio guess
+sequence block-diagonally so many below-threshold networks fill the vector
+width together; the small workloads carry an ``auto`` row in both modes,
+which is the committed record of the small-workload regression fix (the
+sequential ``numpy-push-relabel`` rows losing to ``dinic`` there are the
+bug, the batched ``auto`` rows are the fix).  Three extra row families
+capture the vectorised backend's headline wins:
 
 * the **large workload** (``e6-large:*``) — a dc-exact run and a
   fixed-ratio sweep on graphs whose decision networks are far above the
@@ -33,9 +40,13 @@ Usage::
         [--skip-large] [--skip-parallel] [--check]
 
 ``--check`` exits 1 unless the numpy backend beats dinic by >= 2x on the
-largest workload and the jobs-4 batch beats jobs-1 (used as an opt-in local
-gate; CI pins the cheaper bit-identity + strictly-faster variant in the E6
-smoke instead).
+largest workload, the jobs-4 batch beats jobs-1, and — the small-workload
+regression gate — the batched ``auto`` run of the guess-sequence workload
+(flow-exact on ``foodweb-tiny``) beats the sequential ``numpy-push-relabel``
+run by >= 1.5x while actually batching (``batched_solves`` > 0, vector
+backend recorded in ``auto_backends``) and returning the bit-identical
+subgraph (used as an opt-in local gate; CI pins the cheaper bit-identity +
+parity variant in the E6 smoke instead).
 """
 
 from __future__ import annotations
@@ -75,22 +86,28 @@ LARGE_SOLVERS = ("dinic", VECTOR_SOLVER, AUTO_SOLVER)
 PARALLEL_DATASETS = ("er-medium", "planted-medium", "amazon-medium", "wiki-talk-medium")
 
 
-def _row(workload: str, solver: str, wall_ms: float, stats: dict) -> dict:
+def _row(workload: str, solver: str, mode: str, wall_ms: float, stats: dict) -> dict:
     return {
         "workload": workload,
         "solver": solver,
+        "mode": mode,
         "wall_ms": round(wall_ms, 3),
         "arcs_pushed": int(stats.get("arcs_pushed", 0)),
         "warm_starts_used": int(stats.get("warm_starts_used", 0)),
+        "batched_solves": int(stats.get("batched_solves", 0)),
     }
 
 
-def _run_densest(dataset: str, method: str, solver: str) -> tuple[float, dict]:
-    session = DDSSession(load_dataset(dataset), flow=FlowConfig(solver=solver))
+def _run_densest(
+    dataset: str, method: str, solver: str, batch_size: int = 1
+) -> tuple[float, dict, object]:
+    session = DDSSession(
+        load_dataset(dataset), flow=FlowConfig(solver=solver, batch_size=batch_size)
+    )
     start = time.perf_counter()
-    session.densest_subgraph(method)
+    result = session.densest_subgraph(method)
     wall_ms = (time.perf_counter() - start) * 1000.0
-    return wall_ms, session.cache_stats()
+    return wall_ms, session.cache_stats(), result
 
 
 def _run_sweep(dataset: str, solver: str) -> tuple[float, dict]:
@@ -164,18 +181,35 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="exit 1 unless numpy beats dinic >= 2x on the largest workload "
-        "and jobs-4 beats jobs-1",
+        help="exit 1 unless numpy beats dinic >= 2x on the largest workload, "
+        "jobs-4 beats jobs-1, and the batched auto run beats the sequential "
+        "numpy run >= 1.5x on the small guess-sequence workload",
     )
     args = parser.parse_args(argv)
 
     rows: list[dict] = []
     solvers = available_flow_solvers()
+    small_walls: dict[tuple[str, str, str], float] = {}
+    small_results: dict[tuple[str, str, str], object] = {}
+    batched_small_stats: dict[str, dict] = {}
     for workload, dataset, method in SMALL_WORKLOADS:
         for solver in solvers:
-            wall_ms, stats = _run_densest(dataset, method, solver)
-            rows.append(_row(workload, solver, wall_ms, stats))
-            print(f"{workload:40s} {solver:20s} {wall_ms:10.1f}ms", flush=True)
+            wall_ms, stats, result = _run_densest(dataset, method, solver)
+            rows.append(_row(workload, solver, "sequential", wall_ms, stats))
+            small_walls[(workload, solver, "sequential")] = wall_ms
+            small_results[(workload, solver, "sequential")] = result
+            print(f"{workload:40s} {solver:20s} {'sequential':12s} {wall_ms:10.1f}ms", flush=True)
+        # The auto policy in both modes: batch_size=1 (per-network backend
+        # choice only) and the default batch size (guess sequences of
+        # below-threshold networks stacked onto the vector backend).
+        for mode, batch_size in (("sequential", 1), ("batched", FlowConfig().batch_size)):
+            wall_ms, stats, result = _run_densest(dataset, method, AUTO_SOLVER, batch_size)
+            rows.append(_row(workload, AUTO_SOLVER, mode, wall_ms, stats))
+            small_walls[(workload, AUTO_SOLVER, mode)] = wall_ms
+            small_results[(workload, AUTO_SOLVER, mode)] = result
+            if mode == "batched":
+                batched_small_stats[workload] = stats
+            print(f"{workload:40s} {AUTO_SOLVER:20s} {mode:12s} {wall_ms:10.1f}ms", flush=True)
 
     large_ratio = None
     if not args.skip_large:
@@ -186,15 +220,15 @@ def main(argv: list[str] | None = None) -> int:
         walls: dict[str, float] = {}
         for workload, dataset, method in [LARGE_DC_WORKLOAD]:
             for solver in large_solvers:
-                wall_ms, stats = _run_densest(dataset, method, solver)
-                rows.append(_row(workload, solver, wall_ms, stats))
+                wall_ms, stats, _ = _run_densest(dataset, method, solver)
+                rows.append(_row(workload, solver, "sequential", wall_ms, stats))
                 walls[solver] = wall_ms
                 print(f"{workload:40s} {solver:20s} {wall_ms:10.1f}ms", flush=True)
         sweep_name = f"e6-large:{LARGE_SWEEP_DATASET}/fixed-ratio-sweep"
         sweep_walls: dict[str, float] = {}
         for solver in large_solvers:
             wall_ms, stats = _run_sweep(LARGE_SWEEP_DATASET, solver)
-            rows.append(_row(sweep_name, solver, wall_ms, stats))
+            rows.append(_row(sweep_name, solver, "sequential", wall_ms, stats))
             sweep_walls[solver] = wall_ms
             print(f"{sweep_name:40s} {solver:20s} {wall_ms:10.1f}ms", flush=True)
         if has_vector_backend():
@@ -217,7 +251,9 @@ def main(argv: list[str] | None = None) -> int:
             batch_walls = {}
             for jobs in (1, 4):
                 wall_ms, stats = _run_batch(jobs, VECTOR_SOLVER)
-                rows.append(_row(f"batch-lanes:jobs-{jobs}", VECTOR_SOLVER, wall_ms, stats))
+                rows.append(
+                    _row(f"batch-lanes:jobs-{jobs}", VECTOR_SOLVER, "sequential", wall_ms, stats)
+                )
                 batch_walls[jobs] = wall_ms
                 print(f"{'batch-lanes:jobs-' + str(jobs):40s} {VECTOR_SOLVER:20s} {wall_ms:10.1f}ms", flush=True)
             parallel_ratio = batch_walls[1] / batch_walls[4]
@@ -244,9 +280,17 @@ def main(argv: list[str] | None = None) -> int:
             print("note: batch-lanes workloads skipped (numpy not importable)")
 
     document = {
-        "schema_version": 1,
+        "schema_version": 2,
         "generated_by": "tools/bench_trajectory.py",
-        "schema": ["workload", "solver", "wall_ms", "arcs_pushed", "warm_starts_used"],
+        "schema": [
+            "workload",
+            "solver",
+            "mode",
+            "wall_ms",
+            "arcs_pushed",
+            "warm_starts_used",
+            "batched_solves",
+        ],
         "rows": rows,
         "parallel": parallel_block,
     }
@@ -256,6 +300,40 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         failures = []
+        if has_vector_backend():
+            # Small-workload regression gate: the batched auto run of the
+            # guess-sequence workload must beat the sequential vector run by
+            # the recorded margin, by actually batching, with the same answer.
+            guess_seq = SMALL_WORKLOADS[0][0]
+            seq_wall = small_walls[(guess_seq, VECTOR_SOLVER, "sequential")]
+            bat_wall = small_walls[(guess_seq, AUTO_SOLVER, "batched")]
+            small_ratio = seq_wall / bat_wall
+            print(f"small-workload speedup batched auto vs sequential numpy: {small_ratio:.2f}x")
+            if small_ratio < 1.5:
+                failures.append(
+                    f"batched auto ({bat_wall:.0f}ms) did not beat sequential "
+                    f"{VECTOR_SOLVER} ({seq_wall:.0f}ms) by 1.5x on {guess_seq} "
+                    f"(got {small_ratio:.2f}x)"
+                )
+            bat_stats = batched_small_stats[guess_seq]
+            if bat_stats.get("batched_solves", 0) < 1:
+                failures.append(f"no batched solves recorded on {guess_seq}")
+            if bat_stats.get("auto_backends", {}).get(VECTOR_SOLVER, 0) < 1:
+                failures.append(
+                    f"the auto policy never put batched members on {VECTOR_SOLVER} "
+                    f"({guess_seq}; auto_backends: {bat_stats.get('auto_backends')!r})"
+                )
+            seq_res = small_results[(guess_seq, VECTOR_SOLVER, "sequential")]
+            bat_res = small_results[(guess_seq, AUTO_SOLVER, "batched")]
+            if (
+                seq_res.density != bat_res.density
+                or sorted(map(str, seq_res.s_nodes)) != sorted(map(str, bat_res.s_nodes))
+                or sorted(map(str, seq_res.t_nodes)) != sorted(map(str, bat_res.t_nodes))
+            ):
+                failures.append(
+                    f"batched auto and sequential {VECTOR_SOLVER} disagree on the "
+                    f"{guess_seq} subgraph ({bat_res.density} vs {seq_res.density})"
+                )
         if large_ratio is not None and large_ratio < 2.0:
             failures.append(
                 f"numpy-vs-dinic speedup {large_ratio:.2f}x on the largest workload "
