@@ -43,6 +43,12 @@ bit-identical subgraph of a batching-disabled auto run with the same
 ``flow_calls``, while actually batching (``batched_solves`` > 0) onto the
 vectorised backend.  Without numpy the gates report themselves skipped
 (registry degradation is covered by the test suite).
+
+The **incremental update-parity gate** replays a deterministic edge-update
+stream through one session's ``apply_updates``: with certification disabled
+every post-delta answer must be bit-identical to a cold session on the
+updated graph; with certification enabled densities must agree exactly and
+at least one cached answer must survive by certificate.
 """
 
 from __future__ import annotations
@@ -60,6 +66,7 @@ from repro.core.config import ExactConfig, FlowConfig
 from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.flow.registry import VECTOR_SOLVER, has_vector_backend
+from repro.graph.generators import edge_update_stream
 from repro.service import BatchExecutor, payload_answer, plan_batch
 from repro.session import DDSSession
 
@@ -324,6 +331,73 @@ def run_batched_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Dataset + stream shape of the incremental update-parity gate.
+UPDATE_SMOKE_DATASET = "social-tiny"
+UPDATE_SMOKE_STEPS = 4
+UPDATE_SMOKE_SEED = 77
+
+
+def run_update_smoke(failures: list[str]) -> dict:
+    """Update-parity gate: ``apply_updates`` must match cold rebuilds.
+
+    Replays a deterministic edge-update stream (removals and insertions)
+    through one live session two ways — with certification disabled, where
+    every post-delta dc-exact answer must be **bit-identical** to a cold
+    session built on the updated graph, and with certification enabled,
+    where densities must still agree exactly and at least one entry must
+    survive by certificate across the stream (the subsystem's reason to
+    exist).  Appends failure strings to ``failures`` and returns a table
+    row.
+    """
+    graph = load_dataset(UPDATE_SMOKE_DATASET)
+    batches = edge_update_stream(
+        graph, steps=UPDATE_SMOKE_STEPS, batch_size=1, p_add=0.3, seed=UPDATE_SMOKE_SEED
+    )
+    exact = DDSSession(graph.copy())
+    certified = DDSSession(graph.copy())
+    exact.densest_subgraph("dc-exact")
+    certified.densest_subgraph("dc-exact")
+    work = graph.copy()
+    for step, (added, removed) in enumerate(batches):
+        exact.apply_updates(added, removed, certify=False)
+        certified.apply_updates(added, removed)
+        work.apply_delta(added, removed)
+        cold_result = DDSSession(work.copy()).densest_subgraph("dc-exact")
+        exact_result = exact.densest_subgraph("dc-exact")
+        if (
+            exact_result.density != cold_result.density
+            or exact_result.s_nodes != cold_result.s_nodes
+            or exact_result.t_nodes != cold_result.t_nodes
+        ):
+            failures.append(
+                f"update parity: step {step} on {UPDATE_SMOKE_DATASET} — uncertified "
+                f"apply_updates diverged from the cold rebuild "
+                f"({exact_result.density} vs {cold_result.density})"
+            )
+        certified_result = certified.densest_subgraph("dc-exact")
+        if certified_result.density != cold_result.density:
+            failures.append(
+                f"update parity: step {step} on {UPDATE_SMOKE_DATASET} — certified "
+                f"apply_updates lost optimality "
+                f"({certified_result.density} vs {cold_result.density})"
+            )
+    stats = certified.cache_stats()
+    if stats["certified_stale_hits"] < 1:
+        failures.append(
+            f"update parity: no cached answer survived certification across "
+            f"{UPDATE_SMOKE_STEPS} deltas on {UPDATE_SMOKE_DATASET} "
+            "(the certification tier never fired)"
+        )
+    return {
+        "dataset": UPDATE_SMOKE_DATASET,
+        "steps": UPDATE_SMOKE_STEPS,
+        "updates_applied": stats["updates_applied"],
+        "certified_stale_hits": stats["certified_stale_hits"],
+        "local_research_runs": stats["local_research_runs"],
+        "flow_calls": stats["flow_calls"],
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -397,6 +471,8 @@ def run_smoke() -> int:
     print(format_table([vector_row], title="E6 smoke: vectorised-backend gate"))
     batched_row = run_batched_smoke(failures)
     print(format_table([batched_row], title="E6 smoke: batched-solve parity gate"))
+    update_row = run_update_smoke(failures)
+    print(format_table([update_row], title="E6 smoke: incremental update-parity gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -43,6 +43,7 @@ from repro.core import (
     xy_core_skyline,
 )
 from repro.graph import DiGraph, read_edge_list, write_edge_list
+from repro.incremental import DeltaCertificate, EdgeDelta, UpdateReport
 from repro.session import DDSSession
 
 __version__ = "2.0.0"
@@ -74,4 +75,7 @@ __all__ = [
     "core_based_bounds",
     "top_k_densest",
     "verify_result",
+    "EdgeDelta",
+    "UpdateReport",
+    "DeltaCertificate",
 ]

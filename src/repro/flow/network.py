@@ -206,6 +206,24 @@ class FlowNetwork:
         self._height_stash.clear()
         return first_index
 
+    def clone(self) -> "FlowNetwork":
+        """Deep copy of the topology *and* the current residual state.
+
+        The flat arc buffers are copied, so retunes and solves on the clone
+        never touch the original (and vice versa); the CSR index, list/numpy
+        views and the height stash are per-instance caches and are rebuilt
+        lazily on the clone.  This is how the incremental layer seeds a
+        ``top_k`` round's working cache from the session's warm networks
+        without corrupting them.
+        """
+        twin = FlowNetwork(self.num_nodes)
+        twin._to = array("q", self._to)
+        twin._cap = array("d", self._cap)
+        twin._base = array("d", self._base)
+        twin._tails = array("q", self._tails)
+        twin._csr_dirty = True
+        return twin
+
     def set_capacity(self, arc_index: int, capacity: float) -> None:
         """Replace the original capacity of forward arc ``arc_index`` in place.
 
@@ -249,6 +267,33 @@ class FlowNetwork:
         self._cap[arc_index] = 0.0
         self._cap[arc_index + 1] = capacity
         return flow - capacity
+
+    def withdraw_flow(self, arc_index: int, amount: float) -> None:
+        """Cancel ``amount`` units of flow on forward arc ``arc_index`` in place.
+
+        The inverse of pushing flow on one arc: the forward residual grows by
+        ``amount`` and the reverse residual (which *is* the arc's flow)
+        shrinks by the same.  Conservation is intentionally broken at both
+        endpoints — the tail is left with an inflow surplus and the head with
+        a deficit — so this is a surgical primitive for callers that repair
+        the imbalance themselves (the incremental decision-network patcher
+        cancels a deleted edge's flow here and walks the tail surplus back to
+        the source via :meth:`return_excess`).  Raises if the arc carries
+        less than ``amount`` flow (beyond float noise); sub-noise overshoot
+        is clamped so retune loops cannot accumulate negative flow.
+        """
+        if arc_index % 2 != 0:
+            raise FlowError("withdraw_flow expects the index returned by add_edge (even)")
+        if amount < 0:
+            raise FlowError(f"amount must be >= 0, got {amount}")
+        flow = self._cap[arc_index + 1]
+        if amount > flow + EPSILON:
+            raise FlowError(
+                f"cannot withdraw {amount!r} from arc {arc_index} carrying {flow!r}"
+            )
+        amount = min(float(amount), flow)
+        self._cap[arc_index + 1] = flow - amount
+        self._cap[arc_index] += amount
 
     def return_excess(self, excess: list[tuple[int, float]], source: int) -> float:
         """Restore flow conservation by pushing node excesses back to ``source``.
@@ -567,6 +612,14 @@ class FlowNetwork:
         if arc_index % 2 != 0:
             raise FlowError("arc_flow expects the index returned by add_edge (even)")
         return self._cap[arc_index + 1]
+
+    def arc_base_capacity(self, arc_index: int) -> float:
+        """Original (base) capacity of the forward arc ``arc_index``."""
+        if arc_index % 2 != 0:
+            raise FlowError(
+                "arc_base_capacity expects the index returned by add_edge (even)"
+            )
+        return self._base[arc_index]
 
     def reset_flow(self) -> None:
         """Restore all residual capacities to the original capacities."""

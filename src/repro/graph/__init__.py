@@ -21,6 +21,7 @@ from repro.graph.generators import (
     chung_lu_digraph,
     complete_bipartite_digraph,
     cycle_digraph,
+    edge_update_stream,
     gnm_random_digraph,
     gnp_random_digraph,
     path_digraph,
@@ -50,6 +51,7 @@ __all__ = [
     "write_edge_list",
     "gnp_random_digraph",
     "gnm_random_digraph",
+    "edge_update_stream",
     "chung_lu_digraph",
     "powerlaw_digraph",
     "planted_dds_digraph",

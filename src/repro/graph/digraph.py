@@ -149,7 +149,107 @@ class DiGraph:
         clone._out_sets = [set(adj) for adj in self._out_sets]
         clone._in_sets = [set(adj) for adj in self._in_sets]
         clone._num_edges = self._num_edges
+        cached = self._fingerprint_cache
+        if cached is not None and cached[0] == self._state_token:
+            # The clone has identical content, so the digest carries over
+            # (under the clone's own state token — tokens are never shared).
+            clone._fingerprint_cache = (clone._state_token, cached[1])
         return clone
+
+    def remove_node(self, label: NodeLabel) -> None:
+        """Remove a node and all its incident edges (raises if absent).
+
+        Later nodes shift down by one internal index, exactly as if the graph
+        had been rebuilt without ``label``; all caches (adjacency, state
+        token, fingerprint) are invalidated, matching :meth:`remove_edge`.
+        """
+        index = self._require_index(label)
+        removed = len(self._out_sets[index]) + len(self._in_sets[index])
+        if index in self._out_sets[index]:
+            removed -= 1  # a self-loop sits in both sets but counts once
+        self._num_edges -= removed
+        for vi in self._out_sets[index]:
+            self._in_sets[vi].discard(index)
+        for ui in self._in_sets[index]:
+            self._out_sets[ui].discard(index)
+        del self._labels[index]
+        del self._out_sets[index]
+        del self._in_sets[index]
+        self._index_of = {lab: i for i, lab in enumerate(self._labels)}
+        shift = lambda s: {v - 1 if v > index else v for v in s}  # noqa: E731
+        self._out_sets = [shift(s) for s in self._out_sets]
+        self._in_sets = [shift(s) for s in self._in_sets]
+        self._invalidate_cache()
+
+    def apply_delta(
+        self,
+        added: Iterable[tuple[NodeLabel, NodeLabel]] = (),
+        removed: Iterable[tuple[NodeLabel, NodeLabel]] = (),
+    ) -> tuple[list[tuple[int, int]], list[tuple[int, int]]]:
+        """Apply a batch of edge updates with a *single* state-token bump.
+
+        Removals are applied first (each must exist, like
+        :meth:`remove_edge`), then additions (duplicates and rejected
+        self-loops are skipped, like :meth:`add_edge`; unknown endpoint
+        labels are appended as new nodes).  Unlike a loop of single-edge
+        mutations, the adjacency caches are patched in place for the touched
+        rows only, and the state token changes exactly once — so downstream
+        caches see one delta, not one invalidation per edge.
+
+        Returns the *effective* ``(added, removed)`` edge lists as internal
+        index pairs (indices are stable: nodes are only ever appended).
+        """
+        removed_pairs: list[tuple[int, int]] = []
+        for u, v in removed:
+            ui = self._require_index(u)
+            vi = self._require_index(v)
+            if vi not in self._out_sets[ui]:
+                raise GraphError(f"edge {u!r} -> {v!r} does not exist")
+            self._out_sets[ui].discard(vi)
+            self._in_sets[vi].discard(ui)
+            self._num_edges -= 1
+            removed_pairs.append((ui, vi))
+
+        added_pairs: list[tuple[int, int]] = []
+        nodes_before = len(self._labels)
+        for u, v in added:
+            ui = self._delta_node(u)
+            vi = self._delta_node(v)
+            if ui == vi and not self._allow_self_loops:
+                continue
+            if vi in self._out_sets[ui]:
+                continue
+            self._out_sets[ui].add(vi)
+            self._in_sets[vi].add(ui)
+            self._num_edges += 1
+            added_pairs.append((ui, vi))
+
+        if self._out_adj_cache is not None:
+            for ui in {p[0] for p in added_pairs} | {p[0] for p in removed_pairs}:
+                self._out_adj_cache[ui] = sorted(self._out_sets[ui])
+        if self._in_adj_cache is not None:
+            for vi in {p[1] for p in added_pairs} | {p[1] for p in removed_pairs}:
+                self._in_adj_cache[vi] = sorted(self._in_sets[vi])
+        if added_pairs or removed_pairs or len(self._labels) != nodes_before:
+            self._fingerprint_cache = None
+            self._state_token = next(_STATE_TOKENS)
+        return added_pairs, removed_pairs
+
+    def _delta_node(self, label: NodeLabel) -> int:
+        """``add_node`` without the cache invalidation (``apply_delta`` only)."""
+        index = self._index_of.get(label)
+        if index is not None:
+            return index
+        index = len(self._labels)
+        self._labels.append(label)
+        self._index_of[label] = index
+        self._out_sets.append(set())
+        self._in_sets.append(set())
+        if self._out_adj_cache is not None:
+            self._out_adj_cache.append([])
+        if self._in_adj_cache is not None:
+            self._in_adj_cache.append([])
+        return index
 
     # ------------------------------------------------------------------
     # basic queries (label view)

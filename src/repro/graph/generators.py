@@ -251,6 +251,99 @@ def planted_dds_digraph(
 
 
 # ----------------------------------------------------------------------
+# update-stream workloads (for the incremental layer)
+# ----------------------------------------------------------------------
+def edge_update_stream(
+    graph: DiGraph,
+    steps: int,
+    batch_size: int = 4,
+    p_add: float = 0.5,
+    p_new_node: float = 0.0,
+    seed: RngLike = None,
+) -> list[tuple[list[tuple], list[tuple]]]:
+    """Deterministic stream of edge-delta batches for ``graph``.
+
+    Returns ``steps`` batches of ``(added_edges, removed_edges)`` label
+    pairs, each valid against the graph state produced by applying all
+    earlier batches in order — removals name edges that exist at that point,
+    additions name edges that do not, and no edge appears on both sides of
+    one batch.  The batches are therefore directly consumable by
+    :meth:`DDSSession.apply_updates <repro.session.DDSSession.apply_updates>`
+    (or by :meth:`DiGraph.apply_delta <repro.graph.digraph.DiGraph.apply_delta>`
+    on a copy); ``graph`` itself is never mutated.
+
+    Each batch slot is an insertion with probability ``p_add`` (when an
+    absent pair can be found) and a removal otherwise; an insertion brings a
+    brand-new node with probability ``p_new_node``, exercising the
+    node-growth path of the maintenance layer.  Fixing ``seed`` fixes the
+    whole stream — the workload the incremental benchmarks replay.
+    """
+    require_non_negative_int(steps, "steps")
+    require_non_negative_int(batch_size, "batch_size")
+    require_probability(p_add, "p_add")
+    require_probability(p_new_node, "p_new_node")
+    rng = make_rng(seed)
+
+    nodes = [graph.label_of(index) for index in range(graph.num_nodes)]
+    edges: list[tuple] = [
+        (graph.label_of(u), graph.label_of(v))
+        for u in range(graph.num_nodes)
+        for v in sorted(graph.out_adj[u])
+    ]
+    edge_set = set(edges)
+    fresh = 0
+
+    def pop_edge(index: int) -> tuple:
+        """Swap-pop for O(1) removal while keeping the list rng-indexable."""
+        edges[index], edges[-1] = edges[-1], edges[index]
+        edge = edges.pop()
+        edge_set.discard(edge)
+        return edge
+
+    def sample_absent() -> tuple | None:
+        """A uniform-ish absent non-loop pair, or ``None`` when too dense."""
+        if len(nodes) < 2:
+            return None
+        for _ in range(8 * batch_size + 8):
+            u = nodes[rng.randrange(len(nodes))]
+            v = nodes[rng.randrange(len(nodes))]
+            if u != v and (u, v) not in edge_set:
+                return (u, v)
+        return None
+
+    batches: list[tuple[list[tuple], list[tuple]]] = []
+    for _ in range(steps):
+        added: list[tuple] = []
+        removed: list[tuple] = []
+        batch_edges: set[tuple] = set()
+        for _ in range(batch_size):
+            pair: tuple | None = None
+            if rng.random() < p_add:
+                if nodes and rng.random() < p_new_node:
+                    fresh += 1
+                    label = f"update_node_{fresh}"
+                    anchor = nodes[rng.randrange(len(nodes))]
+                    pair = (label, anchor) if rng.random() < 0.5 else (anchor, label)
+                    nodes.append(label)
+                else:
+                    pair = sample_absent()
+                if pair is not None and pair not in batch_edges:
+                    added.append(pair)
+                    batch_edges.add(pair)
+                    edges.append(pair)
+                    edge_set.add(pair)
+                    continue
+            if edges:
+                index = rng.randrange(len(edges))
+                if edges[index] not in batch_edges:
+                    pair = pop_edge(index)
+                    removed.append(pair)
+                    batch_edges.add(pair)
+        batches.append((added, removed))
+    return batches
+
+
+# ----------------------------------------------------------------------
 # deterministic families (mostly for tests and docs)
 # ----------------------------------------------------------------------
 def complete_bipartite_digraph(s_size: int, t_size: int) -> DiGraph:

@@ -1,0 +1,41 @@
+"""Incremental DDS under graph updates: patch caches, certify stale answers.
+
+The subsystem behind
+:meth:`DDSSession.apply_updates <repro.session.DDSSession.apply_updates>`:
+
+* :mod:`repro.incremental.delta` — normalized :class:`EdgeDelta` batches
+  and the per-update :class:`UpdateReport`;
+* :mod:`repro.incremental.maintain` — in-place patching of degree arrays,
+  [x, y]-core decompositions (bounded local re-peel) and cached decision
+  networks (arc-level surgery that keeps warm residual flows alive);
+* :mod:`repro.incremental.certify` — density-bound and min-cut-re-verify
+  certificates deciding which cached results are provably still optimal.
+
+``top_k`` rounds ≥ 2 route through the same machinery: a peel round *is*
+an edge-removal delta, so each round's working cache is seeded by
+clone-and-patch from the previous round's networks instead of rebuilding.
+"""
+
+from repro.incremental.certify import DeltaCertificate, certify_result
+from repro.incremental.delta import EdgeDelta, UpdateReport
+from repro.incremental.maintain import (
+    full_subproblem_token,
+    migrate_network_cache,
+    patch_decision_network,
+    patch_degree_arrays,
+    refresh_cores,
+    seed_cache_from,
+)
+
+__all__ = [
+    "DeltaCertificate",
+    "EdgeDelta",
+    "UpdateReport",
+    "certify_result",
+    "full_subproblem_token",
+    "migrate_network_cache",
+    "patch_decision_network",
+    "patch_degree_arrays",
+    "refresh_cores",
+    "seed_cache_from",
+]

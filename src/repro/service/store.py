@@ -316,21 +316,35 @@ class SessionStore:
         # every just-written entry as current and skips the duplicate work.
         with self._locked(graph_dir):
             manifest_path = graph_dir / "manifest.json"
+            # Delta lineage: the content fingerprints of the graph states
+            # this session's entries evolved from (one per apply_updates).
+            # A session that never applied updates has none — in that case a
+            # valid stored lineage is preserved rather than clobbered, so
+            # history recorded by an earlier updated session survives saves
+            # from cold sessions of the same (final) graph.
+            lineage = session.lineage()
+            stored_manifest = None
+            if manifest_path.exists():
+                try:
+                    self._check_manifest(graph, manifest_path)
+                    stored_manifest = self._verified_payload(manifest_path)
+                except StoreError:
+                    stored_manifest = None  # corrupt — rewritten from the live graph
+            if stored_manifest is not None and not lineage:
+                stored = stored_manifest.get("lineage") or []
+                lineage = [str(fingerprint_) for fingerprint_ in stored]
             manifest = {
                 "store_schema_version": STORE_SCHEMA_VERSION,
                 "fingerprint": fingerprint,
                 "num_nodes": graph.num_nodes,
                 "num_edges": graph.num_edges,
                 "allow_self_loops": graph.allow_self_loops,
+                "lineage": lineage,
             }
-            manifest_document = {"checksum": _checksum(manifest), "payload": manifest}
-            if manifest_path.exists():
-                try:
-                    self._check_manifest(graph, manifest_path)
-                except StoreError:
-                    self._write_json(manifest_path, manifest_document)  # self-heal corruption
-            else:
-                self._write_json(manifest_path, manifest_document)
+            if stored_manifest != manifest:
+                self._write_json(
+                    manifest_path, {"checksum": _checksum(manifest), "payload": manifest}
+                )
 
             derived: dict[str, Any] = {
                 "out_degrees": session.out_degrees(),
@@ -409,6 +423,9 @@ class SessionStore:
         except StoreError:
             counters["manifest_corrupt"] = 1
             return counters
+        stored_lineage = self._verified_payload(manifest_path).get("lineage") or []
+        if stored_lineage:
+            session.seed_lineage(str(fingerprint) for fingerprint in stored_lineage)
 
         derived_path = graph_dir / "derived.json"
         if derived_path.exists():
@@ -488,8 +505,10 @@ class SessionStore:
                 manifest = self._verified_payload(manifest_path)
                 row["num_nodes"] = manifest.get("num_nodes")
                 row["num_edges"] = manifest.get("num_edges")
+                row["lineage_depth"] = len(manifest.get("lineage") or [])
             except StoreError:
                 row["num_nodes"] = row["num_edges"] = None
+                row["lineage_depth"] = 0
             results_dir = graph_dir / "results"
             row["results"] = len(list(results_dir.glob("*.json"))) if results_dir.is_dir() else 0
             row["derived"] = (graph_dir / "derived.json").exists()

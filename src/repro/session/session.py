@@ -37,7 +37,7 @@ import warnings
 from collections import OrderedDict
 from dataclasses import fields as dataclass_fields
 from dataclasses import replace
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.config import ExactConfig, FlowConfig, MethodConfig
 from repro.core.density import exactness_tolerance, global_density_upper_bound
@@ -49,8 +49,17 @@ from repro.core.subproblem import STSubproblem
 from repro.core.xycore import XYCore, max_xy_core, xy_core
 from repro.exceptions import AlgorithmError, ConfigError, EmptyGraphError, GraphError
 from repro.flow.engine import FlowEngine
-from repro.graph.digraph import DiGraph
+from repro.graph.digraph import DiGraph, NodeLabel
 from repro.graph.properties import graph_summary
+from repro.incremental.certify import certify_result
+from repro.incremental.delta import EdgeDelta, UpdateReport
+from repro.incremental.maintain import (
+    full_subproblem_token,
+    migrate_network_cache,
+    patch_degree_arrays,
+    refresh_cores,
+    seed_cache_from,
+)
 from repro.utils.validation import require_positive_int
 
 #: Default capacity of the per-session whole-result LRU cache.
@@ -88,9 +97,11 @@ class DDSSession:
     ----------
     graph:
         The :class:`~repro.graph.digraph.DiGraph` to serve queries against.
-        The session treats it as immutable; mutating it afterwards raises
-        :class:`~repro.exceptions.GraphError` on the next query (build a new
-        session instead — its caches would be stale).
+        The session treats it as immutable; mutating it directly afterwards
+        raises :class:`~repro.exceptions.GraphError` on the next query.  The
+        one sanctioned mutation path is :meth:`apply_updates`, which applies
+        an edge delta *through* the session so every cache is patched or
+        certified in step with the graph.
     flow:
         Session-wide default :class:`~repro.core.config.FlowConfig` (or a
         bare solver name).  Per-query configs override the solver; a
@@ -132,6 +143,11 @@ class DDSSession:
         self._exact_tolerance: float | None = None
         self._warned_ignored_solvers: set[tuple[str, str, bool]] = set()
         self._warned_backend_mismatch = False
+        self._updates_applied = 0
+        self._certified_stale_hits = 0
+        self._local_research_runs = 0
+        self._invalidated_keys: set[tuple[str, MethodConfig]] = set()
+        self._lineage: list[str] = []
 
     # ------------------------------------------------------------------
     # internal plumbing
@@ -288,6 +304,12 @@ class DDSSession:
             out = _copy_result(cached)
             out.stats["result_cache_hit"] = True
             return out
+        if key in self._invalidated_keys:
+            # This exact query was answered before and its entry was
+            # invalidated by apply_updates — recomputing it now is the
+            # bounded local re-search the certification tier deferred.
+            self._invalidated_keys.discard(key)
+            self._local_research_runs += 1
         result = self._execute(spec, cfg, self.graph)
         if self._result_cache_size > 0:
             self._results[key] = _copy_result(result)
@@ -394,36 +416,74 @@ class DDSSession:
 
         results: list[DDSResult] = []
         working: DiGraph | None = None
+        working_cache: NetworkCache | None = None
+        working_token: tuple | None = None
+        cache_size = (
+            cfg.flow.network_cache_size
+            if isinstance(cfg, ExactConfig)
+            else self.flow.network_cache_size
+        )
         for _ in range(k):
             if working is not None and working.num_edges == 0:
                 break
             if working is None:
                 result = self._serve(spec, cfg)
             else:
-                # Each peeled round gets a private network cache: its graph
-                # state is throwaway, so its networks could never be reused
-                # and would only evict the session graph's cached networks.
-                # Sized from the query's own flow config, like _execute.
-                cache_size = (
-                    cfg.flow.network_cache_size
-                    if isinstance(cfg, ExactConfig)
-                    else self.flow.network_cache_size
-                )
-                result = self._execute(
-                    spec, cfg, working, network_cache=NetworkCache(cache_size)
-                )
+                result = self._execute(spec, cfg, working, network_cache=working_cache)
             if result.density <= min_density:
                 break
             self._annotate(result, spec, was_auto, ignored)
             results.append(result)
-            if working is None:
+            first_peel = working is None
+            if first_peel:
                 working = self.graph.copy()
-            # Remove exactly the edges of the reported pair so later rounds
-            # are edge-disjoint from every earlier answer.
+                # The peeled rounds share one private network cache: their
+                # graph states are throwaway, so depositing them into the
+                # session cache would only evict the session graph's
+                # entries.  Sized from the query's own flow config, like
+                # _execute.
+                working_cache = NetworkCache(cache_size)
+            # A peel round *is* an edge-removal delta: remove exactly the
+            # reported pair's edges in one apply_delta batch, then carry the
+            # previous round's decision networks across the delta — round 2
+            # by clone-and-patch from the session cache, later rounds by
+            # migrating the working cache in place — so each round retunes
+            # warm patched networks instead of rebuilding from scratch.
             s_indices = working.indices_of(result.s_nodes)
             t_indices = working.indices_of(result.t_nodes)
-            for u, v in working.edges_between(s_indices, t_indices):
-                working.remove_edge(working.label_of(u), working.label_of(v))
+            block = [
+                (working.label_of(u), working.label_of(v))
+                for u, v in working.edges_between(s_indices, t_indices)
+            ]
+            if spec.supports_warm_start:
+                source_token = (
+                    full_subproblem_token(self.graph)
+                    if first_peel
+                    else working_token
+                )
+            _, removed_pairs = working.apply_delta((), block)
+            if not spec.supports_warm_start:
+                continue
+            working_token = full_subproblem_token(working)
+            if first_peel:
+                seed_cache_from(
+                    self._network_cache.entries(),
+                    source_token,
+                    working_cache,
+                    working_token,
+                    working,
+                    [],
+                    removed_pairs,
+                )
+            else:
+                migrate_network_cache(
+                    working_cache,
+                    source_token,
+                    working_token,
+                    working,
+                    [],
+                    removed_pairs,
+                )
         return results
 
     def fixed_ratio(
@@ -496,6 +556,149 @@ class DDSSession:
         if self._summary is None:
             self._summary = graph_summary(self.graph)
         return dict(self._summary)
+
+    # ------------------------------------------------------------------
+    # incremental updates
+    # ------------------------------------------------------------------
+    def apply_updates(
+        self,
+        added_edges: Iterable[tuple[NodeLabel, NodeLabel]] = (),
+        removed_edges: Iterable[tuple[NodeLabel, NodeLabel]] = (),
+        *,
+        certify: bool = True,
+    ) -> UpdateReport:
+        """Apply one edge delta through the session, patching caches in place.
+
+        The sanctioned alternative to rebuilding a session when the graph
+        changes: the delta is normalized (:meth:`EdgeDelta.normalize
+        <repro.incremental.delta.EdgeDelta.normalize>`), applied to the graph
+        in one state-token step, and then every layer of cached state is
+        brought along instead of thrown away —
+
+        * degree arrays are patched in place;
+        * cached [x, y]-cores are re-peeled locally (removal-only deltas) or
+          recomputed (deltas with insertions);
+        * cached full-graph decision networks are migrated by arc-level
+          surgery that preserves their warm residual flows
+          (:func:`~repro.incremental.maintain.patch_decision_network`);
+        * cached results are **certified** against the delta
+          (:func:`~repro.incremental.certify.certify_result`): entries whose
+          optimality still has a cheap proof are kept (and marked
+          ``stats["certified_stale"]``), the rest are evicted and their keys
+          remembered so the next identical query counts as a bounded local
+          re-search (``local_research_runs``).
+
+        With ``certify=False`` every cached result is evicted unconditionally
+        — the next query per key then re-searches on the patched networks,
+        which is byte-identical to a cold rebuild (certification instead
+        promises *correctness*: a certified entry may name a different but
+        equally optimal pair than a cold run would when the optimum is
+        non-unique).
+
+        Returns the :class:`~repro.incremental.delta.UpdateReport` of
+        everything that happened; counters aggregate in :meth:`cache_stats`
+        (``updates_applied`` / ``certified_stale_hits`` /
+        ``local_research_runs``) and each pre-update content fingerprint is
+        appended to :meth:`lineage`.
+        """
+        self._check_unmutated()
+        delta = EdgeDelta.normalize(self.graph, added_edges, removed_edges)
+        report = UpdateReport(delta=delta, removal_only=delta.removal_only)
+        if delta.is_empty:
+            return report
+
+        old_token = full_subproblem_token(self.graph)
+        old_fingerprint = self.graph.content_fingerprint()
+        added_pairs, removed_pairs = self.graph.apply_delta(delta.added, delta.removed)
+        self._graph_token = self.graph.state_token
+        self._updates_applied += 1
+        self._lineage.append(old_fingerprint)
+        report.edges_added = len(added_pairs)
+        report.edges_removed = len(removed_pairs)
+        report.nodes_added = len(delta.new_nodes)
+
+        # Degree arrays patch in place; the other cheap derived structures
+        # (sub-problem, summary, bounds) just recompute lazily on demand —
+        # each is O(n + m), not worth a patch protocol of its own.
+        patch_degree_arrays(
+            self._out_degrees,
+            self._in_degrees,
+            self.graph.num_nodes,
+            added_pairs,
+            removed_pairs,
+        )
+        self._subproblem = None
+        self._summary = None
+        self._density_upper = None
+        self._exact_tolerance = None
+
+        (
+            self._xy_cores,
+            self._max_core,
+            report.cores_repeeled,
+            report.cores_rebuilt,
+            report.max_core_kept,
+        ) = refresh_cores(self.graph, self._xy_cores, self._max_core, delta.removal_only)
+
+        new_token = full_subproblem_token(self.graph)
+        (
+            patched_entries,
+            report.networks_patched,
+            report.networks_dropped,
+        ) = migrate_network_cache(
+            self._network_cache,
+            old_token,
+            new_token,
+            self.graph,
+            added_pairs,
+            removed_pairs,
+        )
+
+        if self._results:
+            tolerance = self.exactness_tolerance()
+            engine = self._engine_for(self.flow.solver)
+            for key in list(self._results.keys()):
+                if not certify:
+                    del self._results[key]
+                    self._invalidated_keys.add(key)
+                    report.results_invalidated += 1
+                    continue
+                result = self._results[key]
+                certificate = certify_result(
+                    self.graph,
+                    result,
+                    removal_only=delta.removal_only,
+                    insertions=len(added_pairs),
+                    tolerance=tolerance,
+                    networks=patched_entries,
+                    engine=engine,
+                )
+                report.certificates.append(certificate)
+                report.verify_cuts += certificate.verify_cuts
+                if certificate.certified:
+                    if certificate.replacement is not None:
+                        self._results[key] = _copy_result(certificate.replacement)
+                    self._results[key].stats["certified_stale"] = certificate.reason
+                    self._certified_stale_hits += 1
+                    report.results_certified += 1
+                else:
+                    del self._results[key]
+                    self._invalidated_keys.add(key)
+                    report.results_invalidated += 1
+        return report
+
+    def lineage(self) -> list[str]:
+        """Content fingerprints of every pre-update graph state, oldest first.
+
+        One entry per :meth:`apply_updates` call that changed the graph —
+        the delta lineage the persistent store records so a warmed session
+        knows which ancestor states its entries evolved from.
+        """
+        return list(self._lineage)
+
+    def seed_lineage(self, fingerprints: Iterable[str]) -> None:
+        """Adopt a delta lineage recorded elsewhere (persistent-store hook)."""
+        self._lineage = [str(fingerprint) for fingerprint in fingerprints]
 
     # ------------------------------------------------------------------
     # cached derived state
@@ -651,6 +854,9 @@ class DDSSession:
             "queries": self._queries,
             "result_cache_hits": self._result_cache_hits,
             "result_cache_entries": len(self._results),
+            "updates_applied": self._updates_applied,
+            "certified_stale_hits": self._certified_stale_hits,
+            "local_research_runs": self._local_research_runs,
         }
         stats.update(self._network_cache.stats())
         for counter in (
@@ -680,6 +886,7 @@ class DDSSession:
         """Drop every cached result, network, and derived structure."""
         self._results.clear()
         self._network_cache.clear()
+        self._invalidated_keys.clear()
         self._subproblem = None
         self._out_degrees = None
         self._in_degrees = None

@@ -47,6 +47,13 @@ run by >= 1.5x while actually batching (``batched_solves`` > 0, vector
 backend recorded in ``auto_backends``) and returning the bit-identical
 subgraph (used as an opt-in local gate; CI pins the cheaper bit-identity +
 parity variant in the E6 smoke instead).
+
+The **incremental-update workload** (``incremental:advogato-small/dc-exact``)
+replays a removal-only edge-update stream two ways: one session absorbing
+every delta through ``apply_updates`` (cached networks patched, cached
+answers certified) vs a cold session rebuild per delta.  ``--check`` gates
+the incremental lane at >= 2x over the cold lane with density parity on
+every step.
 """
 
 from __future__ import annotations
@@ -59,6 +66,7 @@ from pathlib import Path
 
 from repro.core.config import FlowConfig
 from repro.datasets.registry import load_dataset
+from repro.graph.generators import edge_update_stream
 from repro.flow.registry import (
     AUTO_SOLVER,
     VECTOR_SOLVER,
@@ -84,6 +92,16 @@ LARGE_SOLVERS = ("dinic", VECTOR_SOLVER, AUTO_SOLVER)
 
 #: Graphs of the lane-parallelism batch (one lane each).
 PARALLEL_DATASETS = ("er-medium", "planted-medium", "amazon-medium", "wiki-talk-medium")
+
+#: The incremental-update workload: a removal-only edge-update stream served
+#: through one session's ``apply_updates`` (patch + certify) vs a cold
+#: session rebuild per delta.  Small removal batches rarely touch the
+#: optimum, so most steps certify on density bounds alone — the regime the
+#: incremental layer exists for.
+INCREMENTAL_DATASET = "advogato-small"
+INCREMENTAL_STEPS = 6
+INCREMENTAL_BATCH = 1
+INCREMENTAL_SEED = 2020
 
 
 def _row(workload: str, solver: str, mode: str, wall_ms: float, stats: dict) -> dict:
@@ -117,6 +135,50 @@ def _run_sweep(dataset: str, solver: str) -> tuple[float, dict]:
         session.fixed_ratio(ratio)
     wall_ms = (time.perf_counter() - start) * 1000.0
     return wall_ms, session.cache_stats()
+
+
+def _run_incremental(solver: str) -> tuple[float, float, dict, bool]:
+    """Serve an update stream incrementally and cold; return both walls.
+
+    Returns ``(incremental_wall_ms, cold_wall_ms, incremental_stats,
+    densities_match)``.  Both lanes answer a dc-exact query after every
+    delta batch; the incremental lane applies each batch through
+    ``apply_updates`` on one live session, the cold lane builds a fresh
+    session on the updated graph every time — the rebuild the subsystem
+    replaces.
+    """
+    graph = load_dataset(INCREMENTAL_DATASET)
+    batches = edge_update_stream(
+        graph,
+        steps=INCREMENTAL_STEPS,
+        batch_size=INCREMENTAL_BATCH,
+        p_add=0.0,
+        seed=INCREMENTAL_SEED,
+    )
+
+    session = DDSSession(graph.copy(), flow=FlowConfig(solver=solver))
+    session.densest_subgraph("dc-exact")  # both lanes start from a warm answer
+    start = time.perf_counter()
+    incremental_densities = []
+    for added, removed in batches:
+        session.apply_updates(added, removed)
+        incremental_densities.append(session.densest_subgraph("dc-exact").density)
+    incremental_wall = (time.perf_counter() - start) * 1000.0
+
+    work = graph.copy()
+    cold_densities = []
+    start = time.perf_counter()
+    for added, removed in batches:
+        work.apply_delta(added, removed)
+        cold = DDSSession(work.copy(), flow=FlowConfig(solver=solver))
+        cold_densities.append(cold.densest_subgraph("dc-exact").density)
+    cold_wall = (time.perf_counter() - start) * 1000.0
+
+    match = all(
+        abs(inc - ref) <= 1e-9
+        for inc, ref in zip(incremental_densities, cold_densities)
+    )
+    return incremental_wall, cold_wall, session.cache_stats(), match
 
 
 def _run_batch(jobs: int, solver: str) -> tuple[float, dict]:
@@ -182,8 +244,10 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help="exit 1 unless numpy beats dinic >= 2x on the largest workload, "
-        "jobs-4 beats jobs-1, and the batched auto run beats the sequential "
-        "numpy run >= 1.5x on the small guess-sequence workload",
+        "jobs-4 beats jobs-1, the batched auto run beats the sequential "
+        "numpy run >= 1.5x on the small guess-sequence workload, and "
+        "apply_updates beats per-delta cold rebuilds >= 2x on the "
+        "incremental workload",
     )
     args = parser.parse_args(argv)
 
@@ -210,6 +274,21 @@ def main(argv: list[str] | None = None) -> int:
             if mode == "batched":
                 batched_small_stats[workload] = stats
             print(f"{workload:40s} {AUTO_SOLVER:20s} {mode:12s} {wall_ms:10.1f}ms", flush=True)
+
+    incremental_name = f"incremental:{INCREMENTAL_DATASET}/dc-exact"
+    incremental_wall, cold_wall, incremental_stats, incremental_match = _run_incremental(
+        AUTO_SOLVER
+    )
+    rows.append(_row(incremental_name, AUTO_SOLVER, "incremental", incremental_wall, incremental_stats))
+    rows.append(_row(incremental_name, AUTO_SOLVER, "cold-rebuild", cold_wall, {}))
+    incremental_ratio = cold_wall / incremental_wall if incremental_wall > 0 else float("inf")
+    print(f"{incremental_name:40s} {AUTO_SOLVER:20s} {'incremental':12s} {incremental_wall:10.1f}ms", flush=True)
+    print(f"{incremental_name:40s} {AUTO_SOLVER:20s} {'cold-rebuild':12s} {cold_wall:10.1f}ms", flush=True)
+    print(
+        f"incremental-update speedup apply_updates vs cold rebuild: {incremental_ratio:.2f}x "
+        f"(certified_stale_hits={incremental_stats.get('certified_stale_hits')}, "
+        f"local_research_runs={incremental_stats.get('local_research_runs')})"
+    )
 
     large_ratio = None
     if not args.skip_large:
@@ -300,6 +379,19 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         failures = []
+        # Incremental-update gate: serving small deltas by patch-and-certify
+        # must beat the per-delta cold rebuild by the recorded margin, with
+        # density parity on every step.
+        if incremental_ratio < 2.0:
+            failures.append(
+                f"apply_updates ({incremental_wall:.0f}ms) did not beat per-delta "
+                f"cold rebuilds ({cold_wall:.0f}ms) by 2x on {incremental_name} "
+                f"(got {incremental_ratio:.2f}x)"
+            )
+        if not incremental_match:
+            failures.append(
+                f"incremental and cold-rebuild densities diverged on {incremental_name}"
+            )
         if has_vector_backend():
             # Small-workload regression gate: the batched auto run of the
             # guess-sequence workload must beat the sequential vector run by
