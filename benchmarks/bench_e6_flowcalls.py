@@ -49,6 +49,14 @@ stream through one session's ``apply_updates``: with certification disabled
 every post-delta answer must be bit-identical to a cold session on the
 updated graph; with certification enabled densities must agree exactly and
 at least one cached answer must survive by certificate.
+
+The **process-pool parity gate** runs the mixed workload through
+``BatchExecutor(process_pool=True)`` with one and with two workers: both
+process-mode runs must return per-query answers bit-identical to the
+thread/serial reference, must actually run in worker processes (no silent
+degradation while shared memory is available), and must leave zero
+shared-memory segments behind.  Where ``multiprocessing.shared_memory`` is
+unavailable the gate reports itself skipped.
 """
 
 from __future__ import annotations
@@ -67,7 +75,8 @@ from repro.core.ratio import all_candidate_ratios
 from repro.datasets.registry import dataset_names, load_dataset
 from repro.flow.registry import VECTOR_SOLVER, has_vector_backend
 from repro.graph.generators import edge_update_stream
-from repro.service import BatchExecutor, payload_answer, plan_batch
+from repro.service import BatchExecutor, payload_answer, plan_batch, process_pool_available
+from repro.service import shm as service_shm
 from repro.session import DDSSession
 
 _rows: list[dict] = []
@@ -398,6 +407,87 @@ def run_update_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Default graph of the process-pool parity gate (per-query ``"dataset"``
+#: fields in the mixed workload fan additional lanes out on top).
+PROCPOOL_SMOKE_DATASET = "foodweb-tiny"
+
+
+def run_procpool_smoke(failures: list[str]) -> dict:
+    """Process-pool gate: bit-identical answers across jobs-1/jobs-2/threads.
+
+    Runs the mixed E6 workload through ``BatchExecutor(process_pool=True)``
+    with one and with two workers, plus the serial/thread reference, and
+    asserts (1) bit-identical per-query answers across all three, (2) that
+    the process runs actually used worker processes (no silent degradation),
+    and (3) that zero shared-memory segments survive the runs.  Where
+    shared memory is unavailable the gate reports itself skipped — that
+    platform's degradation behaviour is covered by the test suite.  Appends
+    failure strings to ``failures`` and returns a table row.
+    """
+    available, reason = process_pool_available()
+    if not available:
+        return {
+            "dataset": PROCPOOL_SMOKE_DATASET,
+            "method": "process-pool",
+            "skipped": f"shared memory unavailable ({reason})",
+        }
+    # The mixed workload plus a second graph's lane, so jobs-2 genuinely
+    # exercises the fingerprint shard routing across two workers
+    # (foodweb-tiny and social-tiny hash to distinct shards of 2).
+    queries = service_mixed_workload() + [
+        {"query": "densest", "method": "core-exact", "dataset": "social-tiny"},
+        {"query": "fixed-ratio", "ratio": 1.0, "dataset": "social-tiny"},
+        {"query": "top-k", "k": 2, "dataset": "social-tiny"},
+    ]
+    plan = plan_batch(queries, default_graph_key=PROCPOOL_SMOKE_DATASET)
+    executor = BatchExecutor(lambda key: load_dataset(key))
+    reference = executor.execute(plan)
+    reports = {}
+    for jobs in (1, 2):
+        reports[jobs] = BatchExecutor(
+            lambda key: load_dataset(key), process_pool=True, max_workers=jobs
+        ).execute(plan)
+    reference_answers = [payload_answer(p) for p in reference.results_in_input_order()]
+    for jobs, report in reports.items():
+        answers = [payload_answer(p) for p in report.results_in_input_order()]
+        if answers != reference_answers:
+            failures.append(
+                f"process pool: jobs-{jobs} process-mode answers diverged from the "
+                "thread/serial reference (cross-process bit-identity broken)"
+            )
+        if report.executor_stats.get("mode") != "process-pool":
+            failures.append(
+                f"process pool: jobs-{jobs} run degraded to "
+                f"{report.executor_stats.get('mode')!r} although shared memory "
+                "is available"
+            )
+        if report.executor_stats.get("worker_crashes", 0) != 0:
+            failures.append(
+                f"process pool: jobs-{jobs} run recorded "
+                f"{report.executor_stats['worker_crashes']} unexpected worker crashes"
+            )
+    if reports[2].executor_stats.get("workers_spawned", 0) < 2:
+        failures.append(
+            "process pool: jobs-2 run spawned fewer than 2 workers "
+            "(fingerprint shard routing fan-out broken)"
+        )
+    leaked = service_shm.active_segment_names()
+    if leaked:
+        failures.append(
+            f"process pool: {len(leaked)} shared-memory segments leaked after "
+            f"shutdown: {', '.join(leaked)}"
+        )
+    return {
+        "dataset": PROCPOOL_SMOKE_DATASET,
+        "method": "process-pool",
+        "queries": len(queries),
+        "workers_jobs2": reports[2].executor_stats["workers_spawned"],
+        "shm_bytes": reports[2].executor_stats["shm_bytes_mapped"],
+        "crashes": reports[2].executor_stats["worker_crashes"],
+        "segments_leaked": len(leaked),
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -473,6 +563,8 @@ def run_smoke() -> int:
     print(format_table([batched_row], title="E6 smoke: batched-solve parity gate"))
     update_row = run_update_smoke(failures)
     print(format_table([update_row], title="E6 smoke: incremental update-parity gate"))
+    procpool_row = run_procpool_smoke(failures)
+    print(format_table([procpool_row], title="E6 smoke: process-pool parity gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

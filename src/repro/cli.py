@@ -15,7 +15,8 @@ Sub-commands
 ``core``      compute an [x, y]-core or the maximum-product core
 ``batch``     plan + execute a JSON list of queries (``--no-plan`` for file
               order, ``--explain`` for the plan report, ``--store`` for
-              persistent warm state)
+              persistent warm state, ``--process-pool`` for shared-memory
+              worker processes)
 ``warm``      precompute a graph's warm state into a persistent store
 ``store``     inspect, verify, or clear a persistent store
 ``datasets``  list the registered synthetic datasets
@@ -184,7 +185,12 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     try:
         plan = plan_batch(queries, default_graph_key=default_key, planned=not args.no_plan)
         executor = BatchExecutor(
-            provider, flow=args.flow_solver, max_workers=args.jobs, store=store
+            provider,
+            flow=args.flow_solver,
+            max_workers=args.jobs,
+            store=store,
+            process_pool=args.process_pool,
+            max_retries=args.max_retries,
         )
         report = executor.execute(plan)
     except ConfigError as error:
@@ -197,6 +203,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         "results": report.results_in_input_order(),
         "session": report.aggregate_stats(),
     }
+    if report.executor_stats:
+        payload["executor"] = report.executor_stats
     if args.explain:
         explanation = plan.explain()
         explanation["realized"] = report.realized_cache_hits()
@@ -328,6 +336,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="persistent session-store directory: sessions warm from it before "
         "the first query and save back afterwards",
+    )
+    batch.add_argument(
+        "--process-pool",
+        action="store_true",
+        help="run lanes in worker processes over shared-memory graph segments "
+        "(the GIL-free scale-out path): graphs are routed to workers by "
+        "content fingerprint, crashed workers are retried, and the run "
+        "degrades to the thread path when shared memory is unavailable",
+    )
+    batch.add_argument(
+        "--max-retries",
+        type=int,
+        default=1,
+        help="process-pool only: re-dispatches of a lane lost to a worker "
+        "crash or error before it falls back to running inline (default: 1)",
     )
     batch.set_defaults(handler=_cmd_batch)
 

@@ -99,6 +99,64 @@ class DiGraph:
             graph.add_edge(u, v)
         return graph
 
+    @classmethod
+    def from_csr_arrays(
+        cls,
+        labels: Sequence[NodeLabel],
+        starts: Sequence[int],
+        targets: Sequence[int],
+        *,
+        allow_self_loops: bool = False,
+    ) -> "DiGraph":
+        """Rebuild a graph from flat CSR arrays in one pass.
+
+        The bulk counterpart of :meth:`from_edges` for hydrating a graph
+        from an already-serialised adjacency — row ``i`` of the
+        out-adjacency is ``targets[starts[i]:starts[i + 1]]``.  The arrays
+        are only *read* (any int sequence works, including zero-copy
+        ``memoryview`` casts over a shared-memory segment — the worker
+        attach path in :mod:`repro.service.shm`), and node order follows
+        ``labels``, so a graph round-tripped through its CSR keeps its
+        label-to-index mapping and therefore its
+        :meth:`content_fingerprint`.  Malformed input (non-monotone row
+        starts, out-of-range targets, duplicate labels or edges, or a
+        self-loop under ``allow_self_loops=False``) raises
+        :class:`~repro.exceptions.GraphError`.
+        """
+        graph = cls(allow_self_loops=allow_self_loops)
+        n = len(labels)
+        if len(starts) != n + 1 or starts[0] != 0 or starts[n] != len(targets):
+            raise GraphError(
+                f"CSR starts must have {n + 1} monotone entries covering "
+                f"{len(targets)} targets"
+            )
+        graph._labels = list(labels)
+        graph._index_of = {label: index for index, label in enumerate(graph._labels)}
+        if len(graph._index_of) != n:
+            raise GraphError("CSR labels contain duplicates")
+        out_sets: list[set[int]] = []
+        in_sets: list[set[int]] = [set() for _ in range(n)]
+        num_edges = 0
+        for ui in range(n):
+            lo, hi = starts[ui], starts[ui + 1]
+            if hi < lo:
+                raise GraphError(f"CSR starts decrease at row {ui}")
+            row = set(targets[lo:hi])
+            if len(row) != hi - lo:
+                raise GraphError(f"CSR row {ui} contains duplicate targets")
+            if ui in row and not allow_self_loops:
+                raise GraphError(f"CSR row {ui} holds a self-loop but loops are disabled")
+            out_sets.append(row)
+            num_edges += len(row)
+            for vi in row:
+                if not 0 <= vi < n:
+                    raise GraphError(f"CSR target {vi} out of range [0, {n})")
+                in_sets[vi].add(ui)
+        graph._out_sets = out_sets
+        graph._in_sets = in_sets
+        graph._num_edges = num_edges
+        return graph
+
     def add_node(self, label: NodeLabel) -> int:
         """Add a node (no-op if present) and return its internal index."""
         index = self._index_of.get(label)

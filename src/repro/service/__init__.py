@@ -8,8 +8,11 @@ the layer that turns the one-process session API into a serving system:
 * :mod:`repro.service.planner` — cache-aware reordering of a query batch
   (graph affinity, approx-before-exact phases, family grouping) with an
   explain mode;
-* :mod:`repro.service.executor` — a thread pool of graph-affine sessions
+* :mod:`repro.service.executor` — a pool of graph-affine sessions (threads
+  by default, shared-memory worker *processes* with ``process_pool=True``)
   executing a plan with per-query timing and aggregated cache counters;
+* :mod:`repro.service.shm` — named shared-memory graph segments (CSR +
+  seeded degree arrays) that process-pool workers attach to zero-copy;
 * :mod:`repro.service.store` — a versioned, checksummed on-disk store of
   session warm state keyed by graph content fingerprint, so warm caches
   survive the process and can be shared between workers.
@@ -27,8 +30,9 @@ Quickstart::
 """
 
 from repro.service.executor import BatchExecutor, BatchReport, QueryExecution
-from repro.service.planner import BatchPlan, PlannedQuery, plan_batch
+from repro.service.planner import BatchPlan, PlannedQuery, ShardMap, plan_batch
 from repro.service.queries import BATCH_QUERY_KINDS, payload_answer, run_batch_query
+from repro.service.shm import process_pool_available
 from repro.service.store import STORE_SCHEMA_VERSION, SessionStore
 
 __all__ = [
@@ -40,7 +44,9 @@ __all__ = [
     "QueryExecution",
     "STORE_SCHEMA_VERSION",
     "SessionStore",
+    "ShardMap",
     "payload_answer",
     "plan_batch",
+    "process_pool_available",
     "run_batch_query",
 ]

@@ -3,30 +3,56 @@
 The executor turns a :class:`~repro.service.planner.BatchPlan` into results.
 Its unit of concurrency is the planner's *lane* — all queries for one graph,
 in plan order.  Each lane gets its own :class:`~repro.session.DDSSession`
-and runs sequentially on one worker thread; distinct lanes run concurrently
-on a thread pool.  Sessions are therefore **graph-affine**: no session, and
-none of its caches (results, decision networks, residual flows), is ever
-touched by two threads, so the session layer needs no locks and the
-warm-start machinery keeps its strict solve ordering within a graph.
+and runs sequentially on one worker; distinct lanes run concurrently.
+Sessions are therefore **graph-affine**: no session, and none of its caches
+(results, decision networks, residual flows), is ever touched by two
+workers, so the session layer needs no locks and the warm-start machinery
+keeps its strict solve ordering within a graph.
+
+Two pool flavours share that lane contract:
+
+* **Threads** (the default): cheap, in-process, but GIL-bound — lanes are
+  pure-Python compute, so thread concurrency buys isolation and scheduling
+  rather than parallel speed-up (BENCH_flow.json's jobs-4 speedup of 0.956
+  measured exactly that).
+* **Processes** (``process_pool=True``): the scale-out path.  The parent
+  publishes each lane's graph into a named shared-memory segment once
+  (:mod:`repro.service.shm`), routes lanes to workers by content
+  fingerprint (:class:`~repro.service.planner.ShardMap` — each worker owns
+  its graphs' store shard), and workers attach zero-copy, hydrate a
+  session from the seeded derived arrays, and stream schema-2 result dicts
+  back over a per-worker pipe.  Per-worker pipes plus ``Process.sentinel``
+  waiting make crash detection deadlock-free: a SIGKILLed worker can never
+  strand the batch the way a shared queue's poisoned write lock would.
+  Crashed or poisoned lanes are retried on fresh workers up to
+  ``max_retries`` times, then fall back to an inline (serial) run; lanes
+  that needed any of that are marked *degraded* in the report's timings.
+  When ``shared_memory`` (or ``fcntl``, with a store attached) is
+  unavailable, ``execute`` degrades to the thread path and records why.
 
 With a :class:`~repro.service.store.SessionStore` attached, each lane warms
 its session from disk before the first query and persists the session's
 state after the last one — the full compute-once/serve-everywhere loop.
+Process workers open the same store root themselves; the fingerprint
+routing gives each worker sole ownership of its graphs' store directories
+within a run, and the store's per-graph ``fcntl`` locks keep concurrent
+executors safe on top.
 
 Instrumentation: every query is individually timed, each lane's
 :meth:`~repro.session.DDSSession.cache_stats` snapshot is kept, and the
 report aggregates them (plus the planner's predicted-vs-realised hit
-counts) into the payload ``dds-repro batch --explain`` prints.
-
-A note on the GIL: lanes are pure-Python compute, so today's concurrency
-buys isolation and scheduling rather than parallel speed-up.  The lane
-boundary is exactly where a free-threaded build or a GIL-releasing solver
-backend (see the registry's numpy/compiled slot in the ROADMAP) turns the
-same code parallel — that is why the executor is shaped this way now.
+counts) into the payload ``dds-repro batch --explain`` prints.  Process
+runs additionally fill :attr:`BatchReport.executor_stats` with the worker
+lifecycle counters (``workers_spawned``, ``worker_crashes``,
+``worker_retries``, ``shm_bytes_mapped``, ``shm_segments``,
+``degraded_lanes``).
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import signal
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
@@ -34,7 +60,8 @@ from typing import Any, Callable, Mapping
 from repro.core.config import FlowConfig
 from repro.exceptions import BatchQueryError, ConfigError
 from repro.graph.digraph import DiGraph
-from repro.service.planner import BatchPlan, PlannedQuery
+from repro.service import shm
+from repro.service.planner import BatchPlan, PlannedQuery, ShardMap
 from repro.service.queries import run_batch_query
 from repro.service.store import SessionStore
 from repro.session import DDSSession
@@ -44,16 +71,28 @@ from repro.utils.timer import time_call
 #: Source of graphs for lane sessions: a mapping or a ``key -> DiGraph`` callable.
 GraphProvider = Callable[[str], DiGraph]
 
+#: Fault kinds the chaos hook understands (see ``fault_injection``).
+FAULT_KINDS = ("sigkill", "error")
+
 
 @dataclass
 class QueryExecution:
-    """One executed query: where it ran, what it returned, how long it took."""
+    """One executed query: where it ran, what it returned, how long it took.
+
+    ``worker`` is the process-pool worker id that produced the result
+    (``None`` on the thread/serial paths and for inline fallbacks),
+    ``attempts`` counts how many times the owning lane was dispatched, and
+    ``degraded`` marks lanes that needed a retry or an inline fallback.
+    """
 
     index: int
     graph_key: str
     kind: str
     seconds: float
     payload: Any
+    worker: int | None = None
+    attempts: int = 1
+    degraded: bool = False
 
 
 @dataclass
@@ -63,6 +102,7 @@ class BatchReport:
     executions: list[QueryExecution]
     session_stats: dict[str, dict[str, Any]]
     store_stats: dict[str, dict[str, int]] = field(default_factory=dict)
+    executor_stats: dict[str, Any] = field(default_factory=dict)
 
     def results_in_input_order(self) -> list[Any]:
         """Query payloads re-assembled in the order of the input file."""
@@ -75,14 +115,21 @@ class BatchReport:
         <repro.session.DDSSession.cache_stats>`, so single-session consumers
         (the CLI's historical ``"session"`` payload block) read the
         aggregate exactly like one session's counters.
+
+        The merge iterates lanes (and counters within a lane) in sorted
+        order, **not** completion order: float summation is not
+        associative-commutative at the bit level, and pool completion order
+        is nondeterministic — process pools especially so.  Sorting makes
+        the aggregate a pure function of the per-lane snapshots, pinned by
+        the determinism test in ``tests/test_service_procpool.py``.
         """
         totals: dict[str, Any] = {}
-        for stats in self.session_stats.values():
-            for key, value in stats.items():
+        for _, stats in sorted(self.session_stats.items()):
+            for key, value in sorted(stats.items()):
                 if isinstance(value, bool) or not isinstance(value, (int, float)):
                     continue
                 totals[key] = totals.get(key, 0) + value
-        return totals
+        return dict(sorted(totals.items()))
 
     def realized_cache_hits(self) -> dict[str, int]:
         """The realised counterpart of the planner's predictions."""
@@ -93,16 +140,124 @@ class BatchReport:
         }
 
     def timings(self) -> list[dict[str, Any]]:
-        """Per-query timing rows in execution order (for ``--explain``)."""
-        return [
-            {
+        """Per-query timing rows in execution order (for ``--explain``).
+
+        Rows gain ``worker`` when a process-pool worker served the query
+        and ``degraded``/``attempts`` when the owning lane needed a retry
+        or an inline fallback; thread/serial rows keep the historical
+        four-key shape.
+        """
+        rows: list[dict[str, Any]] = []
+        for execution in self.executions:
+            row: dict[str, Any] = {
                 "index": execution.index,
                 "graph": execution.graph_key,
                 "query": execution.kind,
                 "seconds": round(execution.seconds, 6),
             }
-            for execution in self.executions
-        ]
+            if execution.worker is not None:
+                row["worker"] = execution.worker
+            if execution.degraded:
+                row["degraded"] = True
+                row["attempts"] = execution.attempts
+            rows.append(row)
+        return rows
+
+
+def _inject_fault(fault: Mapping[str, Any] | None, graph_key: str, index: int) -> None:
+    """Trigger the chaos hook when this query is its target (worker side)."""
+    if not fault or fault.get("graph_key") != graph_key:
+        return
+    target = fault.get("index")
+    if target is not None and target != index:
+        return
+    if fault.get("kind") == "sigkill":
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise BatchQueryError(f"injected fault on lane {graph_key!r} query {index}")
+
+
+def _process_worker_main(conn: Any, assignment: dict[str, Any]) -> None:
+    """Entry point of one pool worker process.
+
+    Serves every lane in ``assignment`` sequentially: attach the lane's
+    shared-memory graph segment, hydrate a session from its seeded degree
+    arrays, warm from the store shard this worker owns, run the lane's
+    queries in plan order, save back, and send the lane's results — plain
+    dicts, nothing process-local — up the pipe.  A lane that raises is
+    reported as ``("lane-error", ...)`` and the worker moves on; lifecycle
+    messages are ``("lane", ...)`` per finished lane and one ``("done",
+    worker_id)`` before a clean exit.  The parent detects anything harsher
+    through the process sentinel.
+    """
+    store_root = assignment.get("store_root")
+    fault = assignment.get("fault")
+    try:
+        store = SessionStore(store_root) if store_root is not None else None
+        for lane in assignment["lanes"]:
+            graph_key = lane["graph_key"]
+            try:
+                attached = shm.attach_graph(lane["segment"])
+                try:
+                    session = DDSSession.from_seeded(
+                        attached.graph,
+                        attached.derived,
+                        flow=assignment.get("flow"),
+                        result_cache_size=assignment["result_cache_size"],
+                    )
+                finally:
+                    attached.close()
+                store_counters: dict[str, int] = {}
+                if store is not None:
+                    store_counters.update(store.warm_session(session))
+                executions: list[dict[str, Any]] = []
+                for index, spec in lane["entries"]:
+                    _inject_fault(fault, graph_key, index)
+                    payload, seconds = time_call(lambda: run_batch_query(session, spec))
+                    executions.append(
+                        {
+                            "index": index,
+                            "kind": spec.get("query", "densest"),
+                            "seconds": seconds,
+                            "payload": payload,
+                        }
+                    )
+                if store is not None:
+                    for key, value in store.save_session(session).items():
+                        store_counters[key] = store_counters.get(key, 0) + value
+                conn.send(
+                    (
+                        "lane",
+                        graph_key,
+                        {
+                            "executions": executions,
+                            "stats": session.cache_stats(),
+                            "store": store_counters,
+                        },
+                    )
+                )
+            except Exception as error:  # noqa: BLE001 - forwarded to the parent
+                conn.send(("lane-error", graph_key, type(error).__name__, str(error)))
+        conn.send(("done", assignment["worker_id"]))
+    except (BrokenPipeError, OSError):  # pragma: no cover - parent went away
+        pass
+    finally:
+        conn.close()
+
+
+class _WorkerHandle:
+    """Parent-side bookkeeping for one live pool worker."""
+
+    __slots__ = ("worker_id", "process", "conn", "lane_keys", "handled", "eof")
+
+    def __init__(self, worker_id: int, process: Any, conn: Any, lane_keys: list[str]) -> None:
+        self.worker_id = worker_id
+        self.process = process
+        self.conn = conn
+        self.lane_keys = lane_keys
+        #: lanes this worker has reported (result or error) — anything else
+        #: at exit time was lost to a crash.
+        self.handled: set[str] = set()
+        self.eof = False
 
 
 class BatchExecutor:
@@ -121,11 +276,31 @@ class BatchExecutor:
     result_cache_size:
         Result-cache capacity of each lane session.
     max_workers:
-        Thread-pool width; defaults to one thread per lane.  A batch with a
-        single lane is executed inline on the calling thread.
+        Pool width (threads or processes); defaults to one worker per lane.
+        On the thread path a single-lane batch executes inline on the
+        calling thread.
     store:
         Optional :class:`~repro.service.store.SessionStore`; when given,
         lanes warm from it before their first query and save back afterwards.
+    process_pool:
+        Run lanes in worker *processes* over shared-memory graph segments
+        (the GIL-free scale-out path; see the module docstring).  Falls back
+        to the thread path — recording why in
+        :attr:`BatchReport.executor_stats` — when ``shared_memory`` (or
+        ``fcntl``, if a store is attached) is unavailable.
+    max_retries:
+        Process-pool only: how many times a lane lost to a worker crash or
+        error is re-dispatched on a fresh worker before the executor falls
+        back to running it inline.  ``0`` retries straight to inline.
+    mp_start_method:
+        Process-pool only: override the multiprocessing start method
+        (defaults to ``fork`` where available, else ``spawn``).
+    fault_injection:
+        Chaos/test hook: ``{"graph_key": ..., "index": ..., "kind":
+        "sigkill" | "error", "times": N}`` makes the first ``N`` workers
+        dispatched with the target lane fail at the matching query, so the
+        crash-recovery ladder is deterministically testable.  Never triggers
+        on the inline fallback path.
     """
 
     def __init__(
@@ -136,6 +311,10 @@ class BatchExecutor:
         result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
         max_workers: int | None = None,
         store: SessionStore | None = None,
+        process_pool: bool = False,
+        max_retries: int = 1,
+        mp_start_method: str | None = None,
+        fault_injection: Mapping[str, Any] | None = None,
     ) -> None:
         if isinstance(graphs, Mapping):
             table = dict(graphs)
@@ -152,10 +331,28 @@ class BatchExecutor:
             self._provider = graphs
         if max_workers is not None and (not isinstance(max_workers, int) or max_workers < 1):
             raise ConfigError(f"max_workers must be a positive int or None, got {max_workers!r}")
+        if not isinstance(max_retries, int) or max_retries < 0:
+            raise ConfigError(f"max_retries must be a non-negative int, got {max_retries!r}")
+        if mp_start_method is not None and mp_start_method not in multiprocessing.get_all_start_methods():
+            raise ConfigError(
+                f"unknown start method {mp_start_method!r}; this platform offers "
+                f"{', '.join(multiprocessing.get_all_start_methods())}"
+            )
+        if fault_injection is not None:
+            fault_injection = dict(fault_injection)
+            if fault_injection.get("kind") not in FAULT_KINDS:
+                raise ConfigError(
+                    f"fault_injection kind must be one of {FAULT_KINDS}, "
+                    f"got {fault_injection.get('kind')!r}"
+                )
         self._flow = flow
         self._result_cache_size = result_cache_size
         self._max_workers = max_workers
         self._store = store
+        self._process_pool = bool(process_pool)
+        self._max_retries = max_retries
+        self._mp_start_method = mp_start_method
+        self._fault = fault_injection
 
     # ------------------------------------------------------------------
     def _run_lane(
@@ -187,6 +384,235 @@ class BatchExecutor:
                 store_counters[key] = store_counters.get(key, 0) + value
         return graph_key, executions, session.cache_stats(), store_counters
 
+    # ------------------------------------------------------------------
+    # process-pool path
+    # ------------------------------------------------------------------
+    def _resolve_start_method(self) -> str:
+        """The configured start method, defaulting to fork-where-possible."""
+        if self._mp_start_method is not None:
+            return self._mp_start_method
+        methods = multiprocessing.get_all_start_methods()
+        return "fork" if "fork" in methods else "spawn"
+
+    def _spawn_worker(
+        self,
+        ctx: Any,
+        worker_id: int,
+        lane_keys: list[str],
+        lanes: dict[str, list[PlannedQuery]],
+        segments: dict[str, "shm.GraphSegment"],
+        fault: Mapping[str, Any] | None,
+    ) -> _WorkerHandle:
+        """Start one worker process serving ``lane_keys`` and return its handle."""
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        assignment = {
+            "worker_id": worker_id,
+            "lanes": [
+                {
+                    "graph_key": key,
+                    "segment": segments[key].name,
+                    "entries": [(entry.index, entry.spec) for entry in lanes[key]],
+                }
+                for key in lane_keys
+            ],
+            "flow": self._flow,
+            "result_cache_size": self._result_cache_size,
+            "store_root": str(self._store.root) if self._store is not None else None,
+            "fault": dict(fault) if fault else None,
+        }
+        process = ctx.Process(
+            target=_process_worker_main,
+            args=(child_conn, assignment),
+            name=f"dds-batch-worker-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns the write end now
+        return _WorkerHandle(worker_id, process, parent_conn, list(lane_keys))
+
+    def _execute_process_pool(
+        self, lanes: dict[str, list[PlannedQuery]]
+    ) -> tuple[list[tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]]], dict[str, Any]]:
+        """Run every lane in worker processes; returns (outcomes, executor stats).
+
+        The event loop multiplexes per-worker pipes *and* process sentinels
+        through :func:`multiprocessing.connection.wait`, so both clean
+        results and abrupt deaths wake it — there is no shared queue whose
+        internal lock a dying worker could poison.  Lanes lost to a crash
+        or reported as errors are re-dispatched on fresh workers while
+        their retry budget lasts, then run inline; the first genuinely
+        failing inline lane aborts the batch (after all workers drain) with
+        its original error, matching the thread path's semantics.
+        """
+        from multiprocessing import connection as mp_connection
+
+        ctx = multiprocessing.get_context(self._resolve_start_method())
+        graphs = {key: self._provider(key) for key in lanes}
+        width = min(len(lanes), self._max_workers if self._max_workers is not None else len(lanes))
+        shard_map = ShardMap(width)
+        shards = shard_map.assign(
+            {key: graph.content_fingerprint() for key, graph in graphs.items()}
+        )
+        stats: dict[str, Any] = {
+            "mode": "process-pool",
+            "start_method": self._resolve_start_method(),
+            "shards": width,
+            "workers_spawned": 0,
+            "worker_crashes": 0,
+            "worker_retries": 0,
+            "shm_bytes_mapped": 0,
+            "shm_segments": 0,
+            "degraded_lanes": [],
+        }
+        segments: dict[str, shm.GraphSegment] = {}
+        results: dict[str, tuple[list[QueryExecution], dict[str, Any], dict[str, int], int | None]] = {}
+        attempts = {key: 0 for key in lanes}
+        degraded: set[str] = set()
+        fault = dict(self._fault) if self._fault else None
+        fault_budget = int(fault.get("times", 1)) if fault else 0
+        first_error: Exception | None = None
+        active: dict[int, _WorkerHandle] = {}
+        next_worker_id = 0
+
+        def take_fault(lane_keys: list[str]) -> Mapping[str, Any] | None:
+            """Attach the chaos fault to this dispatch if budget remains."""
+            nonlocal fault_budget
+            if fault is None or fault_budget <= 0:
+                return None
+            if fault.get("graph_key") not in lane_keys:
+                return None
+            fault_budget -= 1
+            return fault
+
+        def dispatch(lane_keys: list[str]) -> None:
+            """Spawn a fresh worker for ``lane_keys`` and track it."""
+            nonlocal next_worker_id
+            worker_id = next_worker_id
+            next_worker_id += 1
+            for key in lane_keys:
+                attempts[key] += 1
+            handle = self._spawn_worker(
+                ctx, worker_id, lane_keys, lanes, segments, take_fault(lane_keys)
+            )
+            active[worker_id] = handle
+            stats["workers_spawned"] += 1
+
+        def lane_failed(graph_key: str) -> None:
+            """Retry a lost lane on a fresh worker, or run it inline."""
+            nonlocal first_error
+            degraded.add(graph_key)
+            if attempts[graph_key] <= self._max_retries:
+                stats["worker_retries"] += 1
+                dispatch([graph_key])
+                return
+            attempts[graph_key] += 1
+            try:
+                _, executions, session_stats, store_counters = self._run_lane(
+                    graph_key, lanes[graph_key]
+                )
+            except Exception as error:  # noqa: BLE001 - re-raised after drain
+                if first_error is None:
+                    first_error = error
+                return
+            results[graph_key] = (executions, session_stats, store_counters, None)
+
+        def drain(handle: _WorkerHandle) -> None:
+            """Consume every buffered message from one worker's pipe."""
+            while not handle.eof:
+                try:
+                    if not handle.conn.poll():
+                        return
+                    message = handle.conn.recv()
+                except (EOFError, OSError):
+                    handle.eof = True
+                    return
+                kind = message[0]
+                if kind == "lane":
+                    _, graph_key, payload = message
+                    handle.handled.add(graph_key)
+                    executions = [
+                        QueryExecution(
+                            index=row["index"],
+                            graph_key=graph_key,
+                            kind=row["kind"],
+                            seconds=row["seconds"],
+                            payload=row["payload"],
+                            worker=handle.worker_id,
+                        )
+                        for row in payload["executions"]
+                    ]
+                    results[graph_key] = (
+                        executions,
+                        payload["stats"],
+                        payload["store"],
+                        handle.worker_id,
+                    )
+                elif kind == "lane-error":
+                    _, graph_key, _, _ = message
+                    handle.handled.add(graph_key)
+                    lane_failed(graph_key)
+                # "done" needs no action: the sentinel drives reaping.
+
+        try:
+            for key in lanes:
+                segments[key] = shm.publish_graph(graphs[key])
+            stats["shm_segments"] = len(segments)
+            stats["shm_bytes_mapped"] = sum(segment.size for segment in segments.values())
+            stats["shm_segment_names"] = sorted(segment.name for segment in segments.values())
+            for _, lane_keys in sorted(shards.items()):
+                dispatch(lane_keys)
+            while active:
+                waitables: list[Any] = []
+                by_waitable: dict[Any, _WorkerHandle] = {}
+                for handle in active.values():
+                    waitables.append(handle.conn)
+                    by_waitable[handle.conn] = handle
+                    waitables.append(handle.process.sentinel)
+                    by_waitable[handle.process.sentinel] = handle
+                ready = mp_connection.wait(waitables)
+                exited: list[_WorkerHandle] = []
+                for waitable in ready:
+                    handle = by_waitable[waitable]
+                    drain(handle)
+                    if waitable == handle.process.sentinel and handle.worker_id in active:
+                        exited.append(handle)
+                        del active[handle.worker_id]
+                for handle in exited:
+                    handle.process.join()
+                    drain(handle)  # messages can race the sentinel
+                    handle.conn.close()
+                    lost = [key for key in handle.lane_keys if key not in handle.handled]
+                    if lost:
+                        stats["worker_crashes"] += 1
+                        for key in lost:
+                            lane_failed(key)
+            if first_error is not None:
+                raise first_error
+            stats["degraded_lanes"] = sorted(degraded)
+            outcomes = []
+            for graph_key in lanes:
+                executions, session_stats, store_counters, _ = results[graph_key]
+                for execution in executions:
+                    execution.attempts = attempts[graph_key]
+                    execution.degraded = graph_key in degraded
+                outcomes.append((graph_key, executions, session_stats, store_counters))
+            return outcomes, stats
+        finally:
+            for handle in active.values():
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover - already torn down
+                    pass
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                handle.process.join(timeout=10)
+                if handle.process.is_alive():  # pragma: no cover - last resort
+                    handle.process.kill()
+                    handle.process.join(timeout=10)
+            for segment in segments.values():
+                segment.unlink()
+
+    # ------------------------------------------------------------------
     def execute(self, plan: BatchPlan) -> BatchReport:
         """Execute ``plan`` and return its :class:`BatchReport`.
 
@@ -194,11 +620,27 @@ class BatchExecutor:
         the lane's session.  The first failing query aborts the batch: its
         error is re-raised here after every already-running lane has
         finished (lanes are independent, so letting them drain keeps the
-        store consistent).
+        store consistent).  With ``process_pool=True`` lanes run in worker
+        processes when the platform allows it; otherwise this degrades to
+        the thread path and records the reason in
+        :attr:`BatchReport.executor_stats`.
         """
         lanes = plan.lanes
         if not lanes:
             return BatchReport(executions=[], session_stats={})
+        executor_stats: dict[str, Any] = {}
+        if self._process_pool:
+            available, reason = shm.process_pool_available(
+                need_store_locks=self._store is not None
+            )
+            if available:
+                outcomes, executor_stats = self._execute_process_pool(lanes)
+                return self._assemble(outcomes, executor_stats)
+            executor_stats = {
+                "mode": "threads",
+                "degraded_from": "process-pool",
+                "reason": reason,
+            }
         if len(lanes) == 1:
             outcomes = [self._run_lane(*next(iter(lanes.items())))]
         else:
@@ -209,6 +651,14 @@ class BatchExecutor:
                     for graph_key, lane in lanes.items()
                 ]
                 outcomes = [future.result() for future in futures]
+        return self._assemble(outcomes, executor_stats)
+
+    @staticmethod
+    def _assemble(
+        outcomes: list[tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]]],
+        executor_stats: dict[str, Any],
+    ) -> BatchReport:
+        """Fold per-lane outcomes (in lane order) into a :class:`BatchReport`."""
         executions: list[QueryExecution] = []
         session_stats: dict[str, dict[str, Any]] = {}
         store_stats: dict[str, dict[str, int]] = {}
@@ -220,5 +670,8 @@ class BatchExecutor:
             if store_counters:
                 store_stats[graph_key] = store_counters
         return BatchReport(
-            executions=executions, session_stats=session_stats, store_stats=store_stats
+            executions=executions,
+            session_stats=session_stats,
+            store_stats=store_stats,
+            executor_stats=executor_stats,
         )

@@ -37,10 +37,10 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Mapping
 
 from repro.core.method_registry import get_method_spec
-from repro.exceptions import AlgorithmError, BatchQueryError
+from repro.exceptions import AlgorithmError, BatchQueryError, ConfigError
 
 #: Phase indices of heuristic 2 (smaller runs earlier).
 PHASE_SEED = 0
@@ -114,6 +114,50 @@ class BatchPlan:
                 "network_cache_hits": self.predicted_network_cache_hits,
             },
         }
+
+
+@dataclass(frozen=True)
+class ShardMap:
+    """Content-fingerprint shard routing for the process-pool executor.
+
+    Routes every graph to one of ``num_shards`` workers by hashing its
+    :meth:`content_fingerprint
+    <repro.graph.digraph.DiGraph.content_fingerprint>` — *not* its graph
+    key, its ``state_token``, or its position in the batch.  Because the
+    fingerprint is content-derived and process-independent, the routing is
+    stable across batches, executor instances, and machines: the same graph
+    always lands on the same shard index, so the worker owning shard ``i``
+    is the only writer of its graphs' :class:`~repro.service.store.
+    SessionStore` directories *within* an executor run (concurrent
+    executors remain safe under the store's per-graph ``fcntl`` locks).
+    This is the single-machine form of the ROADMAP's multi-machine routing:
+    replacing "worker index" with "machine" changes nothing else.
+    """
+
+    num_shards: int
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.num_shards, int) or self.num_shards < 1:
+            raise ConfigError(f"num_shards must be a positive int, got {self.num_shards!r}")
+
+    def shard_of(self, fingerprint: str) -> int:
+        """Deterministic shard index of a graph content fingerprint."""
+        try:
+            prefix = int(fingerprint[:16], 16)
+        except (TypeError, ValueError):
+            raise ConfigError(f"not a content fingerprint: {fingerprint!r}")
+        return prefix % self.num_shards
+
+    def assign(self, fingerprints: Mapping[str, str]) -> dict[int, list[str]]:
+        """Group ``graph_key -> fingerprint`` into ``shard -> [graph_keys]``.
+
+        Only non-empty shards appear; within a shard, keys keep the
+        mapping's iteration order (lane/plan order for the executor).
+        """
+        shards: dict[int, list[str]] = {}
+        for graph_key, fingerprint in fingerprints.items():
+            shards.setdefault(self.shard_of(fingerprint), []).append(graph_key)
+        return shards
 
 
 def _family_signature(spec: dict[str, Any]) -> str:

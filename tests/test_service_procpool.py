@@ -1,0 +1,499 @@
+"""The process-pool executor: cross-process bit-identity, faults, hygiene.
+
+Pins the acceptance criteria of the multiprocess sharded executor:
+
+* **Cross-process bit-identity** — process-pool answers are bit-identical
+  to the serial and thread-pool paths on hypothesis-generated mixed
+  batches (subgraphs, densities, and ``payload_answer()`` dicts),
+  including warm-started and batched-solve lanes.
+* **Fault tolerance** — a worker SIGKILLed mid-lane or poisoned by an
+  erroring query is retried on a fresh worker (then inline), the lane is
+  marked degraded in the per-query timings, and the batch always
+  completes or fails with the query's genuine error — never a deadlock.
+* **Shared-memory hygiene** — every published segment is closed and
+  unlinked after normal shutdown *and* after an exception path.
+* **Order-independent aggregation** — ``BatchReport.aggregate_stats()``
+  is a pure function of the per-lane snapshots, not of completion order.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.workloads import service_mixed_workload
+from repro.core.config import FlowConfig
+from repro.datasets.registry import load_dataset
+from repro.exceptions import AlgorithmError, ConfigError, GraphError, StoreError
+from repro.flow.network import FlowNetwork
+from repro.graph.digraph import DiGraph
+from repro.service import (
+    BatchExecutor,
+    BatchReport,
+    SessionStore,
+    ShardMap,
+    payload_answer,
+    plan_batch,
+    shm,
+)
+from repro.session import DDSSession
+
+DEFAULT_DATASET = "foodweb-tiny"
+OTHER_DATASET = "social-tiny"
+
+#: Tests that publish/attach real segments or spawn real workers are
+#: skipped where the pool itself would degrade (no shared memory, no
+#: fcntl, or DDS_REPRO_NO_SHARED_MEMORY=1 — the CI degradation lane).
+#: The degradation tests themselves run everywhere.
+_SHM_OK, _SHM_REASON = shm.process_pool_available(need_store_locks=True)
+needs_shm = pytest.mark.skipif(
+    not _SHM_OK, reason=f"process pool unavailable: {_SHM_REASON}"
+)
+
+MIXED = [
+    {"query": "densest", "method": "core-exact"},
+    {"query": "fixed-ratio", "ratio": 1.0},
+    {"query": "summary"},
+    {"query": "densest", "method": "core-approx", "dataset": OTHER_DATASET},
+    {"query": "top-k", "k": 2, "dataset": OTHER_DATASET},
+]
+
+
+def _executor(**kwargs) -> BatchExecutor:
+    return BatchExecutor(lambda key: load_dataset(key), **kwargs)
+
+
+def _answers(report) -> list:
+    return [payload_answer(payload) for payload in report.results_in_input_order()]
+
+
+def _plan(queries=MIXED):
+    return plan_batch(queries, default_graph_key=DEFAULT_DATASET)
+
+
+# ----------------------------------------------------------------------
+# shared-memory graph segments
+# ----------------------------------------------------------------------
+@needs_shm
+class TestGraphSegments:
+    def test_publish_attach_round_trip(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        segment = shm.publish_graph(graph)
+        try:
+            assert segment.name in shm.active_segment_names()
+            attached = shm.attach_graph(segment.name)
+            try:
+                assert attached.fingerprint == graph.content_fingerprint()
+                assert attached.graph.content_fingerprint() == graph.content_fingerprint()
+                assert attached.graph.nodes() == graph.nodes()
+                assert sorted(attached.graph.edges()) == sorted(graph.edges())
+                assert list(attached.derived["out_degrees"]) == graph.out_degrees()
+                assert list(attached.derived["in_degrees"]) == graph.in_degrees()
+            finally:
+                attached.close()
+        finally:
+            segment.unlink()
+        assert segment.name not in shm.active_segment_names()
+
+    def test_attach_after_unlink_raises(self):
+        segment = shm.publish_graph(load_dataset(DEFAULT_DATASET))
+        name = segment.name
+        segment.unlink()
+        with pytest.raises(StoreError):
+            shm.attach_graph(name)
+
+    def test_attach_verifies_fingerprint(self):
+        graph = DiGraph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        segment = shm.publish_graph(graph)
+        try:
+            # Corrupt one CSR target in place: the rebuilt graph no longer
+            # reproduces the published fingerprint.
+            view = segment._shm.buf[shm._HEADER_BYTES + 8 * (graph.num_nodes + 1) :]
+            ints = view[:8].cast("q")
+            ints[0] = (ints[0] + 1) % graph.num_nodes
+            ints.release()
+            view.release()
+            with pytest.raises(StoreError, match="verification"):
+                shm.attach_graph(segment.name)
+        finally:
+            segment.unlink()
+
+    def test_attached_session_matches_native(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        segment = shm.publish_graph(graph)
+        try:
+            attached = shm.attach_graph(segment.name)
+            hydrated = DDSSession.from_seeded(attached.graph, attached.derived)
+            attached.close()
+            native = DDSSession(graph)
+            assert hydrated.densest_subgraph("core-exact") == native.densest_subgraph("core-exact")
+        finally:
+            segment.unlink()
+
+    def test_unlink_is_idempotent(self):
+        segment = shm.publish_graph(load_dataset(DEFAULT_DATASET))
+        segment.unlink()
+        segment.unlink()
+        assert shm.active_segment_names() == []
+
+
+class TestFromCsrArrays:
+    def test_round_trip_preserves_fingerprint(self, small_random_graph):
+        graph = small_random_graph
+        starts, targets = [0], []
+        for row in graph.out_adj:
+            targets.extend(row)
+            starts.append(len(targets))
+        rebuilt = DiGraph.from_csr_arrays(graph.nodes(), starts, targets)
+        assert rebuilt.content_fingerprint() == graph.content_fingerprint()
+        assert rebuilt.num_edges == graph.num_edges
+
+    def test_rejects_malformed_csr(self):
+        with pytest.raises(GraphError, match="monotone"):
+            DiGraph.from_csr_arrays(["a", "b"], [0, 1], [1, 0])
+        with pytest.raises(GraphError, match="duplicates"):
+            DiGraph.from_csr_arrays(["a", "a"], [0, 0, 0], [])
+        with pytest.raises(GraphError, match="out of range"):
+            DiGraph.from_csr_arrays(["a", "b"], [0, 1, 1], [5])
+        with pytest.raises(GraphError, match="self-loop"):
+            DiGraph.from_csr_arrays(["a", "b"], [0, 1, 1], [0])
+
+
+class TestFlowNetworkAttach:
+    def test_attach_reproduces_csr(self):
+        network = FlowNetwork(4)
+        network.add_edge(0, 1, 3.0)
+        network.add_edge(1, 2, 2.0)
+        network.add_edge(2, 3, 1.5)
+        tails, targets, caps, base = network.arc_state_views()
+        attached = FlowNetwork.attach_paired_arcs(4, tails, targets, caps, base)
+        for view in (tails, targets, caps, base):
+            view.release()
+        assert list(attached.arc_targets) == list(network.arc_targets)
+        assert list(attached.arc_capacities) == list(network.arc_capacities)
+        native_starts, native_order, _, _ = network.csr()
+        attached_starts, attached_order, _, _ = attached.csr()
+        assert list(attached_starts) == list(native_starts)
+        assert list(attached_order) == list(native_order)
+
+
+# ----------------------------------------------------------------------
+# shard routing
+# ----------------------------------------------------------------------
+class TestShardMap:
+    def test_routing_is_content_stable(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        copy = graph.copy()
+        shard_map = ShardMap(4)
+        assert shard_map.shard_of(graph.content_fingerprint()) == shard_map.shard_of(
+            copy.content_fingerprint()
+        )
+        # Routing ignores batch composition: any assignment that includes
+        # the graph puts it on the same shard.
+        solo = shard_map.assign({"g": graph.content_fingerprint()})
+        mixed = shard_map.assign(
+            {
+                "other": load_dataset(OTHER_DATASET).content_fingerprint(),
+                "g": graph.content_fingerprint(),
+            }
+        )
+        (solo_shard,) = [shard for shard, keys in solo.items() if "g" in keys]
+        (mixed_shard,) = [shard for shard, keys in mixed.items() if "g" in keys]
+        assert solo_shard == mixed_shard
+
+    def test_assign_partitions_all_keys(self):
+        fingerprints = {
+            key: load_dataset(name).content_fingerprint()
+            for key, name in (("a", DEFAULT_DATASET), ("b", OTHER_DATASET))
+        }
+        shards = ShardMap(2).assign(fingerprints)
+        assigned = [key for keys in shards.values() for key in keys]
+        assert sorted(assigned) == ["a", "b"]
+        assert all(0 <= shard < 2 for shard in shards)
+
+    def test_invalid_inputs_raise(self):
+        with pytest.raises(ConfigError):
+            ShardMap(0)
+        with pytest.raises(ConfigError):
+            ShardMap(2).shard_of("not-a-fingerprint")
+
+
+# ----------------------------------------------------------------------
+# cross-process bit-identity
+# ----------------------------------------------------------------------
+SPEC_MENU = [
+    {"query": "densest", "method": "core-exact"},
+    {"query": "densest", "method": "core-approx"},
+    {"query": "fixed-ratio", "ratio": 0.75},
+    {"query": "fixed-ratio", "ratio": 1.0},
+    {"query": "top-k", "k": 2, "method": "core-exact"},
+    {"query": "xy-core", "x": 1, "y": 1},
+    {"query": "max-core"},
+    {"query": "summary"},
+]
+
+
+@needs_shm
+class TestCrossProcessBitIdentity:
+    @settings(max_examples=6, deadline=None)
+    @given(
+        batch=st.lists(
+            st.tuples(
+                st.sampled_from(SPEC_MENU), st.sampled_from([None, OTHER_DATASET])
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    def test_process_pool_matches_serial_and_threads(self, batch):
+        queries = []
+        for spec, dataset in batch:
+            spec = dict(spec)
+            if dataset is not None:
+                spec["dataset"] = dataset
+            queries.append(spec)
+        plan = _plan(queries)
+        flow = FlowConfig(solver="auto", batch_size=8)
+        serial = _executor(flow=flow, max_workers=1).execute(plan)
+        threads = _executor(flow=flow, max_workers=2).execute(plan)
+        procs = _executor(flow=flow, max_workers=2, process_pool=True).execute(plan)
+        assert _answers(procs) == _answers(serial) == _answers(threads)
+        assert procs.executor_stats["mode"] == "process-pool"
+        assert shm.active_segment_names() == []
+
+    def test_mixed_workload_with_warm_and_batched_lanes(self):
+        # The E6 smoke workload: repeated fixed-ratio probes warm-start
+        # their decision networks and the auto policy may batch solves —
+        # both must survive the process boundary bit-for-bit.
+        queries = service_mixed_workload()
+        plan = _plan(queries)
+        flow = FlowConfig(solver="auto", batch_size=8)
+        serial = _executor(flow=flow, max_workers=1).execute(plan)
+        procs = _executor(flow=flow, max_workers=2, process_pool=True).execute(plan)
+        assert _answers(procs) == _answers(serial)
+        assert serial.aggregate_stats().get("warm_starts_used", 0) > 0
+        assert procs.aggregate_stats().get("warm_starts_used", 0) > 0
+
+    def test_single_lane_still_uses_a_worker(self):
+        plan = _plan([{"query": "densest", "method": "core-exact"}])
+        report = _executor(process_pool=True).execute(plan)
+        assert report.executor_stats["workers_spawned"] == 1
+        assert all(execution.worker is not None for execution in report.executions)
+
+    def test_process_pool_with_store_round_trip(self, tmp_path):
+        store_root = tmp_path / "store"
+        plan = _plan()
+        first = _executor(process_pool=True, store=SessionStore(store_root)).execute(plan)
+        second = _executor(process_pool=True, store=SessionStore(store_root)).execute(plan)
+        cold = _executor().execute(plan)
+        assert _answers(first) == _answers(second) == _answers(cold)
+        assert set(first.store_stats) == set(plan.lanes)
+
+
+# ----------------------------------------------------------------------
+# fault injection
+# ----------------------------------------------------------------------
+@needs_shm
+class TestFaultInjection:
+    def test_sigkilled_worker_is_retried_on_a_fresh_worker(self):
+        plan = _plan()
+        reference = _answers(_executor().execute(plan))
+        report = _executor(
+            process_pool=True,
+            max_workers=2,
+            fault_injection={
+                "graph_key": DEFAULT_DATASET,
+                "kind": "sigkill",
+                "times": 1,
+            },
+        ).execute(plan)
+        assert _answers(report) == reference
+        stats = report.executor_stats
+        assert stats["worker_crashes"] == 1
+        assert stats["worker_retries"] == 1
+        assert stats["degraded_lanes"] == [DEFAULT_DATASET]
+        degraded_rows = [row for row in report.timings() if row.get("degraded")]
+        assert degraded_rows and all(
+            row["graph"] == DEFAULT_DATASET and row["attempts"] == 2
+            for row in degraded_rows
+        )
+        # The other lane was untouched.
+        assert all(
+            not execution.degraded
+            for execution in report.executions
+            if execution.graph_key == OTHER_DATASET
+        )
+        assert shm.active_segment_names() == []
+
+    def test_poisoned_query_is_retried_then_succeeds(self):
+        plan = _plan()
+        reference = _answers(_executor().execute(plan))
+        report = _executor(
+            process_pool=True,
+            fault_injection={
+                "graph_key": DEFAULT_DATASET,
+                "index": 0,
+                "kind": "error",
+                "times": 1,
+            },
+        ).execute(plan)
+        assert _answers(report) == reference
+        assert report.executor_stats["worker_retries"] == 1
+        assert report.executor_stats["worker_crashes"] == 0
+        assert report.executor_stats["degraded_lanes"] == [DEFAULT_DATASET]
+
+    def test_exhausted_retries_fall_back_inline(self):
+        plan = _plan()
+        reference = _answers(_executor().execute(plan))
+        report = _executor(
+            process_pool=True,
+            max_retries=1,
+            fault_injection={"graph_key": DEFAULT_DATASET, "kind": "sigkill", "times": 5},
+        ).execute(plan)
+        # Both process dispatches died; the inline fallback completed the
+        # lane on the parent (worker=None) and the batch still finished.
+        assert _answers(report) == reference
+        assert report.executor_stats["worker_crashes"] == 2
+        lane_rows = [e for e in report.executions if e.graph_key == DEFAULT_DATASET]
+        assert lane_rows and all(e.worker is None and e.degraded for e in lane_rows)
+        assert shm.active_segment_names() == []
+
+    def test_genuinely_bad_query_raises_its_real_error(self):
+        plan = _plan([{"query": "densest", "method": "no-such-method"}])
+        with pytest.raises(AlgorithmError, match="no-such-method"):
+            _executor(process_pool=True, max_retries=1).execute(plan)
+        assert shm.active_segment_names() == []
+
+    def test_fault_spec_is_validated(self):
+        with pytest.raises(ConfigError, match="fault_injection"):
+            _executor(process_pool=True, fault_injection={"kind": "explode"})
+
+
+# ----------------------------------------------------------------------
+# shared-memory hygiene
+# ----------------------------------------------------------------------
+@needs_shm
+class TestShmHygiene:
+    @pytest.fixture
+    def captured_segments(self, monkeypatch):
+        real_publish = shm.publish_graph
+        names: list[str] = []
+
+        def capturing(graph, **kwargs):
+            segment = real_publish(graph, **kwargs)
+            names.append(segment.name)
+            return segment
+
+        monkeypatch.setattr(shm, "publish_graph", capturing)
+        return names
+
+    def test_segments_unlinked_after_normal_shutdown(self, captured_segments):
+        _executor(process_pool=True, max_workers=2).execute(_plan())
+        assert len(captured_segments) == 2
+        assert shm.active_segment_names() == []
+        for name in captured_segments:
+            with pytest.raises(StoreError):
+                shm.attach_graph(name)
+
+    def test_segments_unlinked_after_exception(self, captured_segments):
+        plan = _plan(
+            [
+                {"query": "densest", "method": "no-such-method"},
+                {"query": "summary", "dataset": OTHER_DATASET},
+            ]
+        )
+        with pytest.raises(AlgorithmError):
+            _executor(process_pool=True, max_retries=0).execute(plan)
+        assert len(captured_segments) == 2
+        assert shm.active_segment_names() == []
+        for name in captured_segments:
+            with pytest.raises(StoreError):
+                shm.attach_graph(name)
+
+
+# ----------------------------------------------------------------------
+# order-independent stats aggregation
+# ----------------------------------------------------------------------
+class TestAggregateStatsOrder:
+    def test_merge_is_completion_order_independent(self):
+        # 0.1 + 0.2 + 0.3 != 0.3 + 0.2 + 0.1 at the bit level: float
+        # summation order matters, and completion order is nondeterministic
+        # under any pool.  The aggregate must be a pure function of the
+        # per-lane snapshots.
+        lane_stats = {
+            "a": {"queries": 3, "seconds_in_flow": 0.1},
+            "b": {"queries": 1, "seconds_in_flow": 0.2},
+            "c": {"queries": 2, "seconds_in_flow": 0.3},
+        }
+        aggregates = []
+        for order in permutations(lane_stats):
+            report = BatchReport(
+                executions=[],
+                session_stats={key: dict(lane_stats[key]) for key in order},
+            )
+            aggregates.append(report.aggregate_stats())
+        assert all(aggregate == aggregates[0] for aggregate in aggregates)
+        # And it equals the sorted-lane-order sum, bit for bit.
+        assert aggregates[0]["seconds_in_flow"] == (0.1 + 0.2) + 0.3
+        assert aggregates[0]["queries"] == 6
+
+    def test_non_numeric_and_bool_values_are_skipped(self):
+        report = BatchReport(
+            executions=[],
+            session_stats={"a": {"flag": True, "name": "x", "count": 2}},
+        )
+        assert report.aggregate_stats() == {"count": 2}
+
+
+# ----------------------------------------------------------------------
+# degradation ladder
+# ----------------------------------------------------------------------
+class TestDegradation:
+    def test_env_knob_degrades_to_threads(self, monkeypatch):
+        monkeypatch.setenv(shm.NO_SHM_ENV, "1")
+        available, reason = shm.process_pool_available()
+        assert not available and shm.NO_SHM_ENV in reason
+        plan = _plan()
+        report = _executor(process_pool=True, max_workers=2).execute(plan)
+        assert report.executor_stats["degraded_from"] == "process-pool"
+        assert report.executor_stats["mode"] == "threads"
+        monkeypatch.delenv(shm.NO_SHM_ENV)
+        assert _answers(report) == _answers(_executor().execute(plan))
+
+    def test_publish_refuses_without_shared_memory(self, monkeypatch):
+        monkeypatch.setenv(shm.NO_SHM_ENV, "1")
+        with pytest.raises(StoreError):
+            shm.publish_graph(load_dataset(DEFAULT_DATASET))
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+@needs_shm
+class TestCli:
+    def test_batch_process_pool_flag(self, tmp_path, capsys):
+        import json
+
+        from repro.cli import main
+
+        queries_path = tmp_path / "queries.json"
+        queries_path.write_text(json.dumps(MIXED))
+        code = main(
+            [
+                "batch",
+                "--dataset",
+                DEFAULT_DATASET,
+                str(queries_path),
+                "--process-pool",
+                "--max-retries",
+                "2",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["executor"]["mode"] == "process-pool"
+        assert payload["executor"]["workers_spawned"] >= 1
+        assert len(payload["results"]) == len(MIXED)

@@ -48,6 +48,17 @@ backend recorded in ``auto_backends``) and returning the bit-identical
 subgraph (used as an opt-in local gate; CI pins the cheaper bit-identity +
 parity variant in the E6 smoke instead).
 
+The **process-pool rows** (``procpool:*``) run the same two-graph tiny batch
+three ways — the thread pool (the reference), and the shared-memory process
+pool at ``--jobs 1`` and ``--jobs 2`` — and record each wall next to the
+pool's own counters.  ``--check`` gates these rows on *parity*: every
+process-mode answer must be bit-identical to the thread reference, the runs
+must actually use the pool (``mode == "process-pool"``) with zero worker
+crashes, and the jobs-2 run must fan out to two workers (the fingerprint
+shard routing).  A jobs-2 wall-clock speedup is gated only on machines with
+``cpu_count > 1`` — on a single core the pool cannot beat the thread pool,
+and the parity gates are the point.
+
 The **incremental-update workload** (``incremental:advogato-small/dc-exact``)
 replays a removal-only edge-update stream two ways: one session absorbing
 every delta through ``apply_updates`` (cached networks patched, cached
@@ -73,7 +84,12 @@ from repro.flow.registry import (
     available_flow_solvers,
     has_vector_backend,
 )
-from repro.service import BatchExecutor, plan_batch
+from repro.service import (
+    BatchExecutor,
+    payload_answer,
+    plan_batch,
+    process_pool_available,
+)
 from repro.session import DDSSession
 
 #: Small workloads every registered solver runs: (name, dataset, method).
@@ -92,6 +108,11 @@ LARGE_SOLVERS = ("dinic", VECTOR_SOLVER, AUTO_SOLVER)
 
 #: Graphs of the lane-parallelism batch (one lane each).
 PARALLEL_DATASETS = ("er-medium", "planted-medium", "amazon-medium", "wiki-talk-medium")
+
+#: The process-pool parity batch: two tiny graphs (which hash to distinct
+#: shards of 2, so a jobs-2 run genuinely fans out) with a few methods each.
+PROCPOOL_DATASETS = ("foodweb-tiny", "social-tiny")
+PROCPOOL_METHODS = ("flow-exact", "dc-exact", "core-exact")
 
 #: The incremental-update workload: a removal-only edge-update stream served
 #: through one session's ``apply_updates`` (patch + certify) vs a cold
@@ -196,6 +217,34 @@ def _run_batch(jobs: int, solver: str) -> tuple[float, dict]:
     return wall_ms, report.aggregate_stats()
 
 
+def _run_procpool(
+    jobs: int, *, process_pool: bool
+) -> tuple[float, list, dict, dict]:
+    """One run of the two-graph parity batch; returns wall, answers, stats.
+
+    Returns ``(wall_ms, answers, executor_stats, aggregate_stats)`` where
+    ``answers`` is the :func:`payload_answer` projection of every payload in
+    input order — the thing the parity gate compares across pool modes.
+    """
+    queries = [
+        {"query": "densest", "method": method, "dataset": dataset}
+        for dataset in PROCPOOL_DATASETS
+        for method in PROCPOOL_METHODS
+    ]
+    plan = plan_batch(queries, default_graph_key=PROCPOOL_DATASETS[0])
+    executor = BatchExecutor(
+        load_dataset,
+        flow=FlowConfig(solver=AUTO_SOLVER),
+        max_workers=jobs,
+        process_pool=process_pool,
+    )
+    start = time.perf_counter()
+    report = executor.execute(plan)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    answers = [payload_answer(payload) for payload in report.results_in_input_order()]
+    return wall_ms, answers, report.executor_stats, report.aggregate_stats()
+
+
 def _gil_yield_rate(solver: str) -> float:
     """Progress rate of a background pure-python counter during one solving lane.
 
@@ -245,9 +294,10 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless numpy beats dinic >= 2x on the largest workload, "
         "jobs-4 beats jobs-1, the batched auto run beats the sequential "
-        "numpy run >= 1.5x on the small guess-sequence workload, and "
+        "numpy run >= 1.5x on the small guess-sequence workload, "
         "apply_updates beats per-delta cold rebuilds >= 2x on the "
-        "incremental workload",
+        "incremental workload, and the process pool matches the thread "
+        "reference bit-for-bit on the procpool batch",
     )
     args = parser.parse_args(argv)
 
@@ -358,6 +408,62 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print("note: batch-lanes workloads skipped (numpy not importable)")
 
+    procpool_failures: list[str] = []
+    procpool_ran = False
+    if not args.skip_parallel:
+        pool_ok, pool_reason = process_pool_available()
+        if pool_ok:
+            procpool_ran = True
+            thread_wall, thread_answers, _, thread_stats = _run_procpool(
+                2, process_pool=False
+            )
+            rows.append(_row("procpool:threads", AUTO_SOLVER, "threads", thread_wall, thread_stats))
+            print(f"{'procpool:threads':40s} {AUTO_SOLVER:20s} {'threads':12s} {thread_wall:10.1f}ms", flush=True)
+            procpool_walls: dict[int, float] = {}
+            for jobs in (1, 2):
+                wall_ms, answers, executor_stats, agg = _run_procpool(
+                    jobs, process_pool=True
+                )
+                rows.append(
+                    _row(f"procpool:jobs-{jobs}", AUTO_SOLVER, "process-pool", wall_ms, agg)
+                )
+                procpool_walls[jobs] = wall_ms
+                print(f"{'procpool:jobs-' + str(jobs):40s} {AUTO_SOLVER:20s} {'process-pool':12s} {wall_ms:10.1f}ms", flush=True)
+                if answers != thread_answers:
+                    procpool_failures.append(
+                        f"process-pool jobs-{jobs} answers diverged from the thread reference"
+                    )
+                if executor_stats.get("mode") != "process-pool":
+                    procpool_failures.append(
+                        f"process-pool jobs-{jobs} degraded to "
+                        f"{executor_stats.get('mode')!r} "
+                        f"({executor_stats.get('reason')!r})"
+                    )
+                elif executor_stats.get("worker_crashes", 0):
+                    procpool_failures.append(
+                        f"process-pool jobs-{jobs} recorded "
+                        f"{executor_stats['worker_crashes']} worker crashes"
+                    )
+                if jobs == 2:
+                    spawned = executor_stats.get("workers_spawned", 0)
+                    parallel_block["procpool"] = {
+                        "jobs2_workers_spawned": spawned,
+                        "shm_bytes_mapped": executor_stats.get("shm_bytes_mapped", 0),
+                        "start_method": executor_stats.get("start_method"),
+                    }
+                    if executor_stats.get("mode") == "process-pool" and spawned < 2:
+                        procpool_failures.append(
+                            f"process-pool jobs-2 spawned only {spawned} worker(s) — "
+                            "fingerprint shard routing did not fan out"
+                        )
+            if cpu_count > 1 and procpool_walls.get(2, 0) >= procpool_walls.get(1, 1):
+                procpool_failures.append(
+                    f"process-pool jobs-2 ({procpool_walls[2]:.0f}ms) did not beat "
+                    f"jobs-1 ({procpool_walls[1]:.0f}ms) on a {cpu_count}-core machine"
+                )
+        else:
+            print(f"note: procpool workloads skipped ({pool_reason})")
+
     document = {
         "schema_version": 2,
         "generated_by": "tools/bench_trajectory.py",
@@ -379,6 +485,13 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         failures = []
+        # Process-pool parity gates (collected above, next to the runs):
+        # bit-identical answers vs the thread reference, no silent
+        # degradation, no crashes, jobs-2 fan-out — and a jobs-2 speedup
+        # only where more than one core makes that physically possible.
+        failures.extend(procpool_failures)
+        if not args.skip_parallel and not procpool_ran:
+            print("note: procpool gates skipped (pool unavailable on this platform)")
         # Incremental-update gate: serving small deltas by patch-and-certify
         # must beat the per-delta cold rebuild by the recorded margin, with
         # density parity on every step.
