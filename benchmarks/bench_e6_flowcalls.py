@@ -57,6 +57,15 @@ thread/serial reference, must actually run in worker processes (no silent
 degradation while shared memory is available), and must leave zero
 shared-memory segments behind.  Where ``multiprocessing.shared_memory`` is
 unavailable the gate reports itself skipped.
+
+The **network-tier parity gate** serves the same mixed workload from two
+loopback ``ShardDaemon``s via ``BatchExecutor(remote_hosts=[...])``: the
+remote answers must be bit-identical to the local reference with every
+lane actually solved remotely and zero sockets left open on either
+daemon, and a second run that kills one daemon mid-batch must *still*
+return bit-identical answers — the client's retry ladder exhausts, the
+lane falls back inline, and the failure is recorded in
+``executor_stats`` (``remote_failures``/``degraded_lanes``).
 """
 
 from __future__ import annotations
@@ -488,6 +497,114 @@ def run_procpool_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Default graph of the network-tier parity gate (the workload's
+#: ``"dataset"`` fields fan a second graph's lane onto the other daemon).
+NET_SMOKE_DATASET = "foodweb-tiny"
+
+
+def run_net_smoke(failures: list[str]) -> dict:
+    """Network-tier gate: loopback daemons serve bit-identical answers.
+
+    Serves the mixed two-graph workload from two loopback ``ShardDaemon``s
+    via ``BatchExecutor(remote_hosts=[...])`` and asserts (1) bit-identical
+    per-query answers against the local thread/serial reference with every
+    lane solved remotely, (2) zero sockets left open on either daemon after
+    the batch, and (3) that killing one daemon mid-batch still completes
+    bit-identically — retry ladder, then inline fallback — with the failure
+    recorded in ``executor_stats``.  Appends failure strings to
+    ``failures`` and returns a table row.
+    """
+    from repro.net import ShardDaemon
+
+    queries = service_mixed_workload() + [
+        {"query": "densest", "method": "core-exact", "dataset": "social-tiny"},
+        {"query": "fixed-ratio", "ratio": 1.0, "dataset": "social-tiny"},
+        {"query": "top-k", "k": 2, "dataset": "social-tiny"},
+    ]
+    plan = plan_batch(queries, default_graph_key=NET_SMOKE_DATASET)
+    reference = BatchExecutor(lambda key: load_dataset(key)).execute(plan)
+    reference_answers = [payload_answer(p) for p in reference.results_in_input_order()]
+
+    # Healthy pass: two daemons, every lane remote, answers bit-identical.
+    with ShardDaemon() as first, ShardDaemon() as second:
+        hosts = [first.address, second.address]
+        report = BatchExecutor(
+            lambda key: load_dataset(key), remote_hosts=hosts
+        ).execute(plan)
+        answers = [payload_answer(p) for p in report.results_in_input_order()]
+        stats = report.executor_stats
+        if answers != reference_answers:
+            failures.append(
+                "network tier: loopback remote answers diverged from the "
+                "thread/serial reference (cross-machine bit-identity broken)"
+            )
+        if stats.get("mode") != "remote" or stats.get("lanes_inline", 0) != 0:
+            failures.append(
+                "network tier: healthy two-daemon run did not solve every lane "
+                f"remotely (mode={stats.get('mode')!r}, "
+                f"lanes_inline={stats.get('lanes_inline')})"
+            )
+        if stats.get("remote_failures", 0) != 0:
+            failures.append(
+                "network tier: healthy two-daemon run recorded "
+                f"{stats['remote_failures']} unexpected remote failures"
+            )
+        # Clients close first; give the selector loops a moment to reap the
+        # resulting EOFs before declaring a socket leaked.
+        deadline = time.monotonic() + 2.0
+        while True:
+            sockets_open = first.open_connections() + second.open_connections()
+            if not sockets_open or time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        if sockets_open:
+            failures.append(
+                f"network tier: {sockets_open} sockets left open on the daemons "
+                "after the batch (connection leak)"
+            )
+    lanes_remote = stats.get("lanes_remote", 0)
+
+    # Fault pass: one daemon dies mid-batch; retry then inline fallback must
+    # preserve bit-identical answers and record the failure.
+    with (
+        ShardDaemon() as healthy,
+        ShardDaemon(
+            fault_injection={"op": "solve", "kind": "exit", "times": 1}
+        ) as doomed,
+    ):
+        fault_report = BatchExecutor(
+            lambda key: load_dataset(key),
+            remote_hosts=[healthy.address, doomed.address],
+        ).execute(plan)
+        fault_answers = [
+            payload_answer(p) for p in fault_report.results_in_input_order()
+        ]
+        fault_stats = fault_report.executor_stats
+        if fault_answers != reference_answers:
+            failures.append(
+                "network tier: answers diverged after a daemon was killed "
+                "mid-batch (inline fallback broke bit-identity)"
+            )
+        if fault_stats.get("remote_failures", 0) < 1 or fault_stats.get(
+            "lanes_inline", 0
+        ) < 1:
+            failures.append(
+                "network tier: killed daemon was not recorded in executor_stats "
+                f"(remote_failures={fault_stats.get('remote_failures')}, "
+                f"lanes_inline={fault_stats.get('lanes_inline')})"
+            )
+    return {
+        "dataset": NET_SMOKE_DATASET,
+        "method": "remote:loopback",
+        "queries": len(queries),
+        "daemons": 2,
+        "lanes_remote": lanes_remote,
+        "remote_failures_faulted": fault_stats.get("remote_failures", 0),
+        "lanes_inline_faulted": fault_stats.get("lanes_inline", 0),
+        "sockets_leaked": sockets_open,
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -565,6 +682,8 @@ def run_smoke() -> int:
     print(format_table([update_row], title="E6 smoke: incremental update-parity gate"))
     procpool_row = run_procpool_smoke(failures)
     print(format_table([procpool_row], title="E6 smoke: process-pool parity gate"))
+    net_row = run_net_smoke(failures)
+    print(format_table([net_row], title="E6 smoke: network-tier parity gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -16,7 +16,9 @@ Sub-commands
 ``batch``     plan + execute a JSON list of queries (``--no-plan`` for file
               order, ``--explain`` for the plan report, ``--store`` for
               persistent warm state, ``--process-pool`` for shared-memory
-              worker processes)
+              worker processes, ``--remote host:port,...`` to route lanes
+              to shard daemons)
+``serve``     run a shard daemon serving DDS answers over the frame protocol
 ``warm``      precompute a graph's warm state into a persistent store
 ``store``     inspect, verify, or clear a persistent store
 ``datasets``  list the registered synthetic datasets
@@ -190,6 +192,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             max_workers=args.jobs,
             store=store,
             process_pool=args.process_pool,
+            remote_hosts=args.remote.split(",") if args.remote else None,
             max_retries=args.max_retries,
         )
         report = executor.execute(plan)
@@ -213,6 +216,36 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     if store is not None:
         payload["store"] = report.store_stats
     print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serve: a shard daemon on this box
+# ----------------------------------------------------------------------
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.net import ShardDaemon
+
+    store = SessionStore(args.store) if args.store is not None else None
+    daemon = ShardDaemon(
+        store,
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        max_workers=args.jobs,
+        flow=args.flow_solver,
+    )
+    host, port = daemon.start()
+    # One machine-readable ready line (flushed) so wrappers — tests, shell
+    # scripts starting a fleet on ephemeral ports — can parse the address.
+    print(
+        json.dumps({"serving": f"{host}:{port}", "store": args.store}),
+        flush=True,
+    )
+    try:
+        daemon.join()
+    except KeyboardInterrupt:
+        daemon.shutdown()
+    print(json.dumps({"stopped": f"{host}:{port}", "stats": daemon.daemon_stats()}))
     return 0
 
 
@@ -346,13 +379,59 @@ def build_parser() -> argparse.ArgumentParser:
         "degrades to the thread path when shared memory is unavailable",
     )
     batch.add_argument(
+        "--remote",
+        default=None,
+        metavar="HOSTS",
+        help="comma-separated 'host:port' shard daemons (started with "
+        "'dds-repro serve'): lanes are routed to daemons by content "
+        "fingerprint, unreachable daemons are retried with backoff, and "
+        "their lanes fall back to solving inline; mutually exclusive with "
+        "--process-pool",
+    )
+    batch.add_argument(
         "--max-retries",
         type=int,
         default=1,
-        help="process-pool only: re-dispatches of a lane lost to a worker "
-        "crash or error before it falls back to running inline (default: 1)",
+        help="process-pool: re-dispatches of a lane lost to a worker crash "
+        "or error before it falls back to running inline (default: 1); "
+        "--remote: fresh-connection retries per request before the lane "
+        "falls back",
     )
     batch.set_defaults(handler=_cmd_batch)
+
+    serve = subparsers.add_parser(
+        "serve", help="run a shard daemon serving DDS answers over sockets"
+    )
+    serve.add_argument(
+        "--store",
+        default=None,
+        help="session-store directory this daemon owns (omit for in-memory only)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=0, help="bind port (default: 0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="resident-session LRU capacity (default: 8); evicted sessions "
+        "are saved to the store first",
+    )
+    serve.add_argument(
+        "--jobs",
+        type=int,
+        default=4,
+        help="per-request worker threads (default: 4); requests for the same "
+        "graph serialise on its session regardless",
+    )
+    serve.add_argument(
+        "--flow-solver",
+        default=None,
+        choices=flow_solver_choices(),
+        help="max-flow backend applied to every resident session (default: dinic)",
+    )
+    serve.set_defaults(handler=_cmd_serve)
 
     warm = subparsers.add_parser(
         "warm", help="precompute a graph's warm state into a persistent store"

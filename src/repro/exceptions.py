@@ -53,3 +53,16 @@ class BatchQueryError(ReproError):
 class StoreError(ReproError):
     """Raised when the persistent session store is missing, corrupt, or
     incompatible (unknown schema version, checksum mismatch, wrong graph)."""
+
+
+class NetError(ReproError):
+    """Raised when the network tier cannot complete an operation: a shard
+    daemon is unreachable after the retry ladder, a graph cannot cross the
+    wire losslessly, or a remote lane reports a failure."""
+
+
+class ProtocolError(NetError):
+    """Raised when a network frame is malformed: truncated, oversized, not
+    valid JSON, failing its checksum, or speaking a different protocol
+    version.  Strict by design — a damaged frame is never partially
+    interpreted."""

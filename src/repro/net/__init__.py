@@ -1,0 +1,61 @@
+"""The network tier: shard daemons serving DDS answers over sockets.
+
+``repro.net`` sits above the service tier (layer "4.5"): it moves the
+batch executor's graph-affine lane model across the machine boundary.  A
+:class:`~repro.net.daemon.ShardDaemon` owns one session-store shard plus
+an LRU of live sessions; a :class:`~repro.net.client.ShardClient` speaks
+the length-prefixed, checksummed frame protocol of
+:mod:`repro.net.protocol` with a retry/backoff ladder; and
+``BatchExecutor(remote_hosts=[...])`` routes lanes to daemons by the same
+fingerprint :class:`~repro.service.planner.ShardMap` the process pool
+uses.  Warm state — residual flows, decision networks — never crosses the
+wire: only graphs, query specs, and schema-2 result dicts do.
+"""
+
+from repro.net.client import (
+    RemoteOpError,
+    ShardClient,
+    ShardClientPool,
+    parse_host_port,
+)
+from repro.net.daemon import DAEMON_FAULT_KINDS, DEFAULT_MAX_SESSIONS, ShardDaemon
+from repro.net.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    REQUEST_OPS,
+    RESPONSE_STATUSES,
+    decode_frame_bytes,
+    decode_message,
+    encode_request,
+    encode_response,
+    graph_from_wire,
+    graph_to_wire,
+    new_request_id,
+    payload_checksum,
+    read_frame,
+    write_frame,
+)
+
+__all__ = [
+    "DAEMON_FAULT_KINDS",
+    "DEFAULT_MAX_SESSIONS",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
+    "REQUEST_OPS",
+    "RESPONSE_STATUSES",
+    "RemoteOpError",
+    "ShardClient",
+    "ShardClientPool",
+    "ShardDaemon",
+    "decode_frame_bytes",
+    "decode_message",
+    "encode_request",
+    "encode_response",
+    "graph_from_wire",
+    "graph_to_wire",
+    "new_request_id",
+    "parse_host_port",
+    "payload_checksum",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,320 @@
+"""``ShardClient``: the calling side of the frame protocol, with retries.
+
+A client is deliberately connectionless at the request granularity: every
+request opens a fresh TCP connection, sends one frame, reads one frame,
+and closes.  That makes the retry ladder trivial to reason about — a
+retry can never be poisoned by a half-written frame on a reused socket —
+and matches the batch executor's lane granularity, where a lane is one
+solve request and amortising connection setup would save microseconds
+against solves measured in milliseconds.
+
+The retry ladder mirrors the process-pool executor's: a *transport*
+failure (connect refused, timeout, reset, damaged frame) is retried on a
+fresh connection up to ``max_retries`` times with bounded exponential
+backoff plus jitter, after which :class:`~repro.exceptions.NetError` is
+raised and the executor falls back to solving the lane inline.  A
+*semantic* failure — the daemon answered, but with ``status="error"`` —
+is raised immediately as :class:`RemoteOpError` and never retried: the
+daemon is healthy and re-asking the same malformed question would get the
+same answer.
+
+:class:`ShardClientPool` holds one client per daemon of a shard set and
+aggregates their counters; the executor's ``remote_hosts`` mode drives it
+with the same fingerprint :class:`~repro.service.planner.ShardMap` the
+process pool uses, so each graph's requests always land on the daemon
+that owns its store shard.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+from typing import Any
+
+from repro.exceptions import ConfigError, NetError, ProtocolError
+from repro.net import protocol
+
+#: Default cap on a single backoff sleep, in seconds.
+DEFAULT_BACKOFF_MAX = 2.0
+
+#: Default base of the exponential backoff schedule, in seconds.
+DEFAULT_BACKOFF_BASE = 0.05
+
+
+def parse_host_port(text: str, *, default_port: int | None = None) -> tuple[str, int]:
+    """Parse ``"host:port"`` (or bare ``"host"`` with a default) to a pair.
+
+    Raises :class:`~repro.exceptions.ConfigError` on anything else;
+    bracketed IPv6 literals are not supported by this tier.
+    """
+    if not isinstance(text, str) or not text.strip():
+        raise ConfigError(f"expected 'host:port', got {text!r}")
+    text = text.strip()
+    if ":" not in text:
+        if default_port is None:
+            raise ConfigError(f"expected 'host:port', got {text!r}")
+        return text, default_port
+    host, _, port_text = text.rpartition(":")
+    if not host:
+        raise ConfigError(f"expected 'host:port', got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ConfigError(f"port in {text!r} is not an integer") from None
+    if not 0 < port < 65536:
+        raise ConfigError(f"port {port} in {text!r} is out of range")
+    return host, port
+
+
+class RemoteOpError(NetError):
+    """A daemon answered with ``status="error"``: the op itself failed.
+
+    Carries the remote exception's type name (``remote_type``) and message
+    (``remote_message``).  Never retried — the transport is healthy.
+    """
+
+    def __init__(self, op: str, address: str, remote_type: str, remote_message: str) -> None:
+        super().__init__(
+            f"remote {op} on {address} failed with {remote_type}: {remote_message}"
+        )
+        self.op = op
+        self.address = address
+        self.remote_type = remote_type
+        self.remote_message = remote_message
+
+
+class ShardClient:
+    """Talk to one :class:`~repro.net.daemon.ShardDaemon`.
+
+    Parameters
+    ----------
+    host / port:
+        The daemon's address.  ``host`` may be ``"host:port"`` with
+        ``port`` omitted.
+    connect_timeout / read_timeout:
+        Seconds allowed for TCP connect and for reading a response frame.
+    max_retries:
+        How many *fresh-connection* retries a transport failure earns
+        before :class:`~repro.exceptions.NetError` (``max_retries + 1``
+        attempts in total) — the same knob the executor's process pool
+        exposes.
+    backoff_base / backoff_max:
+        The bounded exponential schedule: attempt ``n`` sleeps
+        ``min(backoff_max, backoff_base * 2**n)`` scaled by jitter in
+        ``[0.5, 1.0]``.
+    rng:
+        Jitter source (a ``random.Random``); injectable for deterministic
+        tests.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int | None = None,
+        *,
+        connect_timeout: float = 5.0,
+        read_timeout: float = 60.0,
+        max_retries: int = 2,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_max: float = DEFAULT_BACKOFF_MAX,
+        rng: random.Random | None = None,
+    ) -> None:
+        if port is None:
+            host, port = parse_host_port(host)
+        if not isinstance(max_retries, int) or max_retries < 0:
+            raise ConfigError(f"max_retries must be a non-negative int, got {max_retries!r}")
+        self.host = host
+        self.port = port
+        self._connect_timeout = connect_timeout
+        self._read_timeout = read_timeout
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_max = backoff_max
+        self._rng = rng if rng is not None else random.Random()
+        # Lanes of the remote executor share one client per host, so the
+        # counters take a lock; the sockets themselves are per-request.
+        self._counters_lock = threading.Lock()
+        self._counters = {
+            "requests": 0,
+            "retries": 0,
+            "failures": 0,
+            "bytes_sent": 0,
+            "bytes_received": 0,
+        }
+
+    @property
+    def address(self) -> str:
+        """``host:port`` this client targets."""
+        return f"{self.host}:{self.port}"
+
+    def stats(self) -> dict[str, int]:
+        """A snapshot of this client's transport counters."""
+        with self._counters_lock:
+            return dict(self._counters)
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        with self._counters_lock:
+            self._counters[key] += amount
+
+    def backoff_delay(self, attempt: int) -> float:
+        """The jittered sleep before retry ``attempt`` (0-based)."""
+        ceiling = min(self._backoff_max, self._backoff_base * (2**attempt))
+        return ceiling * (0.5 + 0.5 * self._rng.random())
+
+    # ------------------------------------------------------------------
+    # the retry ladder
+    # ------------------------------------------------------------------
+    def request(
+        self, op: str, payload: dict[str, Any], *, request_id: str | None = None
+    ) -> dict[str, Any]:
+        """Send one request, retrying transport failures on fresh connections.
+
+        Returns the response payload of an ``"ok"`` answer.  Raises
+        :class:`RemoteOpError` on a semantic failure (no retry) and
+        :class:`~repro.exceptions.NetError` once the ladder is exhausted.
+        """
+        last_error: Exception | None = None
+        for attempt in range(self._max_retries + 1):
+            if attempt:
+                self._bump("retries")
+                time.sleep(self.backoff_delay(attempt - 1))
+            try:
+                return self._request_once(op, payload, request_id)
+            except RemoteOpError:
+                raise
+            except (ProtocolError, OSError) as error:
+                last_error = error
+        self._bump("failures")
+        raise NetError(
+            f"{op} to {self.address} failed after {self._max_retries + 1} attempts "
+            f"on fresh connections: {last_error}"
+        )
+
+    def _request_once(
+        self, op: str, payload: dict[str, Any], request_id: str | None
+    ) -> dict[str, Any]:
+        """One attempt: fresh connection, one frame out, one frame back."""
+        rid = request_id if request_id is not None else protocol.new_request_id()
+        frame = protocol.encode_request(rid, op, payload)
+        with socket.create_connection(
+            (self.host, self.port), timeout=self._connect_timeout
+        ) as sock:
+            sock.settimeout(self._read_timeout)
+            self._bump("bytes_sent", protocol.write_frame(sock, frame))
+            framed = protocol.read_frame(sock)
+            if framed is None:
+                raise ProtocolError(
+                    f"daemon at {self.address} closed the connection without responding"
+                )
+            message, bytes_received = framed
+        self._bump("bytes_received", bytes_received)
+        self._bump("requests")
+        if message.get("request_id") != rid:
+            raise ProtocolError(
+                f"daemon at {self.address} answered request "
+                f"{message.get('request_id')!r}, expected {rid!r}"
+            )
+        if message.get("status") != "ok":
+            error_payload = message.get("payload", {})
+            raise RemoteOpError(
+                op,
+                self.address,
+                str(error_payload.get("error", "ReproError")),
+                str(error_payload.get("message", "")),
+            )
+        return message["payload"]
+
+    # ------------------------------------------------------------------
+    # op conveniences
+    # ------------------------------------------------------------------
+    def ping(self, *, echo: Any = None) -> dict[str, Any]:
+        """Health-check the daemon."""
+        return self.request("ping", {"echo": echo})
+
+    def solve_lane(
+        self,
+        graph_key: str,
+        fingerprint: str,
+        entries: list[tuple[int, dict[str, Any]]],
+        *,
+        graph: dict[str, Any] | None = None,
+        flow: dict[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """Solve one lane: ``entries`` are ``(plan_index, spec)`` pairs.
+
+        ``graph`` is the wire document from :func:`~repro.net.protocol.
+        graph_to_wire`; it may be omitted when the graph is known to be
+        resident on the daemon (a miss then errors remotely).  ``flow`` is
+        an optional plain-dict ``FlowConfig`` the daemon applies when it
+        has to *build* the session — a daemon started with its own
+        ``flow`` override, or one that already holds the graph resident,
+        keeps its configuration.
+        """
+        return self.request(
+            "solve",
+            {
+                "graph_key": graph_key,
+                "fingerprint": fingerprint,
+                "entries": [[index, spec] for index, spec in entries],
+                "graph": graph,
+                "flow": flow,
+            },
+        )
+
+    def warm(
+        self,
+        graph: dict[str, Any],
+        *,
+        methods: list[str] | None = None,
+        max_core: bool = False,
+    ) -> dict[str, Any]:
+        """Push a graph and precompute warm state on the daemon."""
+        return self.request(
+            "warm",
+            {"graph": graph, "methods": list(methods or []), "max_core": max_core},
+        )
+
+    def inventory(self) -> dict[str, Any]:
+        """The daemon's counters and its store shard's inventory."""
+        return self.request("inventory", {})
+
+    def shutdown_daemon(self) -> dict[str, Any]:
+        """Ask the daemon to stop serving after acknowledging."""
+        return self.request("shutdown", {})
+
+
+class ShardClientPool:
+    """One :class:`ShardClient` per daemon of a shard set.
+
+    The pool is the executor-facing surface: ``client_for(shard)`` maps a
+    :meth:`ShardMap.shard_of <repro.service.planner.ShardMap.shard_of>`
+    index to its host's client, and :meth:`aggregate_stats` sums the
+    transport counters across hosts for ``BatchReport.executor_stats``.
+    """
+
+    def __init__(self, hosts: list[str], **client_options: Any) -> None:
+        if not hosts:
+            raise ConfigError("ShardClientPool requires at least one host")
+        self._clients = [ShardClient(host, **client_options) for host in hosts]
+
+    def __len__(self) -> int:
+        return len(self._clients)
+
+    @property
+    def addresses(self) -> list[str]:
+        """``host:port`` per pool slot, in shard order."""
+        return [client.address for client in self._clients]
+
+    def client_for(self, shard: int) -> ShardClient:
+        """The client owning shard index ``shard``."""
+        return self._clients[shard % len(self._clients)]
+
+    def aggregate_stats(self) -> dict[str, int]:
+        """Transport counters summed across every client in the pool."""
+        totals: dict[str, int] = {}
+        for client in self._clients:
+            for key, value in client.stats().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals

@@ -1,0 +1,631 @@
+"""``ShardDaemon``: one store shard served over sockets, sessions kept live.
+
+A daemon is the network tier's unit of ownership: it holds one
+:class:`~repro.service.store.SessionStore` shard plus an LRU of live
+:class:`~repro.session.DDSSession` objects keyed by graph
+:meth:`content_fingerprint
+<repro.graph.digraph.DiGraph.content_fingerprint>`, and answers the
+protocol ops of :mod:`repro.net.protocol` over TCP.  The remote executor
+routes every graph to exactly one daemon (the fingerprint
+:class:`~repro.service.planner.ShardMap`), so a daemon's store shard has a
+single network writer and its resident sessions accumulate warm state —
+decision networks, residual flows, push-relabel heights — across requests
+the way a lane session does across queries.  That state never crosses the
+wire: requests carry graphs and query specs in, schema-2 result dicts come
+back out, and everything expensive stays resident behind the socket.
+
+Concurrency model
+-----------------
+One *selector loop* thread owns every socket: it accepts connections and
+watches them for readability.  A readable connection is unregistered and
+handed to a small worker-thread pool, which reads exactly one frame,
+serves it, writes the response, and hands the socket back to the loop (via
+a self-pipe wakeup) for the next request.  Two requests for the *same*
+graph serialise on the session's lock — sessions are single-threaded by
+contract — while requests for distinct graphs run concurrently, which is
+the same graph-affinity rule the batch executor's lanes follow.
+
+Instrumentation: :meth:`ShardDaemon.daemon_stats` exposes per-op request
+counts, session-LRU hits/misses, sessions resident/evicted, bytes in/out,
+connection counts, and errors; the ``ping`` and ``inventory`` ops serve the
+same numbers remotely.
+
+The ``fault_injection`` hook makes partition handling deterministically
+testable: ``{"op": "solve", "kind": "close" | "exit", "times": N}`` drops
+the connection without a response on the first ``N`` matching requests
+(``"close"``), or additionally kills the whole daemon (``"exit"`` — the
+loopback stand-in for SIGKILL / a severed machine), which is what the
+client retry ladder and the executor's inline fallback are tested against.
+"""
+
+from __future__ import annotations
+
+import collections
+import selectors
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.config import FlowConfig
+from repro.exceptions import ConfigError, NetError, ProtocolError, ReproError
+from repro.net import protocol
+from repro.service.queries import run_batch_query
+from repro.service.store import SessionStore
+from repro.session import DDSSession
+from repro.session.session import DEFAULT_RESULT_CACHE_SIZE
+from repro.utils.timer import time_call
+
+#: Fault kinds the daemon's chaos hook understands.
+DAEMON_FAULT_KINDS = ("close", "exit")
+
+#: Default capacity of the resident-session LRU.
+DEFAULT_MAX_SESSIONS = 8
+
+
+@dataclass
+class _SessionEntry:
+    """One resident session: the session, its serving lock, pending counters."""
+
+    session: DDSSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    #: Store-warm counters from session creation, reported (once) by the
+    #: first solve that serves this session.
+    pending_warm: dict[str, int] = field(default_factory=dict)
+
+
+class ShardDaemon:
+    """Serve one store shard's DDS answers over the frame protocol.
+
+    Parameters
+    ----------
+    store:
+        The shard this daemon owns: a :class:`~repro.service.store.
+        SessionStore`, a path to open one at, or ``None`` for a storeless
+        daemon (sessions still cache in memory; nothing persists).
+    host / port:
+        Bind address.  ``port=0`` binds an ephemeral port; read the real
+        one from :attr:`port` after :meth:`start`.
+    max_sessions:
+        Capacity of the resident-session LRU.  Evicted sessions are saved
+        to the store (when one is attached) before being dropped.
+    max_workers:
+        Width of the per-request worker-thread pool.
+    flow:
+        Session-wide :class:`~repro.core.config.FlowConfig` (or solver
+        name) applied to every resident session.
+    result_cache_size:
+        Result-cache capacity of each resident session.
+    read_timeout:
+        Per-connection receive timeout (seconds) of the worker threads.
+    fault_injection:
+        Chaos/test hook — see the module docstring.
+    """
+
+    def __init__(
+        self,
+        store: SessionStore | str | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_sessions: int = DEFAULT_MAX_SESSIONS,
+        max_workers: int = 4,
+        flow: FlowConfig | str | None = None,
+        result_cache_size: int = DEFAULT_RESULT_CACHE_SIZE,
+        read_timeout: float = 60.0,
+        fault_injection: dict[str, Any] | None = None,
+    ) -> None:
+        if isinstance(store, (str,)) or hasattr(store, "__fspath__"):
+            store = SessionStore(store)
+        if not isinstance(max_sessions, int) or max_sessions < 1:
+            raise ConfigError(f"max_sessions must be a positive int, got {max_sessions!r}")
+        if not isinstance(max_workers, int) or max_workers < 1:
+            raise ConfigError(f"max_workers must be a positive int, got {max_workers!r}")
+        if fault_injection is not None:
+            fault_injection = dict(fault_injection)
+            if fault_injection.get("kind") not in DAEMON_FAULT_KINDS:
+                raise ConfigError(
+                    f"fault_injection kind must be one of {DAEMON_FAULT_KINDS}, "
+                    f"got {fault_injection.get('kind')!r}"
+                )
+        self._store = store
+        self._host = host
+        self._requested_port = port
+        self._max_sessions = max_sessions
+        self._max_workers = max_workers
+        self._flow = flow
+        self._result_cache_size = result_cache_size
+        self._read_timeout = read_timeout
+        self._fault = fault_injection
+        self._fault_budget = int(fault_injection.get("times", 1)) if fault_injection else 0
+
+        self._sessions: collections.OrderedDict[str, _SessionEntry] = collections.OrderedDict()
+        self._sessions_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._counters: dict[str, Any] = {
+            "requests": {},
+            "errors": 0,
+            "session_cache_hits": 0,
+            "session_cache_misses": 0,
+            "sessions_evicted": 0,
+            "bytes_in": 0,
+            "bytes_out": 0,
+            "connections_accepted": 0,
+        }
+
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._listen: socket.socket | None = None
+        self._bound_port: int | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._conns: set[socket.socket] = set()
+        self._reregister: collections.deque[socket.socket] = collections.deque()
+        self._waker_recv: socket.socket | None = None
+        self._waker_send: socket.socket | None = None
+        self._pool: ThreadPoolExecutor | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        """The bind host."""
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (only meaningful after :meth:`start`)."""
+        if self._bound_port is None:
+            raise NetError("daemon is not started; no port is bound yet")
+        return self._bound_port
+
+    @property
+    def address(self) -> str:
+        """``host:port`` of the bound socket."""
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> tuple[str, int]:
+        """Bind, spawn the selector loop in a background thread, return the address."""
+        if self._thread is not None:
+            raise NetError("daemon is already started")
+        self._listen = socket.create_server(
+            (self._host, self._requested_port), reuse_port=False
+        )
+        self._listen.setblocking(False)
+        self._bound_port = self._listen.getsockname()[1]
+        self._waker_recv, self._waker_send = socket.socketpair()
+        self._waker_recv.setblocking(False)
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listen, selectors.EVENT_READ)
+        self._selector.register(self._waker_recv, selectors.EVENT_READ)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._max_workers, thread_name_prefix="dds-shard-worker"
+        )
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._serve_loop, name=f"dds-shard-daemon-{self._bound_port}", daemon=True
+        )
+        self._thread.start()
+        return self._host, self._bound_port
+
+    def serve_forever(self) -> None:
+        """Blocking serve: :meth:`start` (if needed) then wait for shutdown."""
+        if self._thread is None:
+            self.start()
+        self.join()
+
+    def join(self, timeout: float | None = None) -> None:
+        """Wait until the selector loop exits (after :meth:`shutdown`)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def shutdown(self) -> None:
+        """Stop serving and release every socket; idempotent and thread-safe."""
+        self._request_stop()
+        thread = self._thread
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=10)
+
+    def __enter__(self) -> "ShardDaemon":
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def _request_stop(self) -> None:
+        """Set the stop flag and poke the selector loop awake."""
+        self._stop.set()
+        self._wake()
+
+    def _wake(self) -> None:
+        """Nudge the selector loop (self-pipe write); safe from any thread."""
+        waker = self._waker_send
+        if waker is not None:
+            try:
+                waker.send(b"x")
+            except OSError:  # pragma: no cover - loop already tearing down
+                pass
+
+    # ------------------------------------------------------------------
+    # instrumentation
+    # ------------------------------------------------------------------
+    def daemon_stats(self) -> dict[str, Any]:
+        """A snapshot of the daemon's serving counters.
+
+        Keys: ``requests`` (per-op counts), ``errors`` (error responses
+        sent), ``session_cache_hits`` / ``session_cache_misses`` (resident-
+        session LRU), ``sessions_resident`` / ``sessions_evicted``,
+        ``bytes_in`` / ``bytes_out`` (frame bytes over all connections),
+        ``connections_accepted``, and ``open_connections``.
+        """
+        with self._stats_lock:
+            snapshot = {
+                key: (dict(value) if isinstance(value, dict) else value)
+                for key, value in self._counters.items()
+            }
+            snapshot["open_connections"] = len(self._conns)
+        with self._sessions_lock:
+            snapshot["sessions_resident"] = len(self._sessions)
+        return snapshot
+
+    def open_connections(self) -> int:
+        """How many client connections are currently open (hygiene probe)."""
+        with self._stats_lock:
+            return len(self._conns)
+
+    def _count(self, key: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[key] += amount
+
+    def _count_request(self, op: str) -> None:
+        with self._stats_lock:
+            requests = self._counters["requests"]
+            requests[op] = requests.get(op, 0) + 1
+
+    # ------------------------------------------------------------------
+    # the selector loop
+    # ------------------------------------------------------------------
+    def _serve_loop(self) -> None:
+        """Accept connections and dispatch readable ones to worker threads."""
+        assert self._selector is not None and self._listen is not None
+        try:
+            while not self._stop.is_set():
+                events = self._selector.select(timeout=0.2)
+                for key, _ in events:
+                    sock = key.fileobj
+                    if sock is self._listen:
+                        self._accept()
+                    elif sock is self._waker_recv:
+                        self._drain_waker()
+                    else:
+                        # One request at a time per connection: the socket
+                        # leaves the selector while a worker owns it.
+                        try:
+                            self._selector.unregister(sock)
+                        except (KeyError, ValueError):  # pragma: no cover
+                            continue
+                        assert self._pool is not None
+                        self._pool.submit(self._serve_one, sock)
+        finally:
+            self._teardown()
+
+    def _accept(self) -> None:
+        """Accept one pending connection and register it for reads."""
+        assert self._listen is not None and self._selector is not None
+        try:
+            conn, _ = self._listen.accept()
+        except OSError:  # pragma: no cover - raced with shutdown
+            return
+        conn.settimeout(self._read_timeout)
+        with self._stats_lock:
+            self._conns.add(conn)
+            self._counters["connections_accepted"] += 1
+        self._selector.register(conn, selectors.EVENT_READ)
+
+    def _drain_waker(self) -> None:
+        """Consume wakeup bytes and re-register sockets workers handed back."""
+        assert self._waker_recv is not None and self._selector is not None
+        try:
+            while self._waker_recv.recv(4096):
+                pass
+        except BlockingIOError:
+            pass
+        while self._reregister:
+            sock = self._reregister.popleft()
+            if self._stop.is_set():
+                self._close_conn(sock)
+                continue
+            try:
+                self._selector.register(sock, selectors.EVENT_READ)
+            except (KeyError, ValueError, OSError):  # pragma: no cover
+                self._close_conn(sock)
+
+    def _teardown(self) -> None:
+        """Close every socket and stop the worker pool (loop thread only)."""
+        assert self._selector is not None
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+        self._selector.close()
+        if self._listen is not None:
+            self._listen.close()
+        with self._stats_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            self._close_conn(conn)
+        for waker in (self._waker_recv, self._waker_send):
+            if waker is not None:
+                waker.close()
+
+    def _close_conn(self, sock: socket.socket) -> None:
+        """Close one client connection and forget it."""
+        with self._stats_lock:
+            self._conns.discard(sock)
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    # ------------------------------------------------------------------
+    # per-request serving (worker threads)
+    # ------------------------------------------------------------------
+    def _take_fault(self, op: str) -> str | None:
+        """Consume one unit of the chaos budget for ``op``; returns the kind."""
+        if self._fault is None:
+            return None
+        with self._stats_lock:
+            if self._fault_budget <= 0:
+                return None
+            if self._fault.get("op", "solve") != op:
+                return None
+            self._fault_budget -= 1
+            return str(self._fault["kind"])
+
+    def _serve_one(self, sock: socket.socket) -> None:
+        """Read one frame from ``sock``, serve it, write back, hand back."""
+        try:
+            framed = protocol.read_frame(sock)
+        except (ProtocolError, OSError):
+            # A damaged or half-closed connection: drop it.  The client's
+            # retry ladder opens a fresh one.
+            self._close_conn(sock)
+            return
+        if framed is None:  # clean EOF between frames
+            self._close_conn(sock)
+            return
+        message, bytes_in = framed
+        self._count("bytes_in", bytes_in)
+        op = message.get("op")
+        request_id = message["request_id"]
+        if op is None:
+            # A response frame sent at a daemon: protocol misuse; drop it.
+            self._close_conn(sock)
+            return
+        self._count_request(op)
+        fault = self._take_fault(op)
+        if fault is not None:
+            # Simulated partition: vanish without a response.  ``exit``
+            # additionally takes the whole daemon down — the loopback
+            # equivalent of SIGKILL on a remote box.
+            self._close_conn(sock)
+            if fault == "exit":
+                self._request_stop()
+            return
+        try:
+            payload = self._dispatch(op, message["payload"])
+            frame = protocol.encode_response(request_id, payload)
+        except ReproError as error:
+            self._count("errors")
+            frame = protocol.encode_response(
+                request_id,
+                {"error": type(error).__name__, "message": str(error)},
+                status="error",
+            )
+        except Exception as error:  # noqa: BLE001 - a bug must not kill serving
+            self._count("errors")
+            frame = protocol.encode_response(
+                request_id,
+                {"error": type(error).__name__, "message": str(error)},
+                status="error",
+            )
+        # Count before sending: a client can read the reply and snapshot
+        # daemon_stats() before this thread is scheduled again, and the
+        # counter must already reflect the frame it just received.
+        self._count("bytes_out", len(frame))
+        try:
+            protocol.write_frame(sock, frame)
+        except OSError:
+            self._close_conn(sock)
+            return
+        if op == "shutdown":
+            self._close_conn(sock)
+            self._request_stop()
+            return
+        self._reregister.append(sock)
+        self._wake()
+
+    def _dispatch(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        """Route one request payload to its op handler."""
+        if op == "ping":
+            return self._op_ping(payload)
+        if op == "solve":
+            return self._op_solve(payload)
+        if op == "warm":
+            return self._op_warm(payload)
+        if op == "inventory":
+            return self._op_inventory(payload)
+        if op == "shutdown":
+            return {"stopping": True}
+        raise NetError(f"unhandled op {op!r}")  # pragma: no cover - decode rejects these
+
+    # ------------------------------------------------------------------
+    # resident sessions
+    # ------------------------------------------------------------------
+    def _session_for(
+        self,
+        fingerprint: str,
+        wire_graph: dict[str, Any] | None,
+        flow_doc: dict[str, Any] | None = None,
+    ) -> tuple[_SessionEntry, bool]:
+        """The resident session of ``fingerprint``, built from the wire if absent.
+
+        Returns ``(entry, cache_hit)``.  A miss with no graph document in
+        the request raises :class:`~repro.exceptions.NetError` — the client
+        must resend with the graph inline.  Evicted LRU sessions are saved
+        to the store first, so residency is a cache, never the only copy.
+
+        ``flow_doc`` is the requester's plain-dict ``FlowConfig``; it is
+        applied only when this call *builds* the session and the daemon was
+        not started with its own ``flow`` override — a daemon's explicit
+        serve-time configuration always wins, and a resident session keeps
+        whatever configuration built it.
+        """
+        evicted: _SessionEntry | None = None
+        with self._sessions_lock:
+            entry = self._sessions.get(fingerprint)
+            if entry is not None:
+                self._sessions.move_to_end(fingerprint)
+                self._count("session_cache_hits")
+                return entry, True
+            self._count("session_cache_misses")
+            if wire_graph is None:
+                raise NetError(
+                    f"graph {fingerprint[:12]}... is not resident on this daemon and "
+                    "the request carried no graph document"
+                )
+            graph = protocol.graph_from_wire(wire_graph)
+            if graph.content_fingerprint() != fingerprint:
+                raise NetError(
+                    "solve request fingerprint does not match the graph document it carries"
+                )
+            flow = self._flow
+            if flow is None and flow_doc is not None:
+                if not isinstance(flow_doc, dict):
+                    raise NetError("'flow' must be an object of FlowConfig fields")
+                flow = FlowConfig.resolve(None, **flow_doc)
+            session = DDSSession(
+                graph, flow=flow, result_cache_size=self._result_cache_size
+            )
+            entry = _SessionEntry(session=session)
+            if self._store is not None:
+                entry.pending_warm = dict(self._store.warm_session(session))
+            self._sessions[fingerprint] = entry
+            if len(self._sessions) > self._max_sessions:
+                _, evicted = self._sessions.popitem(last=False)
+                self._count("sessions_evicted")
+        if evicted is not None and self._store is not None:
+            # Save outside the dict lock: an in-flight request may still
+            # hold the evicted entry's lock for a long solve.
+            with evicted.lock:
+                self._store.save_session(evicted.session)
+        return entry, False
+
+    # ------------------------------------------------------------------
+    # op handlers
+    # ------------------------------------------------------------------
+    def _op_ping(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Health check: protocol version, residency, and echo."""
+        with self._sessions_lock:
+            resident = len(self._sessions)
+        return {
+            "pong": True,
+            "protocol_version": protocol.PROTOCOL_VERSION,
+            "sessions_resident": resident,
+            "echo": payload.get("echo"),
+        }
+
+    def _op_solve(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Serve one lane: a list of batch entries against one graph.
+
+        Payload: ``{"graph_key", "fingerprint", "entries": [[index, spec],
+        ...], "graph": <wire document> | null, "flow": <FlowConfig fields>
+        | null}``.  The response mirrors the
+        process-pool worker's lane message — per-entry executions with
+        schema-2 result payloads, the session's cache-stats snapshot, and
+        store counters — so the executor assembles remote and local lanes
+        identically.
+        """
+        fingerprint = payload.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            raise NetError("solve payload requires a 'fingerprint' string")
+        entries = payload.get("entries")
+        if not isinstance(entries, list):
+            raise NetError("solve payload requires an 'entries' list")
+        entry, cache_hit = self._session_for(
+            fingerprint, payload.get("graph"), payload.get("flow")
+        )
+        with entry.lock:
+            store_counters = entry.pending_warm
+            entry.pending_warm = {}
+            executions: list[dict[str, Any]] = []
+            for item in entries:
+                if not (isinstance(item, (list, tuple)) and len(item) == 2):
+                    raise NetError(f"solve entry must be an [index, spec] pair, got {item!r}")
+                index, spec = item
+                if not isinstance(spec, dict):
+                    raise NetError(f"solve entry {index!r} spec must be an object")
+                result_payload, seconds = time_call(
+                    lambda: run_batch_query(entry.session, spec)
+                )
+                executions.append(
+                    {
+                        "index": int(index),
+                        "kind": spec.get("query", "densest"),
+                        "seconds": seconds,
+                        "payload": result_payload,
+                    }
+                )
+            if self._store is not None:
+                for key, value in self._store.save_session(entry.session).items():
+                    store_counters[key] = store_counters.get(key, 0) + value
+            stats_snapshot = entry.session.cache_stats()
+        return {
+            "executions": executions,
+            "stats": stats_snapshot,
+            "store": store_counters,
+            "session_cache_hit": cache_hit,
+        }
+
+    def _op_warm(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Precompute warm state for a pushed graph (the remote ``warm``).
+
+        Payload: ``{"graph": <wire document>, "methods": [...], "max_core":
+        bool}``.  Results land in the resident session and — when a store
+        is attached — on disk, exactly like ``dds-repro warm`` run on the
+        daemon's box.
+        """
+        wire_graph = payload.get("graph")
+        if not isinstance(wire_graph, dict):
+            raise NetError("warm payload requires a 'graph' document")
+        fingerprint = wire_graph.get("fingerprint")
+        if not isinstance(fingerprint, str):
+            raise ProtocolError("wire graph is missing its fingerprint")
+        methods = payload.get("methods") or ["auto"]
+        entry, cache_hit = self._session_for(fingerprint, wire_graph)
+        with entry.lock:
+            computed: dict[str, Any] = {}
+            for method in methods:
+                result = entry.session.densest_subgraph(str(method))
+                computed[str(method)] = {"method": result.method, "density": result.density}
+            if payload.get("max_core"):
+                core = entry.session.max_xy_core()
+                computed["max-core"] = {"x": core.x, "y": core.y}
+            saved = (
+                self._store.save_session(entry.session) if self._store is not None else {}
+            )
+        return {
+            "fingerprint": fingerprint,
+            "computed": computed,
+            "saved": saved,
+            "session_cache_hit": cache_hit,
+        }
+
+    def _op_inventory(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """The daemon's counters plus its store shard's inventory rows."""
+        return {
+            "daemon": self.daemon_stats(),
+            "store_root": str(self._store.root) if self._store is not None else None,
+            "store": self._store.inventory() if self._store is not None else None,
+        }

@@ -1,0 +1,341 @@
+"""The wire protocol of the network tier: length-prefixed JSON frames.
+
+Every message between a :class:`~repro.net.client.ShardClient` and a
+:class:`~repro.net.daemon.ShardDaemon` is one *frame*::
+
+    [ 4 bytes ]  payload length, unsigned big-endian (network byte order)
+    [ N bytes ]  UTF-8 JSON message body
+
+and every message body is a checksummed envelope::
+
+    {"protocol_version": 1,
+     "request_id":       "<caller-chosen echo token>",
+     "op":               "solve" | "warm" | "inventory" | "ping" | "shutdown",
+     "checksum":         sha256(canonical-json(payload)),
+     "payload":          {...}}
+
+Responses replace ``"op"`` with ``"status": "ok" | "error"`` and echo the
+request id, so a client can verify it is reading the answer to the question
+it asked.  The checksum reuses the :mod:`repro.service.store` convention —
+SHA-256 over the canonical (sorted-keys, compact-separator) JSON text of the
+payload — so a store entry and a wire payload are verified by the same
+arithmetic.
+
+Decoding is **strict**: a truncated frame, an oversized length prefix, a
+body that is not a JSON object, a missing envelope field, a version
+mismatch, or a checksum failure each raise
+:class:`~repro.exceptions.ProtocolError` naming the defect.  A damaged
+frame is never partially interpreted — the retry ladder in
+:mod:`repro.net.client` treats it exactly like a dropped connection.
+
+Graphs cross the wire through :func:`graph_to_wire` /
+:func:`graph_from_wire`: node labels in insertion order, the edge list, the
+self-loop policy, and the graph's :meth:`content_fingerprint
+<repro.graph.digraph.DiGraph.content_fingerprint>`.  The receiver rebuilds
+the graph and re-fingerprints it — the same bit-identity guarantee the
+shared-memory attach path gives in-machine (:mod:`repro.service.shm`).
+Labels that would not survive a JSON round trip refuse to serialise
+(:class:`~repro.exceptions.NetError`); the remote executor runs such lanes
+inline instead of shipping a lossy approximation.
+
+What deliberately never crosses the wire: decision networks, residual
+flows, and push-relabel height stashes.  They are process-local by
+construction (their cache keys embed ``state_token``, and ``retune``
+mutates capacities in place); warm state lives behind the daemon in its
+:class:`~repro.service.store.SessionStore` shard, which is the whole point
+of routing each graph to exactly one daemon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+import uuid
+from typing import Any
+
+from repro.core.results import json_native_label
+from repro.exceptions import GraphError, NetError, ProtocolError
+from repro.graph.digraph import DiGraph
+
+#: Version of the frame envelope.  Bump on any incompatible change; a frame
+#: speaking a different version is refused outright.
+PROTOCOL_VERSION = 1
+
+#: Request operations a :class:`~repro.net.daemon.ShardDaemon` understands.
+REQUEST_OPS = ("solve", "warm", "inventory", "ping", "shutdown")
+
+#: Response statuses: ``"ok"`` carries a result payload, ``"error"`` carries
+#: ``{"error": <exception type name>, "message": <text>}``.
+RESPONSE_STATUSES = ("ok", "error")
+
+#: Frame length prefix: 4-byte unsigned big-endian (network byte order).
+_HEADER = struct.Struct("!I")
+
+#: Hard cap on a single frame body.  A length prefix above this is treated
+#: as corruption, not as a request to allocate gigabytes.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON text — the byte-stable form the checksum hashes.
+
+    Identical to the session store's canonical form, so both layers verify
+    payloads with the same arithmetic.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON text of ``payload``.
+
+    Raises :class:`~repro.exceptions.ProtocolError` when the payload is not
+    JSON-serialisable — the encode paths surface that as a protocol defect,
+    never as a bare ``TypeError`` mid-frame.
+    """
+    try:
+        text = canonical_json(payload)
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"payload is not JSON-serialisable: {error}")
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def new_request_id() -> str:
+    """A fresh unique request id (UUID4 hex)."""
+    return uuid.uuid4().hex
+
+
+def _encode_message(message: dict[str, Any]) -> bytes:
+    """Serialise an already-enveloped message into one framed byte string."""
+    try:
+        body = canonical_json(message).encode("utf-8")
+    except (TypeError, ValueError) as error:
+        raise ProtocolError(f"message is not JSON-serialisable: {error}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    return _HEADER.pack(len(body)) + body
+
+
+def encode_request(request_id: str, op: str, payload: dict[str, Any]) -> bytes:
+    """Frame one request message (length prefix included).
+
+    ``op`` must be one of :data:`REQUEST_OPS`; the payload must be a JSON
+    object.  Raises :class:`~repro.exceptions.ProtocolError` on either
+    violation — a malformed request must fail on the client, not on the
+    daemon.
+    """
+    if op not in REQUEST_OPS:
+        raise ProtocolError(f"unknown request op {op!r}; expected one of {REQUEST_OPS}")
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request payload must be an object, got {type(payload).__name__}")
+    return _encode_message(
+        {
+            "protocol_version": PROTOCOL_VERSION,
+            "request_id": str(request_id),
+            "op": op,
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+    )
+
+
+def encode_response(
+    request_id: str, payload: dict[str, Any], *, status: str = "ok"
+) -> bytes:
+    """Frame one response message echoing ``request_id``."""
+    if status not in RESPONSE_STATUSES:
+        raise ProtocolError(
+            f"unknown response status {status!r}; expected one of {RESPONSE_STATUSES}"
+        )
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"response payload must be an object, got {type(payload).__name__}")
+    return _encode_message(
+        {
+            "protocol_version": PROTOCOL_VERSION,
+            "request_id": str(request_id),
+            "status": status,
+            "checksum": payload_checksum(payload),
+            "payload": payload,
+        }
+    )
+
+
+def decode_message(body: bytes) -> dict[str, Any]:
+    """Strictly decode one frame *body* (no length prefix) into its message.
+
+    Verifies the envelope shape, the protocol version, the op/status
+    vocabulary, and the payload checksum.  Raises
+    :class:`~repro.exceptions.ProtocolError` naming the first defect found.
+    """
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ProtocolError(f"frame body is not valid JSON: {error}")
+    if not isinstance(message, dict):
+        raise ProtocolError(f"frame body must be a JSON object, got {type(message).__name__}")
+    version = message.get("protocol_version")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"frame speaks protocol version {version!r}; this build speaks {PROTOCOL_VERSION}"
+        )
+    if not isinstance(message.get("request_id"), str):
+        raise ProtocolError("frame is missing its request_id")
+    is_request = "op" in message
+    is_response = "status" in message
+    if is_request == is_response:
+        raise ProtocolError("frame must carry exactly one of 'op' (request) or 'status' (response)")
+    if is_request and message["op"] not in REQUEST_OPS:
+        raise ProtocolError(f"frame carries unknown op {message['op']!r}")
+    if is_response and message["status"] not in RESPONSE_STATUSES:
+        raise ProtocolError(f"frame carries unknown status {message['status']!r}")
+    if "payload" not in message or not isinstance(message["payload"], dict):
+        raise ProtocolError("frame is missing its payload object")
+    if message.get("checksum") != payload_checksum(message["payload"]):
+        raise ProtocolError("frame payload fails its integrity checksum")
+    return message
+
+
+def decode_frame_bytes(frame: bytes) -> dict[str, Any]:
+    """Decode one complete framed byte string (prefix + body), strictly.
+
+    Exactly one whole frame must be present: a short prefix, a truncated
+    body, trailing garbage, or an oversized length each raise
+    :class:`~repro.exceptions.ProtocolError`.  The socket paths use
+    :func:`read_frame`; this form exists for tests and in-memory transports.
+    """
+    if len(frame) < _HEADER.size:
+        raise ProtocolError(
+            f"truncated frame: {len(frame)} bytes cannot hold the {_HEADER.size}-byte length prefix"
+        )
+    (length,) = _HEADER.unpack(frame[: _HEADER.size])
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    body = frame[_HEADER.size :]
+    if len(body) != length:
+        raise ProtocolError(
+            f"truncated frame: length prefix promises {length} bytes, got {len(body)}"
+        )
+    return decode_message(bytes(body))
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes, or ``None`` on EOF before the first byte.
+
+    EOF *inside* a frame (after at least one byte arrived) is a truncation
+    and raises :class:`~repro.exceptions.ProtocolError` — the peer died
+    mid-sentence, which the retry ladder must see as a failure, not as a
+    clean close.
+    """
+    chunks: list[bytes] = []
+    received = 0
+    while received < count:
+        chunk = sock.recv(count - received)
+        if not chunk:
+            if received == 0:
+                return None
+            raise ProtocolError(
+                f"connection closed mid-frame ({received} of {count} bytes received)"
+            )
+        chunks.append(chunk)
+        received += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(sock: socket.socket) -> tuple[dict[str, Any], int] | None:
+    """Read and decode one frame from ``sock``.
+
+    Returns ``(message, bytes_read)``, or ``None`` when the peer closed the
+    connection cleanly between frames.  Timeouts (``socket.timeout``) and
+    transport errors propagate as-is — the caller owns the retry policy.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame length prefix {length} exceeds MAX_FRAME_BYTES ({MAX_FRAME_BYTES})"
+        )
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("connection closed between the length prefix and the body")
+    return decode_message(body), _HEADER.size + length
+
+
+def write_frame(sock: socket.socket, frame: bytes) -> int:
+    """Send one already-framed byte string; returns the bytes written."""
+    sock.sendall(frame)
+    return len(frame)
+
+
+# ----------------------------------------------------------------------
+# graphs on the wire
+# ----------------------------------------------------------------------
+def graph_to_wire(graph: DiGraph) -> dict[str, Any]:
+    """Serialise ``graph`` into a JSON-ready wire document.
+
+    Node labels travel in insertion order (the order
+    :meth:`content_fingerprint
+    <repro.graph.digraph.DiGraph.content_fingerprint>` hashes), so the
+    receiver's rebuild reproduces the fingerprint bit for bit.  Labels that
+    would not survive a JSON round trip raise
+    :class:`~repro.exceptions.NetError` — the caller keeps such lanes local
+    instead of shipping a lossy graph.
+    """
+    nodes = graph.nodes()
+    for label in nodes:
+        if not json_native_label(label):
+            raise NetError(
+                f"graph label {label!r} of type {type(label).__name__} does not survive "
+                "a JSON round trip; this graph cannot cross the wire losslessly"
+            )
+    return {
+        "nodes": nodes,
+        "edges": [[u, v] for u, v in graph.edges()],
+        "allow_self_loops": graph.allow_self_loops,
+        "num_nodes": graph.num_nodes,
+        "num_edges": graph.num_edges,
+        "fingerprint": graph.content_fingerprint(),
+    }
+
+
+def graph_from_wire(document: dict[str, Any]) -> DiGraph:
+    """Rebuild a :class:`~repro.graph.digraph.DiGraph` from its wire document.
+
+    Verifies the recorded shape and — the cross-machine bit-identity
+    guarantee — that the rebuilt graph's fingerprint equals the sender's.
+    Raises :class:`~repro.exceptions.ProtocolError` on any mismatch or
+    malformed field.
+    """
+    if not isinstance(document, dict):
+        raise ProtocolError(f"wire graph must be an object, got {type(document).__name__}")
+    try:
+        nodes = document["nodes"]
+        edges = document["edges"]
+        fingerprint = document["fingerprint"]
+        graph = DiGraph.from_edges(
+            ((u, v) for u, v in edges),
+            nodes=nodes,
+            allow_self_loops=bool(document["allow_self_loops"]),
+        )
+    except (KeyError, TypeError, ValueError, GraphError) as error:
+        raise ProtocolError(f"malformed wire graph: {error!r}")
+    if graph.num_nodes != document.get("num_nodes") or graph.num_edges != document.get(
+        "num_edges"
+    ):
+        raise ProtocolError(
+            f"wire graph shape mismatch: rebuilt {graph.num_nodes} nodes / "
+            f"{graph.num_edges} edges, document records "
+            f"{document.get('num_nodes')} / {document.get('num_edges')}"
+        )
+    if graph.content_fingerprint() != fingerprint:
+        raise ProtocolError(
+            "wire graph failed verification: rebuilt fingerprint does not match "
+            "the sender's (labels, edges, or loop policy were damaged in transit)"
+        )
+    return graph

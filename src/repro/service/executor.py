@@ -9,7 +9,7 @@ Sessions are therefore **graph-affine**: no session, and none of its caches
 workers, so the session layer needs no locks and the warm-start machinery
 keeps its strict solve ordering within a graph.
 
-Two pool flavours share that lane contract:
+Three pool flavours share that lane contract:
 
 * **Threads** (the default): cheap, in-process, but GIL-bound — lanes are
   pure-Python compute, so thread concurrency buys isolation and scheduling
@@ -29,6 +29,18 @@ Two pool flavours share that lane contract:
   that needed any of that are marked *degraded* in the report's timings.
   When ``shared_memory`` (or ``fcntl``, with a store attached) is
   unavailable, ``execute`` degrades to the thread path and records why.
+* **Remote daemons** (``remote_hosts=[...]``): the cross-machine path.
+  Lanes are routed to :class:`~repro.net.daemon.ShardDaemon` processes by
+  the same fingerprint :class:`~repro.service.planner.ShardMap` the
+  process pool uses — each graph's answers live on exactly one daemon,
+  which owns that graph's store shard and keeps its session resident
+  between batches.  Graphs cross the wire as JSON documents
+  (:func:`~repro.net.protocol.graph_to_wire`), answers come back as the
+  same schema-2 result dicts the process workers pipe home, and warm
+  state (residual flows, decision networks) never crosses at all.  A
+  daemon that stays unreachable through the client's retry/backoff ladder
+  costs only its lanes: they fall back to solving inline, marked degraded,
+  with the failure counted in ``executor_stats["remote_failures"]``.
 
 With a :class:`~repro.service.store.SessionStore` attached, each lane warms
 its session from disk before the first query and persists the session's
@@ -50,15 +62,17 @@ lifecycle counters (``workers_spawned``, ``worker_crashes``,
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import signal
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from repro.core.config import FlowConfig
-from repro.exceptions import BatchQueryError, ConfigError
+from repro.exceptions import BatchQueryError, ConfigError, NetError
 from repro.graph.digraph import DiGraph
 from repro.service import shm
 from repro.service.planner import BatchPlan, PlannedQuery, ShardMap
@@ -79,8 +93,9 @@ FAULT_KINDS = ("sigkill", "error")
 class QueryExecution:
     """One executed query: where it ran, what it returned, how long it took.
 
-    ``worker`` is the process-pool worker id that produced the result
-    (``None`` on the thread/serial paths and for inline fallbacks),
+    ``worker`` is the process-pool worker id — or remote shard index —
+    that produced the result (``None`` on the thread/serial paths and for
+    inline fallbacks),
     ``attempts`` counts how many times the owning lane was dispatched, and
     ``degraded`` marks lanes that needed a retry or an inline fallback.
     """
@@ -288,10 +303,17 @@ class BatchExecutor:
         to the thread path — recording why in
         :attr:`BatchReport.executor_stats` — when ``shared_memory`` (or
         ``fcntl``, if a store is attached) is unavailable.
+    remote_hosts:
+        Route lanes to :class:`~repro.net.daemon.ShardDaemon` addresses
+        (``["host:port", ...]``) by fingerprint shard instead of running
+        them locally — the cross-machine path; see the module docstring.
+        Mutually exclusive with ``process_pool``.
     max_retries:
         Process-pool only: how many times a lane lost to a worker crash or
         error is re-dispatched on a fresh worker before the executor falls
-        back to running it inline.  ``0`` retries straight to inline.
+        back to running it inline.  ``0`` retries straight to inline.  On
+        the remote path the same number caps each request's
+        fresh-connection retries before its lane falls back inline.
     mp_start_method:
         Process-pool only: override the multiprocessing start method
         (defaults to ``fork`` where available, else ``spawn``).
@@ -312,6 +334,7 @@ class BatchExecutor:
         max_workers: int | None = None,
         store: SessionStore | None = None,
         process_pool: bool = False,
+        remote_hosts: list[str] | None = None,
         max_retries: int = 1,
         mp_start_method: str | None = None,
         fault_injection: Mapping[str, Any] | None = None,
@@ -345,11 +368,23 @@ class BatchExecutor:
                     f"fault_injection kind must be one of {FAULT_KINDS}, "
                     f"got {fault_injection.get('kind')!r}"
                 )
+        if remote_hosts is not None:
+            if process_pool:
+                raise ConfigError("remote_hosts and process_pool are mutually exclusive")
+            from repro.net.client import parse_host_port
+
+            remote_hosts = [host for host in remote_hosts if str(host).strip()]
+            if not remote_hosts:
+                raise ConfigError("remote_hosts must name at least one 'host:port'")
+            remote_hosts = [
+                "%s:%d" % parse_host_port(str(host)) for host in remote_hosts
+            ]
         self._flow = flow
         self._result_cache_size = result_cache_size
         self._max_workers = max_workers
         self._store = store
         self._process_pool = bool(process_pool)
+        self._remote_hosts = remote_hosts
         self._max_retries = max_retries
         self._mp_start_method = mp_start_method
         self._fault = fault_injection
@@ -450,13 +485,17 @@ class BatchExecutor:
         graphs = {key: self._provider(key) for key in lanes}
         width = min(len(lanes), self._max_workers if self._max_workers is not None else len(lanes))
         shard_map = ShardMap(width)
+        # Worker slots are anonymous here, so empty shards collapse away:
+        # a width-4 pool with two colliding fingerprints still gets two
+        # workers, and ``workers_spawned`` counts real lanes, not slots.
         shards = shard_map.assign(
-            {key: graph.content_fingerprint() for key, graph in graphs.items()}
+            {key: graph.content_fingerprint() for key, graph in graphs.items()},
+            collapse=True,
         )
         stats: dict[str, Any] = {
             "mode": "process-pool",
             "start_method": self._resolve_start_method(),
-            "shards": width,
+            "shards": len(shards),
             "workers_spawned": 0,
             "worker_crashes": 0,
             "worker_retries": 0,
@@ -613,6 +652,135 @@ class BatchExecutor:
                 segment.unlink()
 
     # ------------------------------------------------------------------
+    # remote path
+    # ------------------------------------------------------------------
+    def _execute_remote(
+        self, lanes: dict[str, list[PlannedQuery]]
+    ) -> tuple[list[tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]]], dict[str, Any]]:
+        """Route every lane to its owning daemon; returns (outcomes, stats).
+
+        Shard ownership is pinned by ``ShardMap.shard_of`` over the full
+        host list — deliberately *not* collapsed to the distinct
+        fingerprints of this batch — so a graph always lands on the same
+        daemon across batches and its resident session keeps paying off.
+        A lane whose daemon stays unreachable through the client's
+        retry/backoff ladder falls back to an inline solve (degraded,
+        counted in ``remote_failures``); a lane whose *query* fails
+        remotely is re-run inline so the genuine typed error surfaces
+        locally with thread-path semantics (first error aborts the batch
+        after every lane drains).  Graphs with labels that cannot cross
+        the wire losslessly run inline too, counted separately.
+        """
+        from repro.net import protocol as net_protocol
+        from repro.net.client import RemoteOpError, ShardClientPool
+
+        assert self._remote_hosts is not None
+        graphs = {key: self._provider(key) for key in lanes}
+        fingerprints = {key: graph.content_fingerprint() for key, graph in graphs.items()}
+        shard_map = ShardMap(len(self._remote_hosts))
+        pool = ShardClientPool(self._remote_hosts, max_retries=self._max_retries)
+        # Ship this executor's flow configuration with every solve so a
+        # daemon building the session uses the same backend the inline
+        # fallback (and any local reference run) would — answers are
+        # bit-identical either way, but the payload's solver metadata must
+        # match for the parity gates' answer comparison.
+        flow_doc: dict[str, Any] | None = None
+        if isinstance(self._flow, str):
+            flow_doc = {"solver": self._flow}
+        elif self._flow is not None:
+            flow_doc = dataclasses.asdict(self._flow)
+        stats: dict[str, Any] = {
+            "mode": "remote",
+            "hosts": list(pool.addresses),
+            "shards": shard_map.num_shards,
+            "lanes_remote": 0,
+            "lanes_inline": 0,
+            "remote_failures": 0,
+            "unwirable_lanes": 0,
+            "degraded_lanes": [],
+        }
+        degraded: set[str] = set()
+        first_error: Exception | None = None
+        lock = threading.Lock()
+
+        def inline(
+            graph_key: str, *, remote_attempted: bool
+        ) -> tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]] | None:
+            """Solve one lane locally after the remote path gave up on it."""
+            nonlocal first_error
+            with lock:
+                stats["lanes_inline"] += 1
+                degraded.add(graph_key)
+            try:
+                outcome = self._run_lane(graph_key, lanes[graph_key])
+            except Exception as error:  # noqa: BLE001 - re-raised after drain
+                with lock:
+                    if first_error is None:
+                        first_error = error
+                return None
+            for execution in outcome[1]:
+                execution.degraded = True
+                execution.attempts = 2 if remote_attempted else 1
+            return outcome
+
+        def run(
+            graph_key: str,
+        ) -> tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]] | None:
+            """One lane: wire the graph, ask its daemon, fall back inline."""
+            shard = shard_map.shard_of(fingerprints[graph_key])
+            try:
+                wire = net_protocol.graph_to_wire(graphs[graph_key])
+            except NetError:
+                with lock:
+                    stats["unwirable_lanes"] += 1
+                return inline(graph_key, remote_attempted=False)
+            try:
+                payload = pool.client_for(shard).solve_lane(
+                    graph_key,
+                    fingerprints[graph_key],
+                    [(entry.index, entry.spec) for entry in lanes[graph_key]],
+                    graph=wire,
+                    flow=flow_doc,
+                )
+            except RemoteOpError:
+                # The daemon is healthy but the lane failed for a genuine
+                # (typed) reason: re-run inline so the original exception
+                # reproduces locally and aborts the batch like a thread
+                # lane's would.
+                return inline(graph_key, remote_attempted=True)
+            except NetError:
+                with lock:
+                    stats["remote_failures"] += 1
+                return inline(graph_key, remote_attempted=True)
+            executions = [
+                QueryExecution(
+                    index=row["index"],
+                    graph_key=graph_key,
+                    kind=row["kind"],
+                    seconds=row["seconds"],
+                    payload=row["payload"],
+                    worker=shard,
+                )
+                for row in payload["executions"]
+            ]
+            with lock:
+                stats["lanes_remote"] += 1
+            return graph_key, executions, payload["stats"], payload.get("store") or {}
+
+        width = min(len(lanes), self._max_workers if self._max_workers is not None else len(lanes))
+        if len(lanes) == 1:
+            collected = [run(next(iter(lanes)))]
+        else:
+            with ThreadPoolExecutor(max_workers=width) as thread_pool:
+                futures = [thread_pool.submit(run, graph_key) for graph_key in lanes]
+                collected = [future.result() for future in futures]
+        if first_error is not None:
+            raise first_error
+        stats["degraded_lanes"] = sorted(degraded)
+        stats["client"] = pool.aggregate_stats()
+        return [outcome for outcome in collected if outcome is not None], stats
+
+    # ------------------------------------------------------------------
     def execute(self, plan: BatchPlan) -> BatchReport:
         """Execute ``plan`` and return its :class:`BatchReport`.
 
@@ -629,6 +797,9 @@ class BatchExecutor:
         if not lanes:
             return BatchReport(executions=[], session_stats={})
         executor_stats: dict[str, Any] = {}
+        if self._remote_hosts is not None:
+            outcomes, executor_stats = self._execute_remote(lanes)
+            return self._assemble(outcomes, executor_stats)
         if self._process_pool:
             available, reason = shm.process_pool_available(
                 need_store_locks=self._store is not None

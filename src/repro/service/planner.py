@@ -148,15 +148,46 @@ class ShardMap:
             raise ConfigError(f"not a content fingerprint: {fingerprint!r}")
         return prefix % self.num_shards
 
-    def assign(self, fingerprints: Mapping[str, str]) -> dict[int, list[str]]:
+    def assign(
+        self, fingerprints: Mapping[str, str], *, collapse: bool = False
+    ) -> dict[int, list[str]]:
         """Group ``graph_key -> fingerprint`` into ``shard -> [graph_keys]``.
 
         Only non-empty shards appear; within a shard, keys keep the
         mapping's iteration order (lane/plan order for the executor).
+
+        With ``collapse=True``, hash collisions that leave some shards
+        empty while others hold several *distinct* fingerprints are
+        re-spread: each overfull shard keeps its smallest fingerprint and
+        donates the rest — in fingerprint order — to the empty shards in
+        ascending index order, until either side runs out.  The result has
+        ``min(num_shards, distinct fingerprints)`` non-empty shards, so a
+        pool sized to ``num_shards`` anonymous workers never idles a slot
+        while another serialises two graphs.  Collapsing is still a pure
+        function of the fingerprints (no batch-order dependence), but it
+        re-routes graphs relative to :meth:`shard_of` — use it only where
+        shard identity is anonymous (the process pool), never where a
+        shard index is pinned to an owner across batches (remote hosts,
+        store-shard ownership).
         """
         shards: dict[int, list[str]] = {}
         for graph_key, fingerprint in fingerprints.items():
             shards.setdefault(self.shard_of(fingerprint), []).append(graph_key)
+        if not collapse:
+            return shards
+        empty = sorted(set(range(self.num_shards)) - set(shards))
+        if not empty:
+            return shards
+        donations: list[tuple[int, list[str]]] = []
+        for shard in sorted(shards):
+            by_fingerprint: dict[str, list[str]] = {}
+            for graph_key in shards[shard]:
+                by_fingerprint.setdefault(fingerprints[graph_key], []).append(graph_key)
+            for fingerprint in sorted(by_fingerprint)[1:]:
+                donations.append((shard, by_fingerprint[fingerprint]))
+        for target, (source, graph_keys) in zip(empty, donations):
+            shards[source] = [key for key in shards[source] if key not in graph_keys]
+            shards[target] = graph_keys
         return shards
 
 

@@ -240,6 +240,43 @@ class SessionStore:
         finally:
             handle.close()
 
+    @contextlib.contextmanager
+    def _try_locked(self, graph_dir: Path) -> Iterator[bool]:
+        """Non-blocking variant of :meth:`_locked` for eviction sweeps.
+
+        Yields ``True`` with the directory's write lock held, or ``False``
+        immediately when another writer holds it right now.  Eviction must
+        not queue behind a long-running warmer — blocking turns a cleanup
+        sweep into a latency cliff, and the pre-lock file listing it
+        gathered would be stale by the time the lock arrived (deleting a
+        directory a writer is mid-save into).  Skipped directories are
+        simply picked up by the next sweep.  Without :mod:`fcntl` this
+        degrades like :meth:`_locked` (always acquirable); a directory that
+        does not exist has nothing to evict and reports acquirable too.
+        """
+        if fcntl is None or not graph_dir.is_dir():
+            yield True
+            return
+        lock_path = graph_dir / ".lock"
+        try:
+            handle = open(lock_path, "a+")
+        except OSError:
+            # Unreadable lock file: treat as held — skip, never race.
+            yield False
+            return
+        try:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                yield False
+                return
+            try:
+                yield True
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+        finally:
+            handle.close()
+
     def _ensure_marker(self) -> None:
         """Write the store's schema-version marker on first use."""
         marker = self.root / "store.json"
@@ -565,9 +602,13 @@ class SessionStore:
           the budget is still exceeded.
 
         Deletions in a graph directory run under its advisory write lock,
-        so a sweep never races a concurrent warmer's writes.  Returns
+        acquired *non-blocking*: a directory whose lock is currently held
+        by a writer (a warmer, a saving batch lane) is skipped outright —
+        never raced, never queued behind — and counted in
+        ``skipped_locked`` for the next sweep to revisit.  Returns
         counters: ``results_evicted``, ``graphs_evicted``, ``bytes_freed``,
-        ``bytes_remaining``.  At least one policy must be given.
+        ``bytes_remaining``, ``skipped_locked``.  At least one policy must
+        be given.
         """
         if older_than_days is None and max_bytes is None:
             raise StoreError("evict requires older_than_days and/or max_bytes")
@@ -580,6 +621,7 @@ class SessionStore:
             "graphs_evicted": 0,
             "bytes_freed": 0,
             "bytes_remaining": 0,
+            "skipped_locked": 0,
         }
         graphs_dir = self.root / "graphs"
         if not graphs_dir.is_dir():
@@ -601,7 +643,10 @@ class SessionStore:
         if older_than_days is not None:
             cutoff = current_time - float(older_than_days) * 86400.0
             for graph_dir in graph_dirs():
-                with self._locked(graph_dir):
+                with self._try_locked(graph_dir) as acquired:
+                    if not acquired:
+                        counters["skipped_locked"] += 1
+                        continue
                     for entry in sorted((graph_dir / "results").glob("*.json")):
                         try:
                             mtime = entry.stat().st_mtime
@@ -634,7 +679,10 @@ class SessionStore:
             for _, entry in entries:
                 if remaining <= max_bytes:
                     break
-                with self._locked(entry.parent.parent):
+                with self._try_locked(entry.parent.parent) as acquired:
+                    if not acquired:
+                        counters["skipped_locked"] += 1
+                        continue
                     freed = unlink(entry)
                 if freed is None:
                     continue
@@ -657,7 +705,10 @@ class SessionStore:
                     if remaining <= max_bytes:
                         break
                     lock_path = graph_dir / ".lock"
-                    with self._locked(graph_dir):
+                    with self._try_locked(graph_dir) as acquired:
+                        if not acquired:
+                            counters["skipped_locked"] += 1
+                            continue
                         # Everything except the lock file goes while the
                         # lock is held: unlinking .lock here would detach
                         # the very inode concurrent writers flock on and

@@ -232,6 +232,74 @@ class TestBatchCommand:
         assert payload["results"][0] == payload["results"][1]
         assert payload["results"][6]["nodes"] == 4
 
+    def test_batch_remote_routes_lanes_to_a_daemon(self, edge_list_file, tmp_path, capsys):
+        from repro.net import ShardDaemon
+
+        queries = [
+            {"query": "densest", "method": "core-exact"},
+            {"query": "top-k", "k": 2, "method": "core-exact"},
+        ]
+        path = self._write_queries(tmp_path, queries)
+        with ShardDaemon() as daemon:
+            exit_code = main(
+                [
+                    "batch",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--remote",
+                    daemon.address,
+                    str(path),
+                ]
+            )
+            assert exit_code == 0
+            payload = json.loads(capsys.readouterr().out)
+            assert len(payload["results"]) == len(queries)
+            assert payload["executor"]["mode"] == "remote"
+            assert payload["executor"]["lanes_remote"] == 1
+            assert payload["executor"]["remote_failures"] == 0
+            assert daemon.daemon_stats()["requests"] == {"solve": 1}
+        # Parity with the plain local run.
+        assert main(["batch", "--edge-list", str(edge_list_file), str(path)]) == 0
+        local = json.loads(capsys.readouterr().out)
+        assert local["results"] == payload["results"]
+
+    def test_batch_remote_excludes_process_pool(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "summary"}])
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(
+                [
+                    "batch",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--remote",
+                    "localhost:1",
+                    "--process-pool",
+                    str(path),
+                ]
+            )
+
+    def test_batch_remote_rejects_malformed_hosts(self, edge_list_file, tmp_path):
+        path = self._write_queries(tmp_path, [{"query": "summary"}])
+        with pytest.raises(SystemExit, match="invalid configuration"):
+            main(
+                [
+                    "batch",
+                    "--edge-list",
+                    str(edge_list_file),
+                    "--remote",
+                    "no-port-here",
+                    str(path),
+                ]
+            )
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 0
+        assert args.max_sessions == 8
+        assert args.jobs == 4
+        assert args.store is None
+
     def test_batch_rejects_unknown_query(self, edge_list_file, tmp_path):
         path = self._write_queries(tmp_path, [{"query": "frobnicate"}])
         with pytest.raises(SystemExit, match="unknown batch query"):

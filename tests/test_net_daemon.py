@@ -1,0 +1,426 @@
+"""Loopback tests for the network tier: daemon, client, remote executor.
+
+Pins the acceptance criteria of the ``repro.net`` subsystem:
+
+* **Cross-machine bit-identity** — a batch routed to loopback
+  :class:`~repro.net.ShardDaemon` s returns ``payload_answer()`` dicts
+  bit-identical to the local thread-path run, on first contact (graph
+  ships over the wire) and on re-contact (session resident in the LRU).
+* **Partition handling** — a daemon killed mid-batch costs only its
+  lanes: the client retries on fresh connections with backoff, then the
+  executor solves the lanes inline, bit-identically, with the failure
+  recorded in ``BatchReport.executor_stats``.  A transient drop (one
+  connection closed without a response) is absorbed by the retry alone.
+* **Error semantics** — a *semantic* remote failure is never retried:
+  the lane re-runs inline so the genuine typed error surfaces exactly
+  like a thread lane's.
+* **Hygiene** — daemons hold zero client connections after shutdown.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.exceptions import AlgorithmError, ConfigError, NetError
+from repro.graph.digraph import DiGraph
+from repro.net import (
+    RemoteOpError,
+    ShardClient,
+    ShardClientPool,
+    ShardDaemon,
+    graph_to_wire,
+    parse_host_port,
+)
+from repro.service import BatchExecutor, SessionStore, payload_answer, plan_batch
+
+DEFAULT_DATASET = "foodweb-tiny"
+OTHER_DATASET = "social-tiny"
+
+MIXED = [
+    {"query": "densest", "method": "core-exact"},
+    {"query": "fixed-ratio", "ratio": 1.0},
+    {"query": "summary"},
+    {"query": "densest", "method": "core-approx", "dataset": OTHER_DATASET},
+    {"query": "top-k", "k": 2, "dataset": OTHER_DATASET},
+]
+
+
+def _plan(queries=MIXED):
+    return plan_batch(queries, default_graph_key=DEFAULT_DATASET)
+
+
+def _answers(report) -> list:
+    return [payload_answer(payload) for payload in report.results_in_input_order()]
+
+
+@pytest.fixture(scope="module")
+def local_answers():
+    return _answers(BatchExecutor(load_dataset).execute(_plan()))
+
+
+def _hosts(*daemons: ShardDaemon) -> list[str]:
+    return [daemon.address for daemon in daemons]
+
+
+# ----------------------------------------------------------------------
+# client plumbing
+# ----------------------------------------------------------------------
+class TestClientPlumbing:
+    def test_parse_host_port(self):
+        assert parse_host_port("localhost:8080") == ("localhost", 8080)
+        assert parse_host_port(" 10.0.0.1:1 ") == ("10.0.0.1", 1)
+        assert parse_host_port("box", default_port=99) == ("box", 99)
+        for bad in ("", ":80", "box:", "box:notaport", "box:0", "box:70000", "box"):
+            with pytest.raises(ConfigError):
+                parse_host_port(bad)
+
+    def test_backoff_is_bounded_exponential_with_jitter(self):
+        client = ShardClient(
+            "127.0.0.1", 1, backoff_base=0.1, backoff_max=0.3, rng=random.Random(7)
+        )
+        for attempt in range(6):
+            ceiling = min(0.3, 0.1 * 2**attempt)
+            delay = client.backoff_delay(attempt)
+            assert 0.5 * ceiling <= delay <= ceiling
+
+    def test_exhausted_ladder_raises_neterror_and_counts(self):
+        # A freshly-bound-then-closed port: nothing listens there.
+        daemon = ShardDaemon()
+        daemon.start()
+        daemon.shutdown()
+        client = ShardClient(
+            daemon.host, daemon.port, max_retries=2, backoff_base=0.001
+        )
+        with pytest.raises(NetError, match="3 attempts"):
+            client.ping()
+        stats = client.stats()
+        assert stats["retries"] == 2
+        assert stats["failures"] == 1
+        assert stats["requests"] == 0
+
+    def test_pool_routes_by_shard_and_aggregates(self):
+        pool = ShardClientPool(["a:1", "b:2"])
+        assert len(pool) == 2
+        assert pool.addresses == ["a:1", "b:2"]
+        assert pool.client_for(0).address == "a:1"
+        assert pool.client_for(1).address == "b:2"
+        assert pool.client_for(3).address == "b:2"
+        assert pool.aggregate_stats()["requests"] == 0
+        with pytest.raises(ConfigError):
+            ShardClientPool([])
+
+
+# ----------------------------------------------------------------------
+# one daemon, one client
+# ----------------------------------------------------------------------
+class TestDaemonOps:
+    def test_ping_and_stats(self):
+        with ShardDaemon() as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            pong = client.ping(echo="hello")
+            assert pong["pong"] is True
+            assert pong["echo"] == "hello"
+            assert pong["sessions_resident"] == 0
+            stats = daemon.daemon_stats()
+            assert stats["requests"] == {"ping": 1}
+            assert stats["bytes_in"] > 0 and stats["bytes_out"] > 0
+            assert stats["connections_accepted"] == 1
+
+    def test_solve_builds_then_reuses_resident_session(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        entries = [(0, {"query": "densest", "method": "core-exact"})]
+        with ShardDaemon() as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            first = client.solve_lane(
+                "g", graph.content_fingerprint(), entries, graph=graph_to_wire(graph)
+            )
+            assert first["session_cache_hit"] is False
+            # Resident now: no graph document needed.
+            second = client.solve_lane("g", graph.content_fingerprint(), entries)
+            assert second["session_cache_hit"] is True
+            assert payload_answer(first["executions"][0]["payload"]) == payload_answer(
+                second["executions"][0]["payload"]
+            )
+            assert second["stats"]["result_cache_hits"] >= 1
+            stats = daemon.daemon_stats()
+            assert stats["session_cache_hits"] == 1
+            assert stats["session_cache_misses"] == 1
+            assert stats["sessions_resident"] == 1
+
+    def test_missing_graph_without_document_errors_remotely(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        with ShardDaemon() as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            with pytest.raises(RemoteOpError, match="not resident"):
+                client.solve_lane("g", graph.content_fingerprint(), [(0, {})])
+
+    def test_semantic_error_is_not_retried(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        with ShardDaemon() as daemon:
+            client = ShardClient(daemon.host, daemon.port, max_retries=3)
+            with pytest.raises(RemoteOpError) as excinfo:
+                client.solve_lane(
+                    "g",
+                    graph.content_fingerprint(),
+                    [(0, {"query": "densest", "method": "no-such-method"})],
+                    graph=graph_to_wire(graph),
+                )
+            assert excinfo.value.remote_type == "AlgorithmError"
+            assert client.stats()["retries"] == 0
+            assert daemon.daemon_stats()["errors"] == 1
+
+    def test_lru_evicts_to_capacity(self):
+        with ShardDaemon(max_sessions=1) as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            for name in (DEFAULT_DATASET, OTHER_DATASET):
+                graph = load_dataset(name)
+                client.solve_lane(
+                    name,
+                    graph.content_fingerprint(),
+                    [(0, {"query": "summary"})],
+                    graph=graph_to_wire(graph),
+                )
+            stats = daemon.daemon_stats()
+            assert stats["sessions_resident"] == 1
+            assert stats["sessions_evicted"] == 1
+
+    def test_warm_and_inventory_with_store(self, tmp_path):
+        graph = load_dataset(DEFAULT_DATASET)
+        with ShardDaemon(SessionStore(tmp_path / "store")) as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            warmed = client.warm(
+                graph_to_wire(graph), methods=["core-exact"], max_core=True
+            )
+            assert warmed["fingerprint"] == graph.content_fingerprint()
+            assert "core-exact" in warmed["computed"]
+            assert "max-core" in warmed["computed"]
+            assert warmed["saved"].get("results_saved", 0) >= 1
+            inventory = client.inventory()
+            assert inventory["store_root"] == str(tmp_path / "store")
+            assert len(inventory["store"]) == 1
+            assert inventory["daemon"]["requests"]["warm"] == 1
+
+    def test_evicted_sessions_are_saved_to_the_store(self, tmp_path):
+        store_root = tmp_path / "store"
+        with ShardDaemon(SessionStore(store_root), max_sessions=1) as daemon:
+            client = ShardClient(daemon.host, daemon.port)
+            for name in (DEFAULT_DATASET, OTHER_DATASET):
+                graph = load_dataset(name)
+                client.solve_lane(
+                    name,
+                    graph.content_fingerprint(),
+                    [(0, {"query": "densest", "method": "core-exact"})],
+                    graph=graph_to_wire(graph),
+                )
+        # Both graphs persisted: the resident one on save, the evicted one
+        # at eviction time.
+        assert len(SessionStore(store_root).inventory()) == 2
+
+    def test_shutdown_is_idempotent_and_leaves_no_connections(self):
+        daemon = ShardDaemon()
+        daemon.start()
+        client = ShardClient(daemon.host, daemon.port)
+        client.ping()
+        assert client.shutdown_daemon()["stopping"] is True
+        daemon.join(10)
+        daemon.shutdown()
+        assert daemon.open_connections() == 0
+
+    def test_start_twice_raises(self):
+        with ShardDaemon() as daemon:
+            with pytest.raises(NetError, match="already started"):
+                daemon.start()
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigError):
+            ShardDaemon(max_sessions=0)
+        with pytest.raises(ConfigError):
+            ShardDaemon(max_workers=0)
+        with pytest.raises(ConfigError):
+            ShardDaemon(fault_injection={"kind": "explode"})
+
+    def test_concurrent_clients_share_one_daemon(self):
+        graph = load_dataset(DEFAULT_DATASET)
+        wire = graph_to_wire(graph)
+        fingerprint = graph.content_fingerprint()
+        answers: list = []
+        errors: list = []
+
+        def probe():
+            try:
+                client = ShardClient(*parse_host_port(address))
+                result = client.solve_lane(
+                    "g",
+                    fingerprint,
+                    [(0, {"query": "densest", "method": "core-exact"})],
+                    graph=wire,
+                )
+                answers.append(payload_answer(result["executions"][0]["payload"]))
+            except Exception as error:  # pragma: no cover - surfaced below
+                errors.append(error)
+
+        with ShardDaemon(max_workers=4) as daemon:
+            address = daemon.address
+            threads = [threading.Thread(target=probe) for _ in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(30)
+        assert not errors
+        assert len(answers) == 4
+        assert all(answer == answers[0] for answer in answers)
+
+
+# ----------------------------------------------------------------------
+# the remote executor
+# ----------------------------------------------------------------------
+class TestRemoteExecutor:
+    def test_two_daemon_parity_and_residency(self, local_answers):
+        with ShardDaemon() as d1, ShardDaemon() as d2:
+            hosts = _hosts(d1, d2)
+            first = BatchExecutor(load_dataset, remote_hosts=hosts).execute(_plan())
+            assert _answers(first) == local_answers
+            stats = first.executor_stats
+            assert stats["mode"] == "remote"
+            assert stats["lanes_remote"] == 2
+            assert stats["lanes_inline"] == 0
+            assert stats["remote_failures"] == 0
+            assert stats["degraded_lanes"] == []
+            # Same hosts again: daemons serve from resident sessions.
+            second = BatchExecutor(load_dataset, remote_hosts=hosts).execute(_plan())
+            assert _answers(second) == local_answers
+            hits = sum(
+                daemon.daemon_stats()["session_cache_hits"] for daemon in (d1, d2)
+            )
+            assert hits == 2
+        assert d1.open_connections() == 0
+        assert d2.open_connections() == 0
+
+    def test_report_shape_matches_local(self, local_answers):
+        with ShardDaemon() as daemon:
+            report = BatchExecutor(
+                load_dataset, remote_hosts=_hosts(daemon)
+            ).execute(_plan())
+        assert _answers(report) == local_answers
+        assert set(report.session_stats) == {DEFAULT_DATASET, OTHER_DATASET}
+        assert report.aggregate_stats()["queries"] == len(MIXED)
+        assert all(row["worker"] == 0 for row in report.timings())
+
+    def test_executor_flow_config_reaches_daemon_built_sessions(self):
+        # The executor's flow config ships with the solve, so the daemon's
+        # session reports the same solver metadata the inline/local path
+        # would — the parity gates compare full payload_answer() dicts.
+        plan = _plan()
+        local = BatchExecutor(load_dataset, flow="dinic").execute(plan)
+        with ShardDaemon() as daemon:
+            remote = BatchExecutor(
+                load_dataset, flow="dinic", remote_hosts=_hosts(daemon)
+            ).execute(plan)
+        assert _answers(remote) == _answers(local)
+        solvers = {
+            payload.get("flow_solver")
+            for payload in remote.results_in_input_order()
+            if "flow_solver" in payload
+        }
+        assert solvers == {"dinic"}
+
+    def test_daemon_flow_override_beats_the_wire_config(self):
+        # A serve-time --flow-solver override is authoritative for the
+        # sessions that daemon builds, whatever the requesters send.
+        with ShardDaemon(flow="dinic") as daemon:
+            report = BatchExecutor(
+                load_dataset, flow="auto", remote_hosts=_hosts(daemon)
+            ).execute(_plan())
+        solvers = {
+            payload.get("flow_solver")
+            for payload in report.results_in_input_order()
+            if "flow_solver" in payload
+        }
+        assert solvers == {"dinic"}
+
+    def test_killed_daemon_falls_back_inline_bit_identically(self, local_answers):
+        # The first solve the faulted daemon receives takes the whole daemon
+        # down without a response — the loopback stand-in for SIGKILL.
+        with ShardDaemon(
+            fault_injection={"op": "solve", "kind": "exit", "times": 1}
+        ) as daemon:
+            report = BatchExecutor(
+                load_dataset, remote_hosts=_hosts(daemon), max_retries=1
+            ).execute(_plan())
+        assert _answers(report) == local_answers
+        stats = report.executor_stats
+        assert stats["remote_failures"] >= 1
+        assert stats["lanes_inline"] >= 1
+        assert stats["client"]["retries"] >= 1
+        assert set(stats["degraded_lanes"]) <= {DEFAULT_DATASET, OTHER_DATASET}
+        degraded_rows = [row for row in report.timings() if row.get("degraded")]
+        assert degraded_rows and all(row["attempts"] == 2 for row in degraded_rows)
+
+    def test_transient_drop_is_absorbed_by_retry_alone(self, local_answers):
+        # One connection dropped without a response; the retry ladder's
+        # fresh connection succeeds, so no lane degrades.
+        with ShardDaemon(
+            fault_injection={"op": "solve", "kind": "close", "times": 1}
+        ) as daemon:
+            report = BatchExecutor(
+                load_dataset, remote_hosts=_hosts(daemon), max_retries=2
+            ).execute(_plan())
+        assert _answers(report) == local_answers
+        stats = report.executor_stats
+        assert stats["lanes_inline"] == 0
+        assert stats["remote_failures"] == 0
+        assert stats["degraded_lanes"] == []
+        assert stats["client"]["retries"] >= 1
+
+    def test_semantic_remote_error_surfaces_the_typed_error(self):
+        plan = plan_batch(
+            [{"query": "densest", "method": "no-such-method"}],
+            default_graph_key=DEFAULT_DATASET,
+        )
+        with ShardDaemon() as daemon:
+            with pytest.raises(AlgorithmError):
+                BatchExecutor(load_dataset, remote_hosts=_hosts(daemon)).execute(plan)
+
+    def test_unwirable_lane_runs_inline(self, local_answers):
+        tuple_graph = DiGraph.from_edges([((0, 1), (1, 2)), ((1, 2), (0, 1))])
+        graphs = {
+            DEFAULT_DATASET: load_dataset(DEFAULT_DATASET),
+            "tuples": tuple_graph,
+        }
+        plan = plan_batch(
+            [
+                {"query": "densest", "method": "core-exact"},
+                {"query": "summary", "dataset": "tuples"},
+            ],
+            default_graph_key=DEFAULT_DATASET,
+        )
+        local = BatchExecutor(graphs).execute(plan)
+        with ShardDaemon() as daemon:
+            report = BatchExecutor(graphs, remote_hosts=_hosts(daemon)).execute(plan)
+        assert _answers(report) == _answers(local)
+        stats = report.executor_stats
+        assert stats["unwirable_lanes"] == 1
+        assert stats["lanes_remote"] == 1
+        assert stats["degraded_lanes"] == ["tuples"]
+
+    def test_remote_hosts_validation(self):
+        with pytest.raises(ConfigError):
+            BatchExecutor(load_dataset, remote_hosts=[])
+        with pytest.raises(ConfigError):
+            BatchExecutor(load_dataset, remote_hosts=["nope"])
+        with pytest.raises(ConfigError):
+            BatchExecutor(load_dataset, remote_hosts=["a:1"], process_pool=True)
+
+    def test_store_backed_daemons_persist_answers(self, tmp_path, local_answers):
+        store_root = tmp_path / "shard0"
+        with ShardDaemon(SessionStore(store_root)) as daemon:
+            report = BatchExecutor(
+                load_dataset, remote_hosts=_hosts(daemon)
+            ).execute(_plan())
+        assert _answers(report) == local_answers
+        assert report.store_stats  # daemon-side save counters came home
+        assert len(SessionStore(store_root).inventory()) == 2

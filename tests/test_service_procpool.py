@@ -220,6 +220,74 @@ class TestShardMap:
         with pytest.raises(ConfigError):
             ShardMap(2).shard_of("not-a-fingerprint")
 
+    def test_collapse_spreads_collisions_to_empty_shards(self):
+        # Three distinct fingerprints engineered onto shard 0 of 4: without
+        # collapsing, one shard serialises all three lanes while three
+        # slots idle.
+        fp = lambda value: "%016x" % value + "0" * 48  # noqa: E731
+        fingerprints = {"a": fp(0), "b": fp(4), "c": fp(8)}
+        shard_map = ShardMap(4)
+        assert shard_map.assign(fingerprints) == {0: ["a", "b", "c"]}
+        collapsed = shard_map.assign(fingerprints, collapse=True)
+        assert len(collapsed) == 3
+        assert sorted(key for keys in collapsed.values() for key in keys) == ["a", "b", "c"]
+        # The overfull shard keeps its smallest fingerprint; donations go to
+        # the empty shards in ascending order, fingerprint-sorted.
+        assert collapsed == {0: ["a"], 1: ["b"], 2: ["c"]}
+
+    def test_collapse_moves_same_fingerprint_keys_together(self):
+        fp = lambda value: "%016x" % value + "0" * 48  # noqa: E731
+        fingerprints = {"a1": fp(0), "b1": fp(2), "a2": fp(0), "b2": fp(2)}
+        collapsed = ShardMap(2).assign(fingerprints, collapse=True)
+        assert collapsed == {0: ["a1", "a2"], 1: ["b1", "b2"]}
+
+    def test_collapse_without_empty_shards_is_identity(self):
+        fingerprints = {
+            key: load_dataset(name).content_fingerprint()
+            for key, name in (("a", DEFAULT_DATASET), ("b", OTHER_DATASET))
+        }
+        shard_map = ShardMap(1)
+        assert shard_map.assign(fingerprints, collapse=True) == shard_map.assign(
+            fingerprints
+        )
+
+    def test_collapse_never_outnumbers_distinct_fingerprints(self):
+        fp = lambda value: "%016x" % value + "0" * 48  # noqa: E731
+        fingerprints = {"a": fp(0), "b": fp(8)}  # both on shard 0 of 8
+        collapsed = ShardMap(8).assign(fingerprints, collapse=True)
+        assert len(collapsed) == 2
+
+
+@needs_shm
+class TestShardCollapseInThePool:
+    def test_colliding_graphs_still_use_both_workers(self):
+        """Two graphs hashing to one shard must not serialise on one worker."""
+        from repro.graph.generators import gnm_random_digraph
+
+        base = gnm_random_digraph(10, 24, seed=0)
+        parity = int(base.content_fingerprint()[:16], 16) % 2
+        other = None
+        for seed in range(1, 64):
+            candidate = gnm_random_digraph(10, 24, seed=seed)
+            if int(candidate.content_fingerprint()[:16], 16) % 2 == parity:
+                other = candidate
+                break
+        assert other is not None, "no colliding fingerprint in 64 seeds"
+        graphs = {"g0": base, "g1": other}
+        plan = plan_batch(
+            [
+                {"query": "densest", "method": "core-exact", "dataset": "g0"},
+                {"query": "densest", "method": "core-exact", "dataset": "g1"},
+            ],
+            default_graph_key="g0",
+        )
+        report = BatchExecutor(graphs, process_pool=True, max_workers=2).execute(plan)
+        stats = report.executor_stats
+        assert stats["mode"] == "process-pool"
+        assert stats["shards"] == 2
+        assert stats["workers_spawned"] == 2
+        assert _answers(report) == _answers(BatchExecutor(graphs).execute(plan))
+
 
 # ----------------------------------------------------------------------
 # cross-process bit-identity

@@ -345,7 +345,58 @@ class TestEviction:
         counters = store.evict(older_than_days=7)
         assert counters["results_evicted"] == 0
         assert counters["graphs_evicted"] == 0
+        assert counters["skipped_locked"] == 0
         assert len(store.inventory()) == 2
+
+    def test_age_sweep_skips_directories_whose_lock_is_held(self, tmp_path):
+        """A directory a writer currently holds is skipped, never raced.
+
+        ``flock`` locks belong to the open file description, so a second
+        open of the lock file — even in the same process — contends for
+        real: holding ``_locked`` here exercises exactly what a concurrent
+        warmer's lock does to the sweep.
+        """
+        import os
+        import time as time_module
+
+        pytest.importorskip("fcntl")
+        store = self._store_with_entries(tmp_path)
+        entries = sorted((tmp_path / "graphs").glob("*/results/*.json"))
+        now = time_module.time()
+        for path in entries:
+            os.utime(path, (now - 10 * 86400, now - 10 * 86400))
+        held_dir, other_dir = sorted(
+            path for path in (tmp_path / "graphs").iterdir() if path.is_dir()
+        )
+        with store._locked(held_dir):
+            counters = store.evict(older_than_days=7, now=now)
+        assert counters["skipped_locked"] == 1
+        assert counters["results_evicted"] == 2  # the unlocked graph's
+        assert len(list((held_dir / "results").glob("*.json"))) == 2
+        assert list((other_dir / "results").glob("*.json")) == []
+        # Lock released: the next sweep finishes the job.
+        counters = store.evict(older_than_days=7, now=now)
+        assert counters["skipped_locked"] == 0
+        assert counters["results_evicted"] == 2
+
+    def test_max_bytes_sweep_skips_locked_graphs_entirely(self, tmp_path):
+        """Neither entry deletion nor the whole-graph drop touches a held dir."""
+        pytest.importorskip("fcntl")
+        store = self._store_with_entries(tmp_path)
+        held_dir = sorted(
+            path for path in (tmp_path / "graphs").iterdir() if path.is_dir()
+        )[0]
+        before = sorted(held_dir.rglob("*"))
+        with store._locked(held_dir):
+            counters = store.evict(max_bytes=0)
+        assert counters["skipped_locked"] >= 1
+        assert counters["graphs_evicted"] == 1  # only the unlocked graph
+        assert sorted(held_dir.rglob("*")) == before
+        assert len(store.inventory()) == 1
+        # Released: the budget is now enforceable.
+        counters = store.evict(max_bytes=0)
+        assert counters["graphs_evicted"] == 1
+        assert store.inventory() == []
 
 
 class TestConcurrentWriters:

@@ -59,6 +59,15 @@ shard routing).  A jobs-2 wall-clock speedup is gated only on machines with
 ``cpu_count > 1`` — on a single core the pool cannot beat the thread pool,
 and the parity gates are the point.
 
+The **network-tier row** (``remote:loopback``) runs the same two-graph tiny
+batch against two loopback ``ShardDaemon``s via ``remote_hosts=[...]`` and
+records the wall next to the session counters the daemons reported.  The
+row is parity-gated: it is only written as trustworthy when the remote
+answers are bit-identical to the local reference and every lane was solved
+remotely (zero inline fallbacks, zero remote failures) — ``--check`` turns
+any violation into a failure.  The ``parallel`` block records the daemon
+count, the remote lane count, and the aggregated client counters.
+
 The **incremental-update workload** (``incremental:advogato-small/dc-exact``)
 replays a removal-only edge-update stream two ways: one session absorbing
 every delta through ``apply_updates`` (cached networks patched, cached
@@ -237,6 +246,28 @@ def _run_procpool(
         flow=FlowConfig(solver=AUTO_SOLVER),
         max_workers=jobs,
         process_pool=process_pool,
+    )
+    start = time.perf_counter()
+    report = executor.execute(plan)
+    wall_ms = (time.perf_counter() - start) * 1000.0
+    answers = [payload_answer(payload) for payload in report.results_in_input_order()]
+    return wall_ms, answers, report.executor_stats, report.aggregate_stats()
+
+
+def _run_remote(hosts: list[str]) -> tuple[float, list, dict, dict]:
+    """One remote run of the two-graph parity batch against live daemons.
+
+    Same workload and return shape as :func:`_run_procpool`, with lanes
+    routed to the ``hosts`` daemons over loopback TCP.
+    """
+    queries = [
+        {"query": "densest", "method": method, "dataset": dataset}
+        for dataset in PROCPOOL_DATASETS
+        for method in PROCPOOL_METHODS
+    ]
+    plan = plan_batch(queries, default_graph_key=PROCPOOL_DATASETS[0])
+    executor = BatchExecutor(
+        load_dataset, flow=FlowConfig(solver=AUTO_SOLVER), remote_hosts=hosts
     )
     start = time.perf_counter()
     report = executor.execute(plan)
@@ -464,6 +495,39 @@ def main(argv: list[str] | None = None) -> int:
         else:
             print(f"note: procpool workloads skipped ({pool_reason})")
 
+    remote_failures: list[str] = []
+    if not args.skip_parallel:
+        from repro.net import ShardDaemon
+
+        _, reference_answers, _, _ = _run_procpool(2, process_pool=False)
+        with ShardDaemon() as first, ShardDaemon() as second:
+            remote_wall, remote_answers, remote_stats, remote_agg = _run_remote(
+                [first.address, second.address]
+            )
+        rows.append(
+            _row("remote:loopback", AUTO_SOLVER, "remote", remote_wall, remote_agg)
+        )
+        print(f"{'remote:loopback':40s} {AUTO_SOLVER:20s} {'remote':12s} {remote_wall:10.1f}ms", flush=True)
+        # Parity gate: the row is only meaningful if the loopback daemons
+        # returned bit-identical answers with every lane solved remotely.
+        if remote_answers != reference_answers:
+            remote_failures.append(
+                "remote:loopback answers diverged from the local reference"
+            )
+        if remote_stats.get("lanes_inline", 0) or remote_stats.get(
+            "remote_failures", 0
+        ):
+            remote_failures.append(
+                "remote:loopback run fell back inline "
+                f"(lanes_inline={remote_stats.get('lanes_inline')}, "
+                f"remote_failures={remote_stats.get('remote_failures')})"
+            )
+        parallel_block["remote"] = {
+            "daemons": 2,
+            "lanes_remote": remote_stats.get("lanes_remote", 0),
+            "client": remote_stats.get("client", {}),
+        }
+
     document = {
         "schema_version": 2,
         "generated_by": "tools/bench_trajectory.py",
@@ -492,6 +556,10 @@ def main(argv: list[str] | None = None) -> int:
         failures.extend(procpool_failures)
         if not args.skip_parallel and not procpool_ran:
             print("note: procpool gates skipped (pool unavailable on this platform)")
+        # Network-tier parity gate (collected next to the remote run):
+        # loopback daemons must return bit-identical answers with zero
+        # inline fallbacks, or the remote:loopback row is not trustworthy.
+        failures.extend(remote_failures)
         # Incremental-update gate: serving small deltas by patch-and-certify
         # must beat the per-delta cold rebuild by the recorded margin, with
         # density parity on every step.
