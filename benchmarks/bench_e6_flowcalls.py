@@ -66,6 +66,13 @@ daemon, and a second run that kills one daemon mid-batch must *still*
 return bit-identical answers — the client's retry ladder exhausts, the
 lane falls back inline, and the failure is recorded in
 ``executor_stats`` (``remote_failures``/``degraded_lanes``).
+
+The **deadline anytime gate** pins the robustness layer: a microscopic
+``deadline_ms`` must expire into an anytime partial whose certified gap is
+finite and whose bounds bracket the true optimum, a generous budget must
+return the bit-identical subgraph of a no-deadline run (armed checkpoints
+are answer-neutral), and a drained ``ShardDaemon`` must join every worker
+thread (``unjoined_threads == 0`` — the shutdown hygiene counter).
 """
 
 from __future__ import annotations
@@ -605,6 +612,99 @@ def run_net_smoke(failures: list[str]) -> dict:
     }
 
 
+#: Dataset + method of the deadline gate (reuses the planner-smoke graph).
+DEADLINE_SMOKE_DATASET = "foodweb-tiny"
+DEADLINE_SMOKE_METHOD = "dc-exact"
+
+
+def run_deadline_smoke(failures: list[str]) -> dict:
+    """Deadline gate: anytime partials bracket the optimum; hygiene holds.
+
+    Three assertions: (1) a microscopic budget raises
+    ``DeadlineExceeded`` carrying an anytime partial with a **finite**
+    certified gap that brackets the true optimum, counted in the
+    session's ``anytime_returns``; (2) a generous budget returns the
+    **bit-identical** subgraph of a no-deadline run (armed checkpoints
+    must be answer-neutral); (3) the shutdown hygiene counter — a drained
+    daemon must join every worker thread (``unjoined_threads == 0``).
+    Appends failure strings to ``failures`` and returns a table row.
+    """
+    from repro.exceptions import DeadlineExceeded
+    from repro.net import ShardDaemon
+
+    graph = load_dataset(DEADLINE_SMOKE_DATASET)
+    reference = DDSSession(graph).densest_subgraph(DEADLINE_SMOKE_METHOD)
+
+    generous = DDSSession(graph).densest_subgraph(
+        DEADLINE_SMOKE_METHOD, deadline_ms=1e9
+    )
+    if (
+        generous.density != reference.density
+        or sorted(map(str, generous.s_nodes)) != sorted(map(str, reference.s_nodes))
+        or sorted(map(str, generous.t_nodes)) != sorted(map(str, reference.t_nodes))
+    ):
+        failures.append(
+            "deadline gate: a generous budget changed the answer "
+            f"({generous.density} vs {reference.density}) — armed checkpoints "
+            "must be answer-neutral"
+        )
+
+    session = DDSSession(graph)
+    partial = None
+    try:
+        session.densest_subgraph(DEADLINE_SMOKE_METHOD, deadline_ms=1e-6)
+        failures.append("deadline gate: a microscopic budget did not expire")
+    except DeadlineExceeded as error:
+        partial = error.partial
+    gap = float("inf")
+    if partial is None:
+        failures.append("deadline gate: expiry carried no anytime partial")
+    else:
+        gap = partial.gap
+        if not gap < float("inf"):
+            failures.append(
+                "deadline gate: anytime partial has no finite certified gap "
+                f"(upper_bound={partial.upper_bound})"
+            )
+        if not (
+            partial.density <= reference.density <= partial.upper_bound + 1e-9
+        ):
+            failures.append(
+                "deadline gate: anytime bounds do not bracket the true optimum "
+                f"({partial.density} <= {reference.density} <= {partial.upper_bound} "
+                "violated)"
+            )
+    anytime_returns = session.cache_stats().get("anytime_returns", 0)
+    if partial is not None and anytime_returns != 1:
+        failures.append(
+            f"deadline gate: session counted {anytime_returns} anytime returns, "
+            "expected 1"
+        )
+
+    # Shutdown hygiene: a drained daemon joins every worker thread.
+    daemon = ShardDaemon()
+    daemon.start()
+    daemon.drain(grace_s=10.0)
+    daemon.join(timeout=30)
+    unjoined = daemon.daemon_stats().get("unjoined_threads", 0)
+    if unjoined:
+        failures.append(
+            f"deadline gate: drained daemon left {unjoined} unjoined worker "
+            "thread(s) (shutdown hygiene broken)"
+        )
+
+    return {
+        "dataset": DEADLINE_SMOKE_DATASET,
+        "method": DEADLINE_SMOKE_METHOD,
+        "anytime_gap": round(gap, 4) if gap < float("inf") else "inf",
+        "anytime_density": round(partial.density, 4) if partial is not None else None,
+        "true_density": round(reference.density, 4),
+        "anytime_returns": anytime_returns,
+        "generous_identical": generous.density == reference.density,
+        "unjoined_threads": unjoined,
+    }
+
+
 def run_smoke() -> int:
     """Fast flow-call regression gate (used by CI; no pytest required)."""
     failures: list[str] = []
@@ -684,6 +784,8 @@ def run_smoke() -> int:
     print(format_table([procpool_row], title="E6 smoke: process-pool parity gate"))
     net_row = run_net_smoke(failures)
     print(format_table([net_row], title="E6 smoke: network-tier parity gate"))
+    deadline_row = run_deadline_smoke(failures)
+    print(format_table([deadline_row], title="E6 smoke: deadline anytime gate"))
     for failure in failures:
         print(f"FAIL: {failure}")
     if not failures:

@@ -17,8 +17,11 @@ Sub-commands
               order, ``--explain`` for the plan report, ``--store`` for
               persistent warm state, ``--process-pool`` for shared-memory
               worker processes, ``--remote host:port,...`` to route lanes
-              to shard daemons)
+              to shard daemons, ``--deadline-ms`` for per-lane budgets with
+              anytime answers)
 ``serve``     run a shard daemon serving DDS answers over the frame protocol
+              (SIGINT/SIGTERM drain gracefully within ``--drain-grace``)
+``ping``      health-check a shard daemon
 ``warm``      precompute a graph's warm state into a persistent store
 ``store``     inspect, verify, or clear a persistent store
 ``datasets``  list the registered synthetic datasets
@@ -194,6 +197,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             process_pool=args.process_pool,
             remote_hosts=args.remote.split(",") if args.remote else None,
             max_retries=args.max_retries,
+            deadline_ms=args.deadline_ms,
         )
         report = executor.execute(plan)
     except ConfigError as error:
@@ -223,6 +227,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
 # serve: a shard daemon on this box
 # ----------------------------------------------------------------------
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
     from repro.net import ShardDaemon
 
     store = SessionStore(args.store) if args.store is not None else None
@@ -235,6 +241,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flow=args.flow_solver,
     )
     host, port = daemon.start()
+
+    # SIGINT/SIGTERM trigger a graceful drain — stop accepting, finish
+    # in-flight work within --drain-grace, flush resident sessions to the
+    # store — instead of dropping connections mid-frame.  A second signal
+    # falls through to KeyboardInterrupt (SIGINT) or default termination
+    # (SIGTERM), so a stuck daemon can still be killed by hand.
+    def _drain_once(signum: int, frame: Any) -> None:
+        signal.signal(signal.SIGINT, signal.default_int_handler)
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        daemon.drain(args.drain_grace)
+
+    signal.signal(signal.SIGINT, _drain_once)
+    signal.signal(signal.SIGTERM, _drain_once)
     # One machine-readable ready line (flushed) so wrappers — tests, shell
     # scripts starting a fleet on ephemeral ports — can parse the address.
     print(
@@ -246,6 +265,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:
         daemon.shutdown()
     print(json.dumps({"stopped": f"{host}:{port}", "stats": daemon.daemon_stats()}))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# ping: health-check a shard daemon
+# ----------------------------------------------------------------------
+def _cmd_ping(args: argparse.Namespace) -> int:
+    from repro.exceptions import NetError
+    from repro.net.client import ShardClient, parse_host_port
+
+    host, port = parse_host_port(args.address)
+    client = ShardClient(host, port, max_retries=args.max_retries)
+    try:
+        payload = client.ping()
+    except NetError as error:
+        print(json.dumps({"address": f"{host}:{port}", "reachable": False, "error": str(error)}))
+        return 1
+    print(json.dumps({"address": f"{host}:{port}", "reachable": True, "pong": payload}, default=str))
     return 0
 
 
@@ -397,6 +434,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--remote: fresh-connection retries per request before the lane "
         "falls back",
     )
+    batch.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help="per-lane wall-clock budget: each query gets the budget still "
+        "remaining when it starts and answers past it come back as anytime "
+        "partials ({\"deadline_exceeded\": true} with certified density "
+        "bounds) instead of blocking the batch",
+    )
     batch.set_defaults(handler=_cmd_batch)
 
     serve = subparsers.add_parser(
@@ -431,7 +478,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=flow_solver_choices(),
         help="max-flow backend applied to every resident session (default: dinic)",
     )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="on SIGINT/SIGTERM (or a 'drain' request): stop accepting new "
+        "connections, wait up to SECONDS for in-flight requests, flush "
+        "resident sessions to the store, then exit 0 (default: 10)",
+    )
     serve.set_defaults(handler=_cmd_serve)
+
+    ping = subparsers.add_parser(
+        "ping", help="health-check a shard daemon (exit 0 if reachable)"
+    )
+    ping.add_argument("address", help="daemon address as 'host:port'")
+    ping.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="fresh-connection retries before reporting unreachable (default: 0)",
+    )
+    ping.set_defaults(handler=_cmd_ping)
 
     warm = subparsers.add_parser(
         "warm", help="precompute a graph's warm state into a persistent store"

@@ -62,7 +62,7 @@ class MethodConfig:
         if not clean:
             return config
         allowed = {f.name for f in fields(cls)}
-        for alias in ("flow_solver", "warm_start"):
+        for alias in ("flow_solver", "warm_start", "deadline_ms"):
             # Per-field overrides of the nested FlowConfig: fold them into a
             # replaced ``flow`` (flow_solver= first, so warm_start= composes).
             # Skipped when the name is a direct field of this class (e.g.
@@ -82,6 +82,8 @@ class MethodConfig:
                 base_flow = FlowConfig(solver=base_flow)
             if alias == "flow_solver":
                 clean["flow"] = replace(base_flow, solver=value)
+            elif alias == "deadline_ms":
+                clean["flow"] = replace(base_flow, deadline_ms=value)
             else:
                 clean["flow"] = replace(base_flow, warm_start=value)
         if "max_nodes" in clean:
@@ -135,12 +137,20 @@ class FlowConfig(MethodConfig):
         :class:`repro.flow.batch.BatchedFlowNetwork` and
         ``batched_solves`` in the stats glossary).  ``1`` disables batching;
         explicit solver names are never batched.
+    deadline_ms:
+        Per-query time budget in milliseconds, or ``None`` (no deadline).
+        When set, a monotonic :class:`repro.runtime.Deadline` is armed at
+        query entry and checked cooperatively at solver phase boundaries;
+        expiry raises :class:`~repro.exceptions.DeadlineExceeded` carrying
+        an anytime partial result (see :mod:`repro.runtime`).  Queries that
+        finish inside the budget are bit-identical to undeadlined runs.
     """
 
     solver: str = DEFAULT_SOLVER
     network_cache_size: int = DEFAULT_NETWORK_CACHE_SIZE
     warm_start: bool = True
     batch_size: int = 32
+    deadline_ms: float | None = None
 
     def __post_init__(self) -> None:
         # Resolve the name eagerly so an unknown solver fails at config time
@@ -156,6 +166,20 @@ class FlowConfig(MethodConfig):
             raise ConfigError(
                 f"batch_size must be an int >= 1, got {self.batch_size!r}"
             )
+        if self.deadline_ms is not None:
+            if isinstance(self.deadline_ms, bool) or not isinstance(
+                self.deadline_ms, (int, float)
+            ):
+                raise ConfigError(
+                    f"deadline_ms must be a positive number or None, got {self.deadline_ms!r}"
+                )
+            if not 0 < self.deadline_ms < float("inf"):
+                raise ConfigError(
+                    f"deadline_ms must be a positive finite number or None, got {self.deadline_ms!r}"
+                )
+            # Normalise to float so configs hash/compare consistently across
+            # int and float spellings of the same budget (result-cache keys).
+            object.__setattr__(self, "deadline_ms", float(self.deadline_ms))
 
 
 @dataclass(frozen=True)

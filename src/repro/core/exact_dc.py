@@ -55,7 +55,11 @@ from repro.core.density import (
     global_density_upper_bound,
     interval_relaxation_factor,
 )
-from repro.core.fixed_ratio import maximize_fixed_ratio, maximize_fixed_ratio_batch
+from repro.core.fixed_ratio import (
+    maximize_fixed_ratio,
+    maximize_fixed_ratio_batch,
+    partial_outcomes,
+)
 from repro.core.flow_network import decision_network_arc_count
 from repro.core.network_cache import NetworkCache
 from repro.core.ratio import (
@@ -64,10 +68,11 @@ from repro.core.ratio import (
 )
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
-from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.exceptions import AlgorithmError, DeadlineExceeded, EmptyGraphError
 from repro.flow.engine import FlowEngine, zero_snapshot
 from repro.flow.registry import DEFAULT_SOLVER
 from repro.graph.digraph import DiGraph
+from repro.runtime import AnytimeResult
 
 __all__ = ["LEAF_RATIO_COUNT", "dc_exact"]
 
@@ -164,6 +169,48 @@ def _skip_region(
             else:
                 left_edge = min(left_edge, maximiser_ratio)
     return left_edge, right_edge
+
+
+def _anytime_partial(
+    graph: DiGraph,
+    method: str,
+    state: _SearchState,
+    slack: float,
+    global_upper: float,
+    open_uppers: list[float],
+    engine: FlowEngine,
+) -> AnytimeResult:
+    """Assemble the certified anytime result at a deadline cancellation.
+
+    The incumbent is always a feasible pair, so its true density is a
+    certified lower bound.  For the upper bound, partition the ratio line:
+
+    * *settled* territory (leaves solved, intervals pruned or skipped) is
+      bounded by ``incumbent + slack`` — each settled mechanism guarantees
+      no pair there beats the incumbent by more than the search slack;
+    * every *open* interval — the one being processed at cancellation plus
+      everything still on the stack — carries its own conditional upper
+      bound, valid whenever the optimal ratio lies inside it.
+
+    The optimum's ratio lies in exactly one of those regions, so the max
+    over all the regional bounds covers it; the unconditional
+    ``global_upper`` caps the result either way.
+    """
+    density = (
+        directed_density_from_indices(graph, state.best_s, state.best_t)
+        if state.best_s and state.best_t
+        else 0.0
+    )
+    certified_upper = min(global_upper, max([density + slack, *open_uppers]))
+    deadline = engine.deadline
+    return AnytimeResult(
+        s_nodes=graph.labels_of(state.best_s),
+        t_nodes=graph.labels_of(state.best_t),
+        density=density,
+        upper_bound=certified_upper,
+        method=method,
+        elapsed_ms=deadline.elapsed_ms() if deadline is not None else 0.0,
+    )
 
 
 def _seed_incumbent_with_peeling(graph: DiGraph, state: _SearchState) -> None:
@@ -286,91 +333,69 @@ def _dc_driver(
     # certified upper bound on the optimum *conditional on the optimal ratio
     # lying inside the interval* — the only conditioning exactness needs.
     stack: list[tuple[float, float, float]] = [(1.0 / n, float(n), global_upper)]
-    while stack:
-        lo, hi, upper_bound = stack.pop()
-        if lo > hi:
-            continue
-        state.intervals_processed += 1
-        pair_count = count_candidate_ratios_in_interval(lo, hi, n)
-        if pair_count == 0:
-            continue
-
-        subproblem = subproblem_for_interval(lo, hi)
-        if subproblem.is_empty:
-            # The containing core is empty: no pair in this interval can beat
-            # the incumbent, so the interval is solved.
-            state.intervals_pruned += 1
-            continue
-
-        probe_ratio = math.sqrt(lo * hi)
-        degenerate = probe_ratio <= lo * (1.0 + 1e-12) or probe_ratio >= hi / (1.0 + 1e-12)
-        distinct_ratios: list[Fraction] | None = None
-        if pair_count <= distinct_check_limit or degenerate:
-            distinct_ratios = candidate_ratios_in_interval(lo, hi, n)
-            if all(ratio in state.examined_exact_ratios for ratio in distinct_ratios):
+    # Conditional upper bound of the interval currently being processed; at a
+    # deadline cancellation it (plus the stack entries' bounds) is exactly the
+    # not-yet-settled territory of the anytime upper bound.
+    current_upper = global_upper
+    try:
+        while stack:
+            lo, hi, upper_bound = stack.pop()
+            if lo > hi:
                 continue
-        is_leaf = degenerate or (
-            distinct_ratios is not None and len(distinct_ratios) <= leaf_ratio_count
-        )
-        if is_leaf:
-            solve_leaf(distinct_ratios or [], subproblem, upper_bound)
-            continue
+            current_upper = upper_bound
+            state.intervals_processed += 1
+            pair_count = count_candidate_ratios_in_interval(lo, hi, n)
+            if pair_count == 0:
+                continue
 
-        # ------------------------------------------------------ interior probe
-        # Stage 1: a coarse probe — enough to prune intervals whose surrogate
-        # optimum is clearly dominated by the incumbent.
-        state.ratios_examined += 1
-        incumbent_at_entry = state.best_density
-        coarse_gap = max(PROBE_COARSE_FRACTION * max(incumbent_at_entry, 1.0), 10 * tolerance)
-        outcome = maximize_fixed_ratio(
-            subproblem,
-            probe_ratio,
-            lower=0.0,
-            upper=max(upper_bound, 0.0),
-            tolerance=fine_tolerance,
-            coarse_gap=coarse_gap,
-            refine_above=incumbent_at_entry,
-            engine=state.engine,
-            network_cache=state.network_cache,
-            warm_start=warm_start,
-        )
-        state.absorb_outcome(outcome)
-        value_upper = outcome.upper
-        last_s, last_t = outcome.last_s, outcome.last_t
-        last_surrogate = outcome.last_surrogate
+            subproblem = subproblem_for_interval(lo, hi)
+            if subproblem.is_empty:
+                # The containing core is empty: no pair in this interval can
+                # beat the incumbent, so the interval is solved.
+                state.intervals_pruned += 1
+                continue
 
-        left_edge, right_edge = _skip_region(
-            probe_ratio,
-            value_upper,
-            state.best_density,
-            last_s,
-            last_t,
-            last_surrogate,
-            density_gap,
-        )
+            probe_ratio = math.sqrt(lo * hi)
+            degenerate = (
+                probe_ratio <= lo * (1.0 + 1e-12) or probe_ratio >= hi / (1.0 + 1e-12)
+            )
+            distinct_ratios: list[Fraction] | None = None
+            if pair_count <= distinct_check_limit or degenerate:
+                distinct_ratios = candidate_ratios_in_interval(lo, hi, n)
+                if all(ratio in state.examined_exact_ratios for ratio in distinct_ratios):
+                    continue
+            is_leaf = degenerate or (
+                distinct_ratios is not None and len(distinct_ratios) <= leaf_ratio_count
+            )
+            if is_leaf:
+                solve_leaf(distinct_ratios or [], subproblem, upper_bound)
+                continue
 
-        if left_edge > lo or right_edge < hi:
-            # Stage 2: the coarse probe did not settle the whole interval —
-            # refine the bracket until the ratio-skipping lemma's slack
-            # condition has a chance to fire, then recompute the skip region.
-            # The network cache hands the refine stage the network the coarse
-            # stage just built (same sub-problem, same probe ratio), so this
-            # search retunes instead of rebuilding.
-            refined = maximize_fixed_ratio(
+            # -------------------------------------------------- interior probe
+            # Stage 1: a coarse probe — enough to prune intervals whose
+            # surrogate optimum is clearly dominated by the incumbent.
+            state.ratios_examined += 1
+            incumbent_at_entry = state.best_density
+            coarse_gap = max(
+                PROBE_COARSE_FRACTION * max(incumbent_at_entry, 1.0), 10 * tolerance
+            )
+            outcome = maximize_fixed_ratio(
                 subproblem,
                 probe_ratio,
-                lower=outcome.lower,
-                upper=outcome.upper,
+                lower=0.0,
+                upper=max(upper_bound, 0.0),
                 tolerance=fine_tolerance,
+                coarse_gap=coarse_gap,
+                refine_above=incumbent_at_entry,
                 engine=state.engine,
                 network_cache=state.network_cache,
                 warm_start=warm_start,
             )
-            state.absorb_outcome(refined)
-            value_upper = min(value_upper, refined.upper)
-            if refined.found_maximiser and refined.last_surrogate >= last_surrogate:
-                last_s, last_t = refined.last_s, refined.last_t
-                last_surrogate = refined.last_surrogate
+            state.absorb_outcome(outcome)
+            value_upper = outcome.upper
+            last_s, last_t = outcome.last_s, outcome.last_t
+            last_surrogate = outcome.last_surrogate
+
             left_edge, right_edge = _skip_region(
                 probe_ratio,
                 value_upper,
@@ -381,16 +406,65 @@ def _dc_driver(
                 density_gap,
             )
 
-        child_upper = min(upper_bound, interval_relaxation_factor(lo, hi) * value_upper)
-        pushed_any = False
-        if left_edge > lo:
-            stack.append((lo, min(left_edge, hi), child_upper))
-            pushed_any = True
-        if right_edge < hi:
-            stack.append((max(right_edge, lo), hi, child_upper))
-            pushed_any = True
-        if not pushed_any:
-            state.intervals_pruned += 1
+            if left_edge > lo or right_edge < hi:
+                # Stage 2: the coarse probe did not settle the whole interval —
+                # refine the bracket until the ratio-skipping lemma's slack
+                # condition has a chance to fire, then recompute the skip
+                # region.  The network cache hands the refine stage the network
+                # the coarse stage just built (same sub-problem, same probe
+                # ratio), so this search retunes instead of rebuilding.
+                refined = maximize_fixed_ratio(
+                    subproblem,
+                    probe_ratio,
+                    lower=outcome.lower,
+                    upper=outcome.upper,
+                    tolerance=fine_tolerance,
+                    engine=state.engine,
+                    network_cache=state.network_cache,
+                    warm_start=warm_start,
+                )
+                state.absorb_outcome(refined)
+                value_upper = min(value_upper, refined.upper)
+                if refined.found_maximiser and refined.last_surrogate >= last_surrogate:
+                    last_s, last_t = refined.last_s, refined.last_t
+                    last_surrogate = refined.last_surrogate
+                left_edge, right_edge = _skip_region(
+                    probe_ratio,
+                    value_upper,
+                    state.best_density,
+                    last_s,
+                    last_t,
+                    last_surrogate,
+                    density_gap,
+                )
+
+            child_upper = min(upper_bound, interval_relaxation_factor(lo, hi) * value_upper)
+            pushed_any = False
+            if left_edge > lo:
+                stack.append((lo, min(left_edge, hi), child_upper))
+                pushed_any = True
+            if right_edge < hi:
+                stack.append((max(right_edge, lo), hi, child_upper))
+                pushed_any = True
+            if not pushed_any:
+                state.intervals_pruned += 1
+    except DeadlineExceeded as error:
+        # Fold the cancelled search's partial bracket(s) into the incumbent —
+        # their lower/upper are certified even though the bracket never
+        # closed — then attach the anytime result and let the deadline
+        # propagate to the session layer.
+        for outcome in partial_outcomes(error):
+            state.absorb_outcome(outcome)
+        error.partial = _anytime_partial(
+            graph,
+            method,
+            state,
+            max(tolerance, density_gap),
+            global_upper,
+            [current_upper, *(entry[2] for entry in stack)],
+            state.engine,
+        )
+        raise
 
     if not state.best_s or not state.best_t:
         raise AlgorithmError(f"{method} failed to find any non-empty pair")

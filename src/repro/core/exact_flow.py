@@ -19,15 +19,20 @@ from repro.core.density import (
     exactness_tolerance,
     global_density_upper_bound,
 )
-from repro.core.fixed_ratio import maximize_fixed_ratio, maximize_fixed_ratio_batch
+from repro.core.fixed_ratio import (
+    maximize_fixed_ratio,
+    maximize_fixed_ratio_batch,
+    partial_outcomes,
+)
 from repro.core.flow_network import decision_network_arc_count
 from repro.core.network_cache import NetworkCache
 from repro.core.ratio import all_candidate_ratios
 from repro.core.results import DDSResult
 from repro.core.subproblem import STSubproblem
-from repro.exceptions import AlgorithmError, EmptyGraphError
+from repro.exceptions import AlgorithmError, DeadlineExceeded, EmptyGraphError
 from repro.flow.engine import FlowEngine
 from repro.graph.digraph import DiGraph
+from repro.runtime import AnytimeResult
 
 #: FlowExact runs one binary search per distinct ratio; above this node count
 #: that is hopeless in pure Python, so we refuse instead of hanging.
@@ -95,41 +100,68 @@ def flow_exact(
     # clear it in aggregate are searched in lockstep as one block-diagonal
     # batched solve; everything else takes the sequential path unchanged.
     arc_count = decision_network_arc_count(subproblem)
+
+    def absorb(outcome) -> None:
+        nonlocal best_s, best_t, best_density, fixed_ratio_searches
+        if outcome.flow_calls:
+            fixed_ratio_searches += 1
+        if outcome.best_density > best_density:
+            best_density = outcome.best_density
+            best_s, best_t = outcome.best_s, outcome.best_t
+
     index = 0
-    while index < len(ratios):
-        chunk = ratios[index : index + cfg.flow.batch_size]
-        index += len(chunk)
-        if len(chunk) >= 2 and engine.supports_batching([arc_count] * len(chunk)):
-            outcomes = maximize_fixed_ratio_batch(
-                subproblem,
-                [float(ratio) for ratio in chunk],
-                lower=0.0,
-                upper=upper,
-                tolerance=tolerance,
-                engine=engine,
-                network_cache=network_cache,
-                warm_start=cfg.flow.warm_start,
-            )
-        else:
-            outcomes = [
-                maximize_fixed_ratio(
+    try:
+        while index < len(ratios):
+            chunk = ratios[index : index + cfg.flow.batch_size]
+            index += len(chunk)
+            if len(chunk) >= 2 and engine.supports_batching([arc_count] * len(chunk)):
+                for outcome in maximize_fixed_ratio_batch(
                     subproblem,
-                    float(ratio),
+                    [float(ratio) for ratio in chunk],
                     lower=0.0,
                     upper=upper,
                     tolerance=tolerance,
                     engine=engine,
                     network_cache=network_cache,
                     warm_start=cfg.flow.warm_start,
-                )
-                for ratio in chunk
-            ]
-        for outcome in outcomes:
-            if outcome.flow_calls:
-                fixed_ratio_searches += 1
-            if outcome.best_density > best_density:
-                best_density = outcome.best_density
-                best_s, best_t = outcome.best_s, outcome.best_t
+                ):
+                    absorb(outcome)
+            else:
+                # Absorb one search at a time so a mid-chunk deadline keeps the
+                # incumbents of the searches that did finish.
+                for ratio in chunk:
+                    absorb(
+                        maximize_fixed_ratio(
+                            subproblem,
+                            float(ratio),
+                            lower=0.0,
+                            upper=upper,
+                            tolerance=tolerance,
+                            engine=engine,
+                            network_cache=network_cache,
+                            warm_start=cfg.flow.warm_start,
+                        )
+                    )
+    except DeadlineExceeded as error:
+        for outcome in partial_outcomes(error):
+            absorb(outcome)
+        # Unexamined ratios have no bound tighter than the global one, so the
+        # anytime upper bound for the baseline stays at ``upper``; the
+        # incumbent's true density is the certified lower bound.
+        density = (
+            directed_density_from_indices(graph, best_s, best_t)
+            if best_s and best_t
+            else 0.0
+        )
+        error.partial = AnytimeResult(
+            s_nodes=graph.labels_of(best_s),
+            t_nodes=graph.labels_of(best_t),
+            density=density,
+            upper_bound=upper,
+            method="flow-exact",
+            elapsed_ms=engine.deadline.elapsed_ms() if engine.deadline is not None else 0.0,
+        )
+        raise
 
     if not best_s or not best_t:
         raise AlgorithmError("flow_exact failed to find any non-empty pair")

@@ -50,10 +50,28 @@ from repro.core.flow_network import build_decision_network, decision_cut_is_impr
 from repro.core.network_cache import NetworkCache
 from repro.core.results import FixedRatioOutcome
 from repro.core.subproblem import STSubproblem
-from repro.exceptions import AlgorithmError
+from repro.exceptions import AlgorithmError, DeadlineExceeded
 from repro.flow.engine import FlowEngine
 
 NetworkObserver = Callable[[int, int], None]
+
+
+def partial_outcomes(error: DeadlineExceeded) -> list[FixedRatioOutcome]:
+    """The partial search outcomes a cancelled fixed-ratio search attached.
+
+    A :class:`DeadlineExceeded` escaping :func:`maximize_fixed_ratio`
+    carries the interrupted search's bracket-at-cancellation as
+    ``error.outcome``; one escaping :func:`maximize_fixed_ratio_batch`
+    carries every member's as ``error.outcomes``.  Either way each outcome's
+    ``lower``/``upper`` are certified bounds (the bracket never closed), so
+    the exact drivers absorb them into the incumbent exactly like completed
+    searches before assembling their anytime result.
+    """
+    outcomes = list(getattr(error, "outcomes", None) or ())
+    single = getattr(error, "outcome", None)
+    if single is not None:
+        outcomes.append(single)
+    return outcomes
 
 
 class _LockstepSearch:
@@ -191,85 +209,96 @@ def maximize_fixed_ratio_batch(
     members = [_LockstepSearch(float(ratio), lower, upper) for ratio in ratios]
     batch = None
 
-    while True:
-        active = [
-            index
-            for index, member in enumerate(members)
-            if member.high - member.low >= tolerance
-        ]
-        if not active:
-            break
+    try:
+        while True:
+            active = [
+                index
+                for index, member in enumerate(members)
+                if member.high - member.low >= tolerance
+            ]
+            if not active:
+                break
 
-        warm_flags: list[bool] = []
-        for index in active:
-            member = members[index]
-            member.guess = (member.low + member.high) / 2.0
-            solve_warm = use_warm
-            if member.decision is None:
-                if network_cache is not None:
-                    member.decision = network_cache.get(subproblem, member.ratio)
-                if member.decision is not None:
-                    engine.note_network_reused()
-                    member.networks_reused += 1
-                    member.decision.retune(member.ratio, member.guess, warm_start=use_warm)
-                else:
-                    member.decision = build_decision_network(
-                        subproblem, member.ratio, member.guess
-                    )
-                    engine.note_network_built()
-                    member.networks_built += 1
-                    solve_warm = False  # a fresh network holds no flow to reuse
+            warm_flags: list[bool] = []
+            for index in active:
+                member = members[index]
+                member.guess = (member.low + member.high) / 2.0
+                solve_warm = use_warm
+                if member.decision is None:
                     if network_cache is not None:
-                        network_cache.put(subproblem, member.ratio, member.decision)
-                if network_observer is not None:
-                    network_observer(member.decision.num_nodes, member.decision.num_arcs)
-            else:
-                member.decision.retune(member.ratio, member.guess, warm_start=use_warm)
-            member.network_nodes.append(member.decision.num_nodes)
-            member.network_arcs.append(member.decision.num_arcs)
-            warm_flags.append(solve_warm)
+                        member.decision = network_cache.get(subproblem, member.ratio)
+                    if member.decision is not None:
+                        engine.note_network_reused()
+                        member.networks_reused += 1
+                        member.decision.retune(
+                            member.ratio, member.guess, warm_start=use_warm
+                        )
+                    else:
+                        member.decision = build_decision_network(
+                            subproblem, member.ratio, member.guess
+                        )
+                        engine.note_network_built()
+                        member.networks_built += 1
+                        solve_warm = False  # a fresh network holds no flow to reuse
+                        if network_cache is not None:
+                            network_cache.put(subproblem, member.ratio, member.decision)
+                    if network_observer is not None:
+                        network_observer(
+                            member.decision.num_nodes, member.decision.num_arcs
+                        )
+                else:
+                    member.decision.retune(member.ratio, member.guess, warm_start=use_warm)
+                member.network_nodes.append(member.decision.num_nodes)
+                member.network_arcs.append(member.decision.num_arcs)
+                warm_flags.append(solve_warm)
 
-        if batch is None:
-            # All members were active in round one, so every decision
-            # network exists by the time the stack is assembled.
-            from repro.flow.batch import BatchedFlowNetwork
+            if batch is None:
+                # All members were active in round one, so every decision
+                # network exists by the time the stack is assembled.
+                from repro.flow.batch import BatchedFlowNetwork
 
-            batch = BatchedFlowNetwork(
-                [
-                    (member.decision.network, member.decision.source, member.decision.sink)
-                    for member in members
-                ]
-            )
+                batch = BatchedFlowNetwork(
+                    [
+                        (member.decision.network, member.decision.source, member.decision.sink)
+                        for member in members
+                    ]
+                )
 
-        results = engine.min_cut_batch(batch, active, warm_flags)
-        for position, index in enumerate(active):
-            member = members[index]
-            cut_value, source_side, _block_pushes = results[position]
-            member.flow_calls += 1
-            if warm_flags[position]:
-                member.warm_starts_used += 1
-            else:
-                member.cold_starts += 1
+            results = engine.min_cut_batch(batch, active, warm_flags)
+            for position, index in enumerate(active):
+                member = members[index]
+                cut_value, source_side, _block_pushes = results[position]
+                member.flow_calls += 1
+                if warm_flags[position]:
+                    member.warm_starts_used += 1
+                else:
+                    member.cold_starts += 1
 
-            extracted = False
-            if decision_cut_is_improving(cut_value, member.decision.total_capacity):
-                s_side, t_side = member.decision.extract_pair(source_side)
-                if s_side and t_side:
-                    extracted = True
-                    edges = graph.count_edges_between(s_side, t_side)
-                    surrogate = surrogate_density(
-                        edges, len(s_side), len(t_side), member.ratio
-                    )
-                    density = directed_density_from_indices(graph, s_side, t_side)
-                    if density > member.best_density:
-                        member.best_density = density
-                        member.best_s, member.best_t = s_side, t_side
-                    if surrogate >= member.last_surrogate:
-                        member.last_surrogate = surrogate
-                        member.last_s, member.last_t = s_side, t_side
-                    member.low = max(member.guess, surrogate)
-            if not extracted:
-                member.high = member.guess
+                extracted = False
+                if decision_cut_is_improving(cut_value, member.decision.total_capacity):
+                    s_side, t_side = member.decision.extract_pair(source_side)
+                    if s_side and t_side:
+                        extracted = True
+                        edges = graph.count_edges_between(s_side, t_side)
+                        surrogate = surrogate_density(
+                            edges, len(s_side), len(t_side), member.ratio
+                        )
+                        density = directed_density_from_indices(graph, s_side, t_side)
+                        if density > member.best_density:
+                            member.best_density = density
+                            member.best_s, member.best_t = s_side, t_side
+                        if surrogate >= member.last_surrogate:
+                            member.last_surrogate = surrogate
+                            member.last_s, member.last_t = s_side, t_side
+                        member.low = max(member.guess, surrogate)
+                if not extracted:
+                    member.high = member.guess
+    except DeadlineExceeded as error:
+        # A cancelled round never updated any member's bracket, so every
+        # member's (low, high) is still certified; hand all of them to the
+        # driver as the anytime state of this lockstep sweep.
+        error.outcomes = [member.outcome() for member in members]
+        raise
 
     return [member.outcome() for member in members]
 
@@ -377,86 +406,99 @@ def maximize_fixed_ratio(
     network_arcs: list[int] = []
     decision = None
 
-    while high - low >= tolerance:
-        if coarse_gap is not None and high - low < coarse_gap:
-            if refine_above is None or last_surrogate <= refine_above:
-                break
-        if stop_when_upper_below is not None and high < stop_when_upper_below:
-            break
-        if stop_when_lower_above is not None and low > stop_when_lower_above:
-            break
-
-        guess = (low + high) / 2.0
-        solve_warm = use_warm
-        if decision is None:
-            if network_cache is not None:
-                decision = network_cache.get(subproblem, ratio)
-            if decision is not None:
-                engine.note_network_reused()
-                networks_reused += 1
-                # A cache-served network still carries the residual flow of
-                # its last solve; a warm retune keeps it as the start state.
-                decision.retune(ratio, guess, warm_start=use_warm)
-            else:
-                decision = build_decision_network(subproblem, ratio, guess)
-                engine.note_network_built()
-                networks_built += 1
-                solve_warm = False  # a fresh network holds no flow to reuse
-                if network_cache is not None:
-                    network_cache.put(subproblem, ratio, decision)
-            if network_observer is not None:
-                network_observer(decision.num_nodes, decision.num_arcs)
-        else:
-            decision.retune(ratio, guess, warm_start=use_warm)
-        network_nodes.append(decision.num_nodes)
-        network_arcs.append(decision.num_arcs)
-
-        cut_value, solver = engine.min_cut(
-            decision.network, decision.source, decision.sink, warm_start=solve_warm
+    def snapshot() -> FixedRatioOutcome:
+        # The bracket invariants hold at *every* loop boundary, so this is a
+        # valid outcome whether the search converged, stopped early, or was
+        # cancelled by a deadline mid-search.
+        return FixedRatioOutcome(
+            ratio=ratio,
+            lower=low,
+            upper=high,
+            best_s=best_s,
+            best_t=best_t,
+            best_density=best_density,
+            flow_calls=flow_calls,
+            networks_built=networks_built,
+            networks_reused=networks_reused,
+            warm_starts_used=warm_starts_used,
+            cold_starts=cold_starts,
+            last_s=last_s,
+            last_t=last_t,
+            last_surrogate=last_surrogate,
+            network_nodes=network_nodes,
+            network_arcs=network_arcs,
         )
-        flow_calls += 1
-        if solve_warm:
-            warm_starts_used += 1
-        else:
-            cold_starts += 1
 
-        extracted = False
-        if decision_cut_is_improving(cut_value, decision.total_capacity):
-            s_side, t_side = decision.extract_pair(solver.min_cut_source_side())
-            if s_side and t_side:
-                extracted = True
-                edges = graph.count_edges_between(s_side, t_side)
-                surrogate = surrogate_density(edges, len(s_side), len(t_side), ratio)
-                density = directed_density_from_indices(graph, s_side, t_side)
-                if density > best_density:
-                    best_density = density
-                    best_s, best_t = s_side, t_side
-                if surrogate >= last_surrogate:
-                    last_surrogate = surrogate
-                    last_s, last_t = s_side, t_side
-                # Dinkelbach jump: the extracted pair certifies a surrogate
-                # value at least `surrogate`, which is never below the guess.
-                low = max(guess, surrogate)
+    try:
+        while high - low >= tolerance:
+            if coarse_gap is not None and high - low < coarse_gap:
+                if refine_above is None or last_surrogate <= refine_above:
+                    break
+            if stop_when_upper_below is not None and high < stop_when_upper_below:
+                break
+            if stop_when_lower_above is not None and low > stop_when_lower_above:
+                break
+
+            guess = (low + high) / 2.0
+            solve_warm = use_warm
+            if decision is None:
+                if network_cache is not None:
+                    decision = network_cache.get(subproblem, ratio)
+                if decision is not None:
+                    engine.note_network_reused()
+                    networks_reused += 1
+                    # A cache-served network still carries the residual flow of
+                    # its last solve; a warm retune keeps it as the start state.
+                    decision.retune(ratio, guess, warm_start=use_warm)
+                else:
+                    decision = build_decision_network(subproblem, ratio, guess)
+                    engine.note_network_built()
+                    networks_built += 1
+                    solve_warm = False  # a fresh network holds no flow to reuse
+                    if network_cache is not None:
+                        network_cache.put(subproblem, ratio, decision)
+                if network_observer is not None:
+                    network_observer(decision.num_nodes, decision.num_arcs)
             else:
-                extracted = False
-        if not extracted:
-            high = guess
+                decision.retune(ratio, guess, warm_start=use_warm)
+            network_nodes.append(decision.num_nodes)
+            network_arcs.append(decision.num_arcs)
 
-    return FixedRatioOutcome(
-        ratio=ratio,
-        lower=low,
-        upper=high,
-        best_s=best_s,
-        best_t=best_t,
-        best_density=best_density,
-        flow_calls=flow_calls,
-        networks_built=networks_built,
-        networks_reused=networks_reused,
-        warm_starts_used=warm_starts_used,
-        cold_starts=cold_starts,
-        last_s=last_s,
-        last_t=last_t,
-        last_surrogate=last_surrogate,
-        network_nodes=network_nodes,
-        network_arcs=network_arcs,
-    )
+            cut_value, solver = engine.min_cut(
+                decision.network, decision.source, decision.sink, warm_start=solve_warm
+            )
+            flow_calls += 1
+            if solve_warm:
+                warm_starts_used += 1
+            else:
+                cold_starts += 1
+
+            extracted = False
+            if decision_cut_is_improving(cut_value, decision.total_capacity):
+                s_side, t_side = decision.extract_pair(solver.min_cut_source_side())
+                if s_side and t_side:
+                    extracted = True
+                    edges = graph.count_edges_between(s_side, t_side)
+                    surrogate = surrogate_density(edges, len(s_side), len(t_side), ratio)
+                    density = directed_density_from_indices(graph, s_side, t_side)
+                    if density > best_density:
+                        best_density = density
+                        best_s, best_t = s_side, t_side
+                    if surrogate >= last_surrogate:
+                        last_surrogate = surrogate
+                        last_s, last_t = s_side, t_side
+                    # Dinkelbach jump: the extracted pair certifies a surrogate
+                    # value at least `surrogate`, which is never below the guess.
+                    low = max(guess, surrogate)
+                else:
+                    extracted = False
+            if not extracted:
+                high = guess
+    except DeadlineExceeded as error:
+        # A cancelled min-cut never advanced the bracket, so (low, high)
+        # are still certified bounds on val(ratio); attach them for the
+        # driver's anytime result.
+        error.outcome = snapshot()
+        raise
+
+    return snapshot()

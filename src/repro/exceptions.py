@@ -41,6 +41,23 @@ class ConfigError(AlgorithmError):
     """
 
 
+class DeadlineExceeded(ReproError):
+    """Raised when a query's time budget expires before the search completes.
+
+    Cooperative: solvers and drivers only check at phase boundaries, so the
+    residual state of every decision network is left exactly as it was at
+    the last completed phase — a cancelled warm network retunes and resumes
+    bit-identically.  ``partial`` carries the anytime result assembled by
+    the search driver (an :class:`repro.runtime.AnytimeResult`: the best
+    subgraph found so far plus certified density bounds), or ``None`` when
+    the budget expired before any search state existed.
+    """
+
+    def __init__(self, message: str, *, partial: object | None = None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
 class DatasetError(ReproError):
     """Raised when a named dataset is unknown or cannot be materialised."""
 

@@ -48,6 +48,14 @@ class DinicSolver:
     #: can continue from a nonzero feasible flow.
     supports_warm_start = True
 
+    #: Optional :class:`repro.runtime.Deadline`, attached by the engine when
+    #: the query carries a budget.  Checked between BFS rounds — the phase
+    #: boundary where the in-progress state is a snapshot the network has
+    #: not seen yet, so an abort leaves the network's residual capacities
+    #: exactly as they were at solve entry (write-back only happens on
+    #: completion) and a later warm retune is bit-identical.
+    deadline = None
+
     def __init__(
         self, network: FlowNetwork, source: int, sink: int, warm_start: bool = False
     ) -> None:
@@ -72,7 +80,14 @@ class DinicSolver:
         # A warm start credits the value of the flow already routed through
         # the network; the augmenting loop below then only tops it up.
         total = self.network.flow_value(self.source) if self.warm_start else 0.0
-        while self._build_levels(heads, targets, caps):
+        while True:
+            if self.deadline is not None:
+                # Cooperative cancellation checkpoint (one per BFS round):
+                # raising here discards the local caps snapshot before it is
+                # ever written back, so the network stays untouched.
+                self.deadline.check("dinic BFS round")
+            if not self._build_levels(heads, targets, caps):
+                break
             iters = [0] * self.network.num_nodes
             while True:
                 pushed = self._blocking_path(heads, targets, caps, iters)

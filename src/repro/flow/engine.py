@@ -70,6 +70,12 @@ defined in :mod:`repro.core.network_cache`.
     once-per-session ``backend_mismatch`` advisory when this counter moves;
     the ``"auto"`` policy never increments it (it batches or falls back to
     ``dinic`` instead).
+``deadline_hits``
+    Min-cut computations cancelled (or refused before starting) by an
+    expired :class:`repro.runtime.Deadline` armed on the engine.  Always 0
+    when no deadline is configured — the no-deadline fast path is a single
+    ``is None`` test per phase, which is what the bench-trajectory
+    checkpoint-overhead gate pins below 2%.
 
 A :class:`~repro.session.DDSSession` keeps one engine per solver for its
 whole lifetime, so the counters are *cumulative across queries*; algorithms
@@ -81,7 +87,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.exceptions import FlowError
+from repro.exceptions import DeadlineExceeded, FlowError
 from repro.flow.network import FlowNetwork
 from repro.flow.registry import (
     AUTO_ARC_THRESHOLD,
@@ -107,6 +113,7 @@ _COUNTERS = (
     "backend_selections",
     "batched_solves",
     "small_vector_solves",
+    "deadline_hits",
 )
 
 
@@ -123,6 +130,7 @@ class FlowEngine:
         "solver_class",
         "warm_start_fallback_reason",
         "auto_backend_choices",
+        "deadline",
     ) + _COUNTERS
 
     def __init__(self, flow_solver: str = DEFAULT_SOLVER) -> None:
@@ -135,6 +143,11 @@ class FlowEngine:
         #: Lifetime ``{backend name: times chosen}`` of the auto policy
         #: (empty for engines configured with a concrete solver).
         self.auto_backend_choices: dict[str, int] = {}
+        #: The active :class:`repro.runtime.Deadline`, or ``None``.  Armed by
+        #: the session layer for the duration of one query; every min-cut
+        #: checks it before starting and hands it to the solver for
+        #: phase-boundary cancellation checkpoints.
+        self.deadline = None
         for name in _COUNTERS:
             setattr(self, name, 0)
 
@@ -188,6 +201,11 @@ class FlowEngine:
         ``min_cut_source_side()`` for cut extraction; the engine's counters
         are already updated.
         """
+        if self.deadline is not None and self.deadline.expired:
+            # Refuse before touching the network: its residual state stays
+            # exactly as the caller left it, ready for a later warm retune.
+            self.deadline_hits += 1
+            self.deadline.check("engine.min_cut admission")
         if warm_start and not self.warm_capable:
             self.note_warm_fallback()
             network.reset_flow()
@@ -199,7 +217,18 @@ class FlowEngine:
         else:
             solver = solver_class(network, source, sink)
             self.cold_starts += 1
-        value = solver.max_flow()
+        if self.deadline is not None:
+            solver.deadline = self.deadline
+        try:
+            value = solver.max_flow()
+        except DeadlineExceeded:
+            # The solver aborted at a phase boundary without committing its
+            # in-progress snapshot; the partial work is still accounted for
+            # (keeping flow_calls == warm_starts_used + cold_starts).
+            self.deadline_hits += 1
+            self.flow_calls += 1
+            self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
+            raise
         self.flow_calls += 1
         self.arcs_pushed += getattr(solver, "arcs_pushed", 0)
         if getattr(solver, "height_reused", False):
@@ -263,6 +292,9 @@ class FlowEngine:
                 "batched solve requires the vectorised backend for the aggregate "
                 "arc count; gate with supports_batching() first"
             )
+        if self.deadline is not None and self.deadline.expired:
+            self.deadline_hits += 1
+            self.deadline.check("engine.min_cut_batch admission")
         import numpy
 
         batch.gather(active)
@@ -274,7 +306,17 @@ class FlowEngine:
             solver = solver_class(batch.network, batch.source, batch.sink)
         solver.arc_owner = batch.arc_owner
         solver.owner_pushes = numpy.zeros(batch.num_members, dtype=numpy.int64)
-        solver.max_flow()
+        if self.deadline is not None:
+            solver.deadline = self.deadline
+        try:
+            solver.max_flow()
+        except DeadlineExceeded:
+            # Cancellation skips the scatter: the *member* networks keep the
+            # residual flows they held at gather time (the stacked scratch
+            # buffers are rebuilt by the next gather), so every member still
+            # retunes bit-identically.
+            self.deadline_hits += 1
+            raise
         batch.scatter(active)
 
         members = len(active)

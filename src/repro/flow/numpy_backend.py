@@ -75,7 +75,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.exceptions import FlowError
+from repro.exceptions import DeadlineExceeded, FlowError
 from repro.flow.network import EPSILON, FlowNetwork
 
 #: Supersteps between two global relabels.  Decision networks are shallow
@@ -115,6 +115,16 @@ class NumpyPushRelabelSolver:
     #: Advertises to :class:`~repro.flow.engine.FlowEngine` that this solver
     #: can continue from a nonzero feasible flow (as an initial preflow).
     supports_warm_start = True
+
+    #: Optional :class:`repro.runtime.Deadline`, attached by the engine.
+    #: Checked once per superstep.  Because this backend writes *directly*
+    #: into the network's residual capacities (zero-copy views, no
+    #: write-back step to skip), arming a deadline makes :meth:`max_flow`
+    #: take one O(m) capacity backup up front and restore it on
+    #: cancellation — the only way a mid-phase preflow can be rolled back
+    #: to the valid entry flow so a later warm retune stays bit-identical.
+    #: Undeadlined solves take no backup and are unchanged.
+    deadline = None
 
     def __init__(
         self, network: FlowNetwork, source: int, sink: int, warm_start: bool = False
@@ -231,6 +241,36 @@ class NumpyPushRelabelSolver:
         # that certifies the min cut): still reachable ⇒ flood everything
         # that is left and run again — the second attempt is the classic
         # fully-flooded algorithm, whose termination guarantees the cut.
+        cap_backup = caps.copy() if self.deadline is not None else None
+        try:
+            self._flood_attempts(
+                caps, targets, excess, height, interior, relabel_trigger,
+                src_segment, big,
+            )
+        except DeadlineExceeded:
+            # Roll the zero-copy residual state back to the entry flow: a
+            # mid-phase preflow is not a feasible flow and must never be
+            # left behind for a warm retune to continue from.
+            caps[:] = cap_backup
+            self._seen = None
+            raise
+
+        network.stash_heights(source, sink, height.tolist())
+        return float(excess[sink])
+
+    def _flood_attempts(
+        self,
+        caps: np.ndarray,
+        targets: np.ndarray,
+        excess: np.ndarray,
+        height: np.ndarray,
+        interior: np.ndarray,
+        relabel_trigger: int,
+        src_segment: np.ndarray,
+        big: np.int64,
+    ) -> None:
+        """The budgeted-flood / certify loop of :meth:`max_flow` (see there)."""
+        sink = self.sink
         for attempt in range(3):
             src_live = src_segment[caps[src_segment] > EPSILON]
             if src_live.size:
@@ -276,9 +316,6 @@ class NumpyPushRelabelSolver:
                 "numpy push-relabel failed to certify a minimum cut after a full flood"
             )
 
-        network.stash_heights(source, sink, height.tolist())
-        return float(excess[sink])
-
     def _phase_one(
         self,
         height: np.ndarray,
@@ -311,6 +348,10 @@ class NumpyPushRelabelSolver:
         stalled = False
         pos_caps = caps[pos_arc]
         while True:
+            if self.deadline is not None:
+                # Cooperative cancellation checkpoint (one per superstep);
+                # max_flow's backup/restore undoes the in-place writes.
+                self.deadline.check("numpy-push-relabel superstep")
             active = interior & (height < n) & (excess > EPSILON)
             active_nodes = np.flatnonzero(active)
             if not active_nodes.size:

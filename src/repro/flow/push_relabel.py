@@ -22,6 +22,11 @@ from collections import deque
 from repro.exceptions import FlowError
 from repro.flow.network import EPSILON, FlowNetwork
 
+#: Discharge sweeps between two deadline checkpoints: frequent enough that a
+#: budget overrun is bounded by a few sweeps' work, cheap enough that the
+#: no-deadline path pays one ``is None`` test per sweep batch.
+DISCHARGE_CHECK_INTERVAL = 64
+
 
 class PushRelabelSolver:
     """Stateful FIFO push–relabel solver bound to one :class:`FlowNetwork`.
@@ -54,6 +59,14 @@ class PushRelabelSolver:
     #: Advertises to :class:`~repro.flow.engine.FlowEngine` that this solver
     #: can continue from a nonzero feasible flow (as an initial preflow).
     supports_warm_start = True
+
+    #: Optional :class:`repro.runtime.Deadline`, attached by the engine.
+    #: Checked every :data:`DISCHARGE_CHECK_INTERVAL` discharge sweeps; an
+    #: abort discards the local caps/height snapshots before write-back, so
+    #: the network keeps the valid feasible flow it held at solve entry
+    #: (a mid-solve preflow is *not* a feasible flow — it must never be
+    #: committed) and a later warm retune is bit-identical.
+    deadline = None
 
     def __init__(
         self, network: FlowNetwork, source: int, sink: int, warm_start: bool = False
@@ -129,7 +142,13 @@ class PushRelabelSolver:
         for node in range(n):
             height_count[height[node]] += 1
 
+        sweeps = 0
         while active:
+            if self.deadline is not None:
+                sweeps += 1
+                if sweeps >= DISCHARGE_CHECK_INTERVAL:
+                    sweeps = 0
+                    self.deadline.check("push-relabel discharge sweep")
             node = active.popleft()
             self._discharge(node, active)
 

@@ -13,6 +13,8 @@ wire: only graphs, query specs, and schema-2 result dicts do.
 """
 
 from repro.net.client import (
+    CircuitBreaker,
+    CircuitOpenError,
     RemoteOpError,
     ShardClient,
     ShardClientPool,
@@ -43,6 +45,8 @@ __all__ = [
     "PROTOCOL_VERSION",
     "REQUEST_OPS",
     "RESPONSE_STATUSES",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "RemoteOpError",
     "ShardClient",
     "ShardClientPool",

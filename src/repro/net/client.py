@@ -42,6 +42,14 @@ DEFAULT_BACKOFF_MAX = 2.0
 #: Default base of the exponential backoff schedule, in seconds.
 DEFAULT_BACKOFF_BASE = 0.05
 
+#: Consecutive exhausted retry ladders that open a host's circuit breaker.
+#: One is the right default: an exhausted ladder already represents
+#: ``max_retries + 1`` fresh-connection failures in a row.
+DEFAULT_BREAKER_THRESHOLD = 1
+
+#: Seconds an open breaker waits before letting one half-open probe through.
+DEFAULT_BREAKER_COOLDOWN = 5.0
+
 
 def parse_host_port(text: str, *, default_port: int | None = None) -> tuple[str, int]:
     """Parse ``"host:port"`` (or bare ``"host"`` with a default) to a pair.
@@ -85,6 +93,114 @@ class RemoteOpError(NetError):
         self.remote_message = remote_message
 
 
+class CircuitOpenError(NetError):
+    """Fast-fail: the host's circuit breaker is open, no connection was tried.
+
+    A :class:`~repro.exceptions.NetError` subclass on purpose — callers with
+    an inline-fallback path for transport failures (the batch executor)
+    handle it with the code they already have, just without paying the
+    connect-timeout-times-retry-ladder tax per lane.
+    """
+
+    def __init__(self, address: str, state: str) -> None:
+        super().__init__(f"circuit breaker for {address} is {state}; failing fast")
+        self.address = address
+        self.state = state
+
+
+class CircuitBreaker:
+    """Per-host health gate: closed → open on failures, half-open probe after cooldown.
+
+    The breaker watches whole retry *ladders*, not individual connection
+    attempts: :meth:`record_failure` means the client exhausted
+    ``max_retries + 1`` fresh connections against the host.  After
+    ``failure_threshold`` consecutive exhausted ladders the breaker opens
+    and :meth:`admit` fails fast (no socket is touched) until ``cooldown_s``
+    has elapsed on the monotonic clock; then exactly one request is admitted
+    as the *half-open probe* — its success recloses the breaker, its failure
+    re-opens it for another cooldown.  Concurrent requests during the probe
+    keep failing fast, so a dead host absorbs at most one ladder per
+    cooldown period.
+
+    ``clock`` is injectable (monotonic by contract — wall-clock jumps must
+    not re-admit a dead host early or pin a healthy one open).
+    """
+
+    #: The three classic states; ``state`` is always one of these.
+    STATES = ("closed", "open", "half-open")
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        cooldown_s: float = DEFAULT_BREAKER_COOLDOWN,
+        clock=time.monotonic,
+    ) -> None:
+        if not isinstance(failure_threshold, int) or failure_threshold < 1:
+            raise ConfigError(
+                f"failure_threshold must be an int >= 1, got {failure_threshold!r}"
+            )
+        if not cooldown_s > 0:
+            raise ConfigError(f"cooldown_s must be > 0, got {cooldown_s!r}")
+        self._threshold = failure_threshold
+        self._cooldown = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._counters = {
+            "breaker_opens": 0,
+            "breaker_fast_failures": 0,
+            "breaker_half_open_probes": 0,
+            "breaker_reclosures": 0,
+        }
+
+    def stats(self) -> dict[str, int]:
+        """Transition counters (ints only — summable across a pool)."""
+        with self._lock:
+            return dict(self._counters)
+
+    def admit(self, address: str) -> None:
+        """Gate one request; raises :class:`CircuitOpenError` unless admitted.
+
+        In the open state, the first caller after the cooldown becomes the
+        half-open probe; everyone else fails fast until the probe reports.
+        """
+        with self._lock:
+            if self.state == "closed":
+                return
+            if self.state == "open" and (
+                self._opened_at is None
+                or self._clock() - self._opened_at >= self._cooldown
+            ):
+                self.state = "half-open"
+                self._counters["breaker_half_open_probes"] += 1
+                return
+            self._counters["breaker_fast_failures"] += 1
+            raise CircuitOpenError(address, self.state)
+
+    def record_success(self) -> None:
+        """The admitted request reached the daemon: reclose if not closed."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self.state != "closed":
+                self.state = "closed"
+                self._opened_at = None
+                self._counters["breaker_reclosures"] += 1
+
+    def record_failure(self) -> None:
+        """An admitted request exhausted its ladder: open (or re-open)."""
+        with self._lock:
+            self._consecutive_failures += 1
+            if self.state == "half-open" or (
+                self.state == "closed" and self._consecutive_failures >= self._threshold
+            ):
+                self.state = "open"
+                self._opened_at = self._clock()
+                self._counters["breaker_opens"] += 1
+
+
 class ShardClient:
     """Talk to one :class:`~repro.net.daemon.ShardDaemon`.
 
@@ -107,6 +223,13 @@ class ShardClient:
     rng:
         Jitter source (a ``random.Random``); injectable for deterministic
         tests.
+    breaker:
+        The per-host :class:`CircuitBreaker` guarding this client; built
+        from ``breaker_threshold`` / ``breaker_cooldown`` when omitted.
+        Pass an instance to inject a deterministic clock in tests.
+    breaker_threshold / breaker_cooldown:
+        Exhausted-ladder count that opens the breaker, and seconds before
+        the half-open probe (ignored when ``breaker`` is given).
     """
 
     def __init__(
@@ -120,6 +243,9 @@ class ShardClient:
         backoff_base: float = DEFAULT_BACKOFF_BASE,
         backoff_max: float = DEFAULT_BACKOFF_MAX,
         rng: random.Random | None = None,
+        breaker: CircuitBreaker | None = None,
+        breaker_threshold: int = DEFAULT_BREAKER_THRESHOLD,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
     ) -> None:
         if port is None:
             host, port = parse_host_port(host)
@@ -133,6 +259,13 @@ class ShardClient:
         self._backoff_base = backoff_base
         self._backoff_max = backoff_max
         self._rng = rng if rng is not None else random.Random()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(
+                failure_threshold=breaker_threshold, cooldown_s=breaker_cooldown
+            )
+        )
         # Lanes of the remote executor share one client per host, so the
         # counters take a lock; the sockets themselves are per-request.
         self._counters_lock = threading.Lock()
@@ -150,9 +283,11 @@ class ShardClient:
         return f"{self.host}:{self.port}"
 
     def stats(self) -> dict[str, int]:
-        """A snapshot of this client's transport counters."""
+        """A snapshot of this client's transport and breaker counters."""
         with self._counters_lock:
-            return dict(self._counters)
+            stats = dict(self._counters)
+        stats.update(self.breaker.stats())
+        return stats
 
     def _bump(self, key: str, amount: int = 1) -> None:
         with self._counters_lock:
@@ -172,9 +307,29 @@ class ShardClient:
         """Send one request, retrying transport failures on fresh connections.
 
         Returns the response payload of an ``"ok"`` answer.  Raises
-        :class:`RemoteOpError` on a semantic failure (no retry) and
-        :class:`~repro.exceptions.NetError` once the ladder is exhausted.
+        :class:`CircuitOpenError` without touching the network while the
+        host's breaker is open, :class:`RemoteOpError` on a semantic
+        failure (no retry), and :class:`~repro.exceptions.NetError` once
+        the ladder is exhausted.
         """
+        self.breaker.admit(self.address)
+        try:
+            result = self._request_with_retries(op, payload, request_id)
+        except RemoteOpError:
+            # The daemon answered — the transport is healthy; only the op
+            # failed.  That must reclose a half-open breaker, not trip it.
+            self.breaker.record_success()
+            raise
+        except NetError:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return result
+
+    def _request_with_retries(
+        self, op: str, payload: dict[str, Any], request_id: str | None
+    ) -> dict[str, Any]:
+        """The retry ladder itself (breaker accounting lives in ``request``)."""
         last_error: Exception | None = None
         for attempt in range(self._max_retries + 1):
             if attempt:
@@ -241,6 +396,7 @@ class ShardClient:
         *,
         graph: dict[str, Any] | None = None,
         flow: dict[str, Any] | None = None,
+        deadline_ms: float | None = None,
     ) -> dict[str, Any]:
         """Solve one lane: ``entries`` are ``(plan_index, spec)`` pairs.
 
@@ -250,18 +406,20 @@ class ShardClient:
         an optional plain-dict ``FlowConfig`` the daemon applies when it
         has to *build* the session — a daemon started with its own
         ``flow`` override, or one that already holds the graph resident,
-        keeps its configuration.
+        keeps its configuration.  ``deadline_ms`` is the lane's remaining
+        budget: the daemon enforces it across the lane's entries and
+        answers entries it had no budget left for with anytime payloads.
         """
-        return self.request(
-            "solve",
-            {
-                "graph_key": graph_key,
-                "fingerprint": fingerprint,
-                "entries": [[index, spec] for index, spec in entries],
-                "graph": graph,
-                "flow": flow,
-            },
-        )
+        payload: dict[str, Any] = {
+            "graph_key": graph_key,
+            "fingerprint": fingerprint,
+            "entries": [[index, spec] for index, spec in entries],
+            "graph": graph,
+            "flow": flow,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        return self.request("solve", payload)
 
     def warm(
         self,
@@ -283,6 +441,13 @@ class ShardClient:
     def shutdown_daemon(self) -> dict[str, Any]:
         """Ask the daemon to stop serving after acknowledging."""
         return self.request("shutdown", {})
+
+    def drain(self, *, grace_s: float | None = None) -> dict[str, Any]:
+        """Ask the daemon to drain: finish in-flight work, flush, exit cleanly."""
+        payload: dict[str, Any] = {}
+        if grace_s is not None:
+            payload["grace_s"] = float(grace_s)
+        return self.request("drain", payload)
 
 
 class ShardClientPool:
@@ -312,9 +477,13 @@ class ShardClientPool:
         return self._clients[shard % len(self._clients)]
 
     def aggregate_stats(self) -> dict[str, int]:
-        """Transport counters summed across every client in the pool."""
+        """Transport and breaker counters summed across every client in the pool."""
         totals: dict[str, int] = {}
         for client in self._clients:
             for key, value in client.stats().items():
                 totals[key] = totals.get(key, 0) + value
         return totals
+
+    def breaker_states(self) -> dict[str, str]:
+        """Current breaker state per host address (not summable, hence separate)."""
+        return {client.address: client.breaker.state for client in self._clients}

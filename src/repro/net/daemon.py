@@ -44,6 +44,7 @@ import collections
 import selectors
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any
@@ -51,6 +52,7 @@ from typing import Any
 from repro.core.config import FlowConfig
 from repro.exceptions import ConfigError, NetError, ProtocolError, ReproError
 from repro.net import protocol
+from repro.runtime import Deadline
 from repro.service.queries import run_batch_query
 from repro.service.store import SessionStore
 from repro.session import DDSSession
@@ -62,6 +64,13 @@ DAEMON_FAULT_KINDS = ("close", "exit")
 
 #: Default capacity of the resident-session LRU.
 DEFAULT_MAX_SESSIONS = 8
+
+#: Default seconds a drain waits for in-flight requests before stopping anyway.
+DEFAULT_DRAIN_GRACE = 10.0
+
+#: Seconds granted to each daemon-owned thread at shutdown before it is
+#: declared unjoined (a hygiene failure surfaced in ``daemon_stats()``).
+THREAD_JOIN_TIMEOUT = 10.0
 
 
 @dataclass
@@ -149,12 +158,18 @@ class ShardDaemon:
             "session_cache_hits": 0,
             "session_cache_misses": 0,
             "sessions_evicted": 0,
+            "sessions_flushed": 0,
             "bytes_in": 0,
             "bytes_out": 0,
             "connections_accepted": 0,
+            "deadline_hits": 0,
+            "deadline_rejections": 0,
+            "unjoined_threads": 0,
         }
+        self._in_flight = 0
 
         self._stop = threading.Event()
+        self._draining = threading.Event()
         self._thread: threading.Thread | None = None
         self._listen: socket.socket | None = None
         self._bound_port: int | None = None
@@ -221,11 +236,49 @@ class ShardDaemon:
             self._thread.join(timeout)
 
     def shutdown(self) -> None:
-        """Stop serving and release every socket; idempotent and thread-safe."""
+        """Stop serving and release every socket; idempotent and thread-safe.
+
+        Threads that fail to join within :data:`THREAD_JOIN_TIMEOUT` are
+        counted as ``unjoined_threads`` in :meth:`daemon_stats` — the E6
+        hygiene gate's signal that a daemon is leaking threads at shutdown.
+        """
         self._request_stop()
         thread = self._thread
         if thread is not None and thread is not threading.current_thread():
-            thread.join(timeout=10)
+            thread.join(timeout=THREAD_JOIN_TIMEOUT)
+            if thread.is_alive():
+                self._count("unjoined_threads")
+
+    def drain(self, grace_s: float = DEFAULT_DRAIN_GRACE) -> None:
+        """Begin a graceful drain; returns immediately (``join`` observes the exit).
+
+        The drain contract: stop accepting new connections, let in-flight
+        requests finish (up to ``grace_s`` seconds), flush the resident
+        sessions to the store, release every socket, and let
+        :meth:`serve_forever` return — the CLI then exits 0.  Idempotent;
+        also the target of the ``serve`` sub-command's SIGINT/SIGTERM
+        handlers and of the remote ``drain`` op.
+        """
+        if isinstance(grace_s, bool) or not isinstance(grace_s, (int, float)) or not grace_s > 0:
+            raise ConfigError(f"drain grace must be a positive number of seconds, got {grace_s!r}")
+        if self._draining.is_set():
+            return
+        self._draining.set()
+        self._wake()
+        threading.Thread(
+            target=self._await_drain, args=(float(grace_s),), name="dds-shard-drain", daemon=True
+        ).start()
+
+    def _await_drain(self, grace_s: float) -> None:
+        """Wait (monotonic clock) for in-flight work, then stop the loop."""
+        give_up_at = time.monotonic() + grace_s
+        while time.monotonic() < give_up_at:
+            with self._stats_lock:
+                busy = self._in_flight
+            if busy <= 0:
+                break
+            time.sleep(0.02)
+        self._request_stop()
 
     def __enter__(self) -> "ShardDaemon":
         if self._thread is None:
@@ -257,9 +310,14 @@ class ShardDaemon:
 
         Keys: ``requests`` (per-op counts), ``errors`` (error responses
         sent), ``session_cache_hits`` / ``session_cache_misses`` (resident-
-        session LRU), ``sessions_resident`` / ``sessions_evicted``,
-        ``bytes_in`` / ``bytes_out`` (frame bytes over all connections),
-        ``connections_accepted``, and ``open_connections``.
+        session LRU), ``sessions_resident`` / ``sessions_evicted`` /
+        ``sessions_flushed`` (teardown saves to the store), ``bytes_in`` /
+        ``bytes_out`` (frame bytes over all connections),
+        ``connections_accepted``, ``open_connections``, ``in_flight``,
+        ``draining``, ``deadline_hits`` (entries answered with anytime
+        payloads), ``deadline_rejections`` (entries the lane budget left no
+        time for), and ``unjoined_threads`` (shutdown hygiene — threads
+        alive after their :data:`THREAD_JOIN_TIMEOUT` join).
         """
         with self._stats_lock:
             snapshot = {
@@ -267,6 +325,8 @@ class ShardDaemon:
                 for key, value in self._counters.items()
             }
             snapshot["open_connections"] = len(self._conns)
+            snapshot["in_flight"] = self._in_flight
+        snapshot["draining"] = self._draining.is_set()
         with self._sessions_lock:
             snapshot["sessions_resident"] = len(self._sessions)
         return snapshot
@@ -293,6 +353,8 @@ class ShardDaemon:
         assert self._selector is not None and self._listen is not None
         try:
             while not self._stop.is_set():
+                if self._draining.is_set():
+                    self._close_listener()
                 events = self._selector.select(timeout=0.2)
                 for key, _ in events:
                     sock = key.fileobj
@@ -311,6 +373,23 @@ class ShardDaemon:
                         self._pool.submit(self._serve_one, sock)
         finally:
             self._teardown()
+
+    def _close_listener(self) -> None:
+        """Stop accepting new connections (drain): close the listening socket.
+
+        Runs on the selector thread only, so it cannot race :meth:`_accept`;
+        established connections stay registered and keep being served.
+        """
+        listen = self._listen
+        if listen is None:
+            return
+        self._listen = None
+        assert self._selector is not None
+        try:
+            self._selector.unregister(listen)
+        except (KeyError, ValueError):  # pragma: no cover - already gone
+            pass
+        listen.close()
 
     def _accept(self) -> None:
         """Accept one pending connection and register it for reads."""
@@ -344,10 +423,18 @@ class ShardDaemon:
                 self._close_conn(sock)
 
     def _teardown(self) -> None:
-        """Close every socket and stop the worker pool (loop thread only)."""
+        """Stop the pool, flush resident sessions, close every socket (loop thread only)."""
         assert self._selector is not None
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            # Bounded join with per-thread accounting instead of a blocking
+            # shutdown(wait=True): a worker stuck past the timeout (e.g. on a
+            # dead peer's read) is *counted*, not waited on forever.
+            self._pool.shutdown(wait=False)
+            for worker in list(self._pool._threads):
+                worker.join(timeout=THREAD_JOIN_TIMEOUT)
+                if worker.is_alive():
+                    self._count("unjoined_threads")
+        self._flush_sessions()
         self._selector.close()
         if self._listen is not None:
             self._listen.close()
@@ -358,6 +445,26 @@ class ShardDaemon:
         for waker in (self._waker_recv, self._waker_send):
             if waker is not None:
                 waker.close()
+
+    def _flush_sessions(self) -> None:
+        """Save every resident session's warm state to the store (best effort).
+
+        The second half of the drain contract: residency is only a cache, so
+        nothing a resident session learned may die with the daemon when a
+        store is attached.  Runs after the worker pool has stopped, so no
+        request can be mutating a session mid-save.
+        """
+        if self._store is None:
+            return
+        with self._sessions_lock:
+            entries = list(self._sessions.values())
+        for entry in entries:
+            with entry.lock:
+                try:
+                    self._store.save_session(entry.session)
+                except ReproError:  # pragma: no cover - keep tearing down
+                    continue
+            self._count("sessions_flushed")
 
     def _close_conn(self, sock: socket.socket) -> None:
         """Close one client connection and forget it."""
@@ -404,6 +511,18 @@ class ShardDaemon:
             self._close_conn(sock)
             return
         self._count_request(op)
+        with self._stats_lock:
+            self._in_flight += 1
+        try:
+            self._serve_request(sock, op, request_id, message)
+        finally:
+            with self._stats_lock:
+                self._in_flight -= 1
+
+    def _serve_request(
+        self, sock: socket.socket, op: str, request_id: str, message: dict[str, Any]
+    ) -> None:
+        """Dispatch, respond, and hand the socket back (in-flight already counted)."""
         fault = self._take_fault(op)
         if fault is not None:
             # Simulated partition: vanish without a response.  ``exit``
@@ -456,6 +575,8 @@ class ShardDaemon:
             return self._op_warm(payload)
         if op == "inventory":
             return self._op_inventory(payload)
+        if op == "drain":
+            return self._op_drain(payload)
         if op == "shutdown":
             return {"stopping": True}
         raise NetError(f"unhandled op {op!r}")  # pragma: no cover - decode rejects these
@@ -553,6 +674,22 @@ class ShardDaemon:
         entries = payload.get("entries")
         if not isinstance(entries, list):
             raise NetError("solve payload requires an 'entries' list")
+        lane_deadline_ms = payload.get("deadline_ms")
+        if lane_deadline_ms is not None:
+            if (
+                isinstance(lane_deadline_ms, bool)
+                or not isinstance(lane_deadline_ms, (int, float))
+                or not lane_deadline_ms > 0
+            ):
+                raise NetError(
+                    f"solve 'deadline_ms' must be a positive number, got {lane_deadline_ms!r}"
+                )
+        # The lane budget starts at acceptance: session residency lookup,
+        # graph decode, and queueing behind another request for the same
+        # graph all spend it, exactly like local executor lanes.
+        lane_deadline = (
+            Deadline(float(lane_deadline_ms)) if lane_deadline_ms is not None else None
+        )
         entry, cache_hit = self._session_for(
             fingerprint, payload.get("graph"), payload.get("flow")
         )
@@ -566,9 +703,29 @@ class ShardDaemon:
                 index, spec = item
                 if not isinstance(spec, dict):
                     raise NetError(f"solve entry {index!r} spec must be an object")
-                result_payload, seconds = time_call(
-                    lambda: run_batch_query(entry.session, spec)
+                remaining_ms = (
+                    lane_deadline.remaining_ms() if lane_deadline is not None else None
                 )
+                if remaining_ms is not None and remaining_ms <= 0:
+                    # No budget left for this entry: answer it as a deadline
+                    # hit without doing (or corrupting) any work.
+                    self._count("deadline_rejections")
+                    executions.append(
+                        {
+                            "index": int(index),
+                            "kind": spec.get("query", "densest"),
+                            "seconds": 0.0,
+                            "payload": {"deadline_exceeded": True, "is_exact": False},
+                        }
+                    )
+                    continue
+                result_payload, seconds = time_call(
+                    lambda: run_batch_query(entry.session, spec, deadline_ms=remaining_ms)
+                )
+                if isinstance(result_payload, dict) and result_payload.get(
+                    "deadline_exceeded"
+                ):
+                    self._count("deadline_hits")
                 executions.append(
                     {
                         "index": int(index),
@@ -629,3 +786,17 @@ class ShardDaemon:
             "store_root": str(self._store.root) if self._store is not None else None,
             "store": self._store.inventory() if self._store is not None else None,
         }
+
+    def _op_drain(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Acknowledge, then drain: the response leaves before serving stops.
+
+        Payload: ``{"grace_s": <seconds> | absent}``.  The reported
+        ``in_flight`` excludes this drain request itself.
+        """
+        grace = payload.get("grace_s", DEFAULT_DRAIN_GRACE)
+        if isinstance(grace, bool) or not isinstance(grace, (int, float)) or not grace > 0:
+            raise NetError(f"drain 'grace_s' must be a positive number, got {grace!r}")
+        with self._stats_lock:
+            in_flight = self._in_flight
+        self.drain(float(grace))
+        return {"draining": True, "grace_s": float(grace), "in_flight": max(in_flight - 1, 0)}

@@ -64,7 +64,9 @@ from repro.graph.digraph import DiGraph
 PROTOCOL_VERSION = 1
 
 #: Request operations a :class:`~repro.net.daemon.ShardDaemon` understands.
-REQUEST_OPS = ("solve", "warm", "inventory", "ping", "shutdown")
+#: ``drain`` (graceful stop-accepting/finish-in-flight/flush/exit) is additive
+#: — an op name, not a message-shape change — so the version stays at 1.
+REQUEST_OPS = ("solve", "warm", "inventory", "ping", "shutdown", "drain")
 
 #: Response statuses: ``"ok"`` carries a result payload, ``"error"`` carries
 #: ``{"error": <exception type name>, "message": <text>}``.

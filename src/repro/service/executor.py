@@ -73,6 +73,7 @@ from typing import Any, Callable, Mapping
 
 from repro.core.config import FlowConfig
 from repro.exceptions import BatchQueryError, ConfigError, NetError
+from repro.runtime import Deadline
 from repro.graph.digraph import DiGraph
 from repro.service import shm
 from repro.service.planner import BatchPlan, PlannedQuery, ShardMap
@@ -224,10 +225,27 @@ def _process_worker_main(conn: Any, assignment: dict[str, Any]) -> None:
                 store_counters: dict[str, int] = {}
                 if store is not None:
                     store_counters.update(store.warm_session(session))
+                deadline_ms = assignment.get("deadline_ms")
+                lane_deadline = Deadline(deadline_ms) if deadline_ms is not None else None
                 executions: list[dict[str, Any]] = []
                 for index, spec in lane["entries"]:
                     _inject_fault(fault, graph_key, index)
-                    payload, seconds = time_call(lambda: run_batch_query(session, spec))
+                    remaining = (
+                        lane_deadline.remaining_ms() if lane_deadline is not None else None
+                    )
+                    if remaining is not None and remaining <= 0:
+                        executions.append(
+                            {
+                                "index": index,
+                                "kind": spec.get("query", "densest"),
+                                "seconds": 0.0,
+                                "payload": {"deadline_exceeded": True, "is_exact": False},
+                            }
+                        )
+                        continue
+                    payload, seconds = time_call(
+                        lambda: run_batch_query(session, spec, deadline_ms=remaining)
+                    )
                     executions.append(
                         {
                             "index": index,
@@ -323,6 +341,16 @@ class BatchExecutor:
         dispatched with the target lane fail at the matching query, so the
         crash-recovery ladder is deterministically testable.  Never triggers
         on the inline fallback path.
+    deadline_ms:
+        Per-*lane* wall-clock budget.  Each lane arms a fresh monotonic
+        :class:`~repro.runtime.Deadline` and every query receives the
+        budget still remaining when it starts; a query the budget has no
+        time left for is answered ``{"deadline_exceeded": true}`` without
+        running.  On the remote path the budget ships in the solve request
+        and the daemon enforces it (queueing and decode spend it too); an
+        inline fallback lane re-arms a fresh budget, since the remote
+        attempt consumed the original one.  Deadline hits are counted in
+        ``executor_stats["deadline_hit_queries"]``.
     """
 
     def __init__(
@@ -338,6 +366,7 @@ class BatchExecutor:
         max_retries: int = 1,
         mp_start_method: str | None = None,
         fault_injection: Mapping[str, Any] | None = None,
+        deadline_ms: float | None = None,
     ) -> None:
         if isinstance(graphs, Mapping):
             table = dict(graphs)
@@ -388,6 +417,12 @@ class BatchExecutor:
         self._max_retries = max_retries
         self._mp_start_method = mp_start_method
         self._fault = fault_injection
+        if deadline_ms is not None:
+            # Deadline's own validation rejects non-positive/non-finite
+            # budgets; constructing one here fails fast at configure time.
+            Deadline(deadline_ms)
+            deadline_ms = float(deadline_ms)
+        self._deadline_ms = deadline_ms
 
     # ------------------------------------------------------------------
     def _run_lane(
@@ -402,9 +437,24 @@ class BatchExecutor:
         store_counters: dict[str, int] = {}
         if self._store is not None:
             store_counters.update(self._store.warm_session(session))
+        lane_deadline = Deadline(self._deadline_ms) if self._deadline_ms is not None else None
         executions: list[QueryExecution] = []
         for entry in lane:
-            payload, seconds = time_call(lambda: run_batch_query(session, entry.spec))
+            remaining = lane_deadline.remaining_ms() if lane_deadline is not None else None
+            if remaining is not None and remaining <= 0:
+                executions.append(
+                    QueryExecution(
+                        index=entry.index,
+                        graph_key=graph_key,
+                        kind=entry.spec.get("query", "densest"),
+                        seconds=0.0,
+                        payload={"deadline_exceeded": True, "is_exact": False},
+                    )
+                )
+                continue
+            payload, seconds = time_call(
+                lambda: run_batch_query(session, entry.spec, deadline_ms=remaining)
+            )
             executions.append(
                 QueryExecution(
                     index=entry.index,
@@ -454,6 +504,7 @@ class BatchExecutor:
             "result_cache_size": self._result_cache_size,
             "store_root": str(self._store.root) if self._store is not None else None,
             "fault": dict(fault) if fault else None,
+            "deadline_ms": self._deadline_ms,
         }
         process = ctx.Process(
             target=_process_worker_main,
@@ -665,14 +716,18 @@ class BatchExecutor:
         daemon across batches and its resident session keeps paying off.
         A lane whose daemon stays unreachable through the client's
         retry/backoff ladder falls back to an inline solve (degraded,
-        counted in ``remote_failures``); a lane whose *query* fails
-        remotely is re-run inline so the genuine typed error surfaces
-        locally with thread-path semantics (first error aborts the batch
-        after every lane drains).  Graphs with labels that cannot cross
-        the wire losslessly run inline too, counted separately.
+        counted in ``remote_failures``) *and* trips that host's circuit
+        breaker — subsequent lanes for the host fast-fail straight to
+        inline (``breaker_skipped_lanes``) until a half-open probe
+        succeeds.  A lane whose *query* fails remotely is re-run inline so
+        the genuine typed error surfaces locally with thread-path
+        semantics (first error aborts the batch after every lane drains).
+        Graphs with labels that cannot cross the wire losslessly run
+        inline too, counted separately.  ``stats["breaker_states"]``
+        snapshots each host's breaker after the batch.
         """
         from repro.net import protocol as net_protocol
-        from repro.net.client import RemoteOpError, ShardClientPool
+        from repro.net.client import CircuitOpenError, RemoteOpError, ShardClientPool
 
         assert self._remote_hosts is not None
         graphs = {key: self._provider(key) for key in lanes}
@@ -696,6 +751,7 @@ class BatchExecutor:
             "lanes_remote": 0,
             "lanes_inline": 0,
             "remote_failures": 0,
+            "breaker_skipped_lanes": 0,
             "unwirable_lanes": 0,
             "degraded_lanes": [],
         }
@@ -741,12 +797,20 @@ class BatchExecutor:
                     [(entry.index, entry.spec) for entry in lanes[graph_key]],
                     graph=wire,
                     flow=flow_doc,
+                    deadline_ms=self._deadline_ms,
                 )
             except RemoteOpError:
                 # The daemon is healthy but the lane failed for a genuine
                 # (typed) reason: re-run inline so the original exception
                 # reproduces locally and aborts the batch like a thread
                 # lane's would.
+                return inline(graph_key, remote_attempted=True)
+            except CircuitOpenError:
+                # The host's breaker is open: no connection was even
+                # attempted, so this lane routes inline immediately instead
+                # of burning a retry ladder against a known-dead daemon.
+                with lock:
+                    stats["breaker_skipped_lanes"] += 1
                 return inline(graph_key, remote_attempted=True)
             except NetError:
                 with lock:
@@ -778,6 +842,7 @@ class BatchExecutor:
             raise first_error
         stats["degraded_lanes"] = sorted(degraded)
         stats["client"] = pool.aggregate_stats()
+        stats["breaker_states"] = pool.breaker_states()
         return [outcome for outcome in collected if outcome is not None], stats
 
     # ------------------------------------------------------------------
@@ -824,8 +889,8 @@ class BatchExecutor:
                 outcomes = [future.result() for future in futures]
         return self._assemble(outcomes, executor_stats)
 
-    @staticmethod
     def _assemble(
+        self,
         outcomes: list[tuple[str, list[QueryExecution], dict[str, Any], dict[str, int]]],
         executor_stats: dict[str, Any],
     ) -> BatchReport:
@@ -840,6 +905,15 @@ class BatchExecutor:
             session_stats[graph_key] = stats
             if store_counters:
                 store_stats[graph_key] = store_counters
+        if self._deadline_ms is not None:
+            executor_stats = dict(executor_stats)
+            executor_stats["deadline_ms"] = self._deadline_ms
+            executor_stats["deadline_hit_queries"] = sum(
+                1
+                for execution in executions
+                if isinstance(execution.payload, dict)
+                and execution.payload.get("deadline_exceeded")
+            )
         return BatchReport(
             executions=executions,
             session_stats=session_stats,

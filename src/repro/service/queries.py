@@ -32,7 +32,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.core.results import DDSResult
-from repro.exceptions import BatchQueryError
+from repro.exceptions import BatchQueryError, DeadlineExceeded
 from repro.session import DDSSession
 
 #: The query kinds understood by :func:`run_batch_query`, in documentation order.
@@ -157,7 +157,43 @@ def _reject_leftovers(spec: dict[str, Any], query: str) -> None:
         )
 
 
-def run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
+def _merge_deadline(own: Any, lane: float | None) -> float | None:
+    """Combine a query's own budget with the lane-level one (tightest wins)."""
+    if own is None:
+        return lane
+    if lane is None:
+        return float(own)
+    return min(float(own), lane)
+
+
+def _inject_deadline(
+    session: DDSSession, method: str, spec: dict[str, Any], deadline_ms: float | None
+) -> None:
+    """Fold a lane-level budget into a densest/top-k spec, tightest-wins.
+
+    Only flow-backed methods run min-cuts and hence have cancellation
+    checkpoints; peeling methods finish in linear time, so a lane budget on
+    them is a no-op rather than a :class:`ConfigError`.
+    """
+    if deadline_ms is None:
+        return
+    resolved, _ = session._resolve_method(method)
+    if not resolved.flow_backed:
+        return
+    spec["deadline_ms"] = _merge_deadline(spec.get("deadline_ms"), deadline_ms)
+
+
+def deadline_payload(error: DeadlineExceeded) -> dict[str, Any]:
+    """JSON-ready payload of a deadline hit: the anytime partial, if any."""
+    partial = getattr(error, "partial", None)
+    if partial is not None and hasattr(partial, "to_payload"):
+        return partial.to_payload()
+    return {"deadline_exceeded": True, "is_exact": False}
+
+
+def run_batch_query(
+    session: DDSSession, spec: dict[str, Any], deadline_ms: float | None = None
+) -> Any:
     """Execute one batch entry against ``session`` and return its payload.
 
     ``densest`` / ``top-k`` forward their remaining fields into the typed
@@ -166,6 +202,13 @@ def run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
     fixed field set and reject leftovers explicitly.  Service-tier routing
     fields (:data:`RESERVED_FIELDS`) are stripped first — by the time a spec
     reaches a session, the graph has already been chosen.
+
+    ``deadline_ms`` is the *lane-level* remaining budget the executor or a
+    shard daemon grants this entry; it is folded into flow-backed queries
+    (tightest of lane budget and the entry's own ``deadline_ms`` wins), and
+    a deadline hit is answered as the anytime payload
+    (``{"deadline_exceeded": true, ...bounds...}``) instead of an exception
+    — one slow entry must not take down the whole batch.
     """
     if not isinstance(spec, dict):
         raise BatchQueryError(f"batch entries must be JSON objects, got: {spec!r}")
@@ -176,13 +219,22 @@ def run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
     if query == "densest":
         method = spec.pop("method", "auto")
         show_nodes = bool(spec.pop("show_nodes", False))
-        result = session.densest_subgraph(method, **spec)
+        _inject_deadline(session, method, spec, deadline_ms)
+        try:
+            result = session.densest_subgraph(method, **spec)
+        except DeadlineExceeded as error:
+            return deadline_payload(error)
         return find_payload(result, show_nodes)
     if query == "top-k":
         method = spec.pop("method", "auto")
         k = spec.pop("k", 3)
         min_density = spec.pop("min_density", 0.0)
-        return topk_payload(session.top_k(k, method=method, min_density=min_density, **spec))
+        _inject_deadline(session, method, spec, deadline_ms)
+        try:
+            results = session.top_k(k, method=method, min_density=min_density, **spec)
+        except DeadlineExceeded as error:
+            return deadline_payload(error)
+        return topk_payload(results)
     if query == "xy-core":
         x = _pop_required(spec, "x", query)
         y = _pop_required(spec, "y", query)
@@ -196,8 +248,24 @@ def run_batch_query(session: DDSSession, spec: dict[str, Any]) -> Any:
     if query == "fixed-ratio":
         ratio = _as_number(_pop_required(spec, "ratio", query), "ratio", query)
         tolerance = _as_number(spec.pop("tolerance", None), "tolerance", query, optional=True)
+        own_deadline = _as_number(
+            spec.pop("deadline_ms", None), "deadline_ms", query, optional=True
+        )
         _reject_leftovers(spec, query)
-        outcome = session.fixed_ratio(ratio, tolerance=tolerance)
+        try:
+            outcome = session.fixed_ratio(
+                ratio,
+                tolerance=tolerance,
+                deadline_ms=_merge_deadline(own_deadline, deadline_ms),
+            )
+        except DeadlineExceeded as error:
+            payload = deadline_payload(error)
+            outcome = getattr(error, "outcome", None)
+            if outcome is not None:
+                payload.update(
+                    {"ratio": outcome.ratio, "lower": outcome.lower, "upper": outcome.upper}
+                )
+            return payload
         return {
             "ratio": outcome.ratio,
             "lower": outcome.lower,

@@ -47,7 +47,13 @@ from repro.core.network_cache import NetworkCache
 from repro.core.results import DDSResult, FixedRatioOutcome
 from repro.core.subproblem import STSubproblem
 from repro.core.xycore import XYCore, max_xy_core, xy_core
-from repro.exceptions import AlgorithmError, ConfigError, EmptyGraphError, GraphError
+from repro.exceptions import (
+    AlgorithmError,
+    ConfigError,
+    DeadlineExceeded,
+    EmptyGraphError,
+    GraphError,
+)
 from repro.flow.engine import FlowEngine
 from repro.graph.digraph import DiGraph, NodeLabel
 from repro.graph.properties import graph_summary
@@ -60,6 +66,7 @@ from repro.incremental.maintain import (
     refresh_cores,
     seed_cache_from,
 )
+from repro.runtime import Deadline
 from repro.utils.validation import require_positive_int
 
 #: Default capacity of the per-session whole-result LRU cache.
@@ -146,6 +153,7 @@ class DDSSession:
         self._updates_applied = 0
         self._certified_stale_hits = 0
         self._local_research_runs = 0
+        self._anytime_returns = 0
         self._invalidated_keys: set[tuple[str, MethodConfig]] = set()
         self._lineage: list[str] = []
 
@@ -313,11 +321,28 @@ class DDSSession:
                 # disable caching): honour it with a private cache instead of
                 # silently using — or resizing — the shared session cache.
                 network_cache = NetworkCache(cfg.flow.network_cache_size)
+        engine = self._engine_for(solver)
         context = RunContext(
-            engine=self._engine_for(solver),
+            engine=engine,
             network_cache=network_cache if spec.supports_warm_start else None,
         )
-        return spec.runner(graph, cfg, context)
+        deadline_ms = (
+            cfg.flow.deadline_ms if isinstance(cfg, ExactConfig) else self.flow.deadline_ms
+        )
+        if deadline_ms is None:
+            return spec.runner(graph, cfg, context)
+        # Arm the per-query budget on the engine — the one object every
+        # driver and solver below this call already receives — and always
+        # disarm it, so a deadline never leaks into the next query sharing
+        # this engine.
+        engine.deadline = Deadline(deadline_ms)
+        try:
+            return spec.runner(graph, cfg, context)
+        except DeadlineExceeded:
+            self._anytime_returns += 1
+            raise
+        finally:
+            engine.deadline = None
 
     def _serve(self, spec: MethodSpec, cfg: MethodConfig) -> DDSResult:
         """Answer a whole-graph query through the result cache."""
@@ -523,6 +548,7 @@ class DDSSession:
         refine_above: float | None = None,
         flow_solver: str | None = None,
         warm_start: bool | None = None,
+        deadline_ms: float | None = None,
     ) -> FixedRatioOutcome:
         """Bracket the fixed-ratio surrogate optimum ``val(ratio)``.
 
@@ -546,18 +572,28 @@ class DDSSession:
         if tolerance is None:
             tolerance = self.exactness_tolerance()
         engine = self._engine_for(flow_solver if flow_solver is not None else self.flow.solver)
-        return maximize_fixed_ratio(
-            self.subproblem(),
-            float(ratio),
-            lower=lower,
-            upper=upper,
-            tolerance=tolerance,
-            coarse_gap=coarse_gap,
-            refine_above=refine_above,
-            engine=engine,
-            network_cache=self._network_cache,
-            warm_start=self.flow.warm_start if warm_start is None else bool(warm_start),
-        )
+        if deadline_ms is None:
+            deadline_ms = self.flow.deadline_ms
+        if deadline_ms is not None:
+            engine.deadline = Deadline(deadline_ms)
+        try:
+            return maximize_fixed_ratio(
+                self.subproblem(),
+                float(ratio),
+                lower=lower,
+                upper=upper,
+                tolerance=tolerance,
+                coarse_gap=coarse_gap,
+                refine_above=refine_above,
+                engine=engine,
+                network_cache=self._network_cache,
+                warm_start=self.flow.warm_start if warm_start is None else bool(warm_start),
+            )
+        except DeadlineExceeded:
+            self._anytime_returns += 1
+            raise
+        finally:
+            engine.deadline = None
 
     def xy_core(self, x: int, y: int) -> XYCore:
         """The maximal [x, y]-core (cached per ``(x, y)``; copy returned)."""
@@ -883,6 +919,7 @@ class DDSSession:
             "updates_applied": self._updates_applied,
             "certified_stale_hits": self._certified_stale_hits,
             "local_research_runs": self._local_research_runs,
+            "anytime_returns": self._anytime_returns,
         }
         stats.update(self._network_cache.stats())
         for counter in (
@@ -897,6 +934,7 @@ class DDSSession:
             "backend_selections",
             "batched_solves",
             "small_vector_solves",
+            "deadline_hits",
         ):
             stats[counter] = sum(getattr(engine, counter) for engine in self._engines.values())
         auto_backends: dict[str, int] = {}

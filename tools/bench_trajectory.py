@@ -68,6 +68,12 @@ remotely (zero inline fallbacks, zero remote failures) — ``--check`` turns
 any violation into a failure.  The ``parallel`` block records the daemon
 count, the remote lane count, and the aggregated client counters.
 
+The **deadline-overhead rows** (``deadline:advogato-small/dc-exact``) time
+the same dc-exact solve with the deadline conduit disarmed vs armed with a
+never-firing budget (best-of-N walls).  Armed checkpoints are a branch
+plus a monotonic clock read at solver phase boundaries; ``--check`` gates
+their cost under 2% of the solve wall, with the armed answer bit-identical.
+
 The **incremental-update workload** (``incremental:advogato-small/dc-exact``)
 replays a removal-only edge-update stream two ways: one session absorbing
 every delta through ``apply_updates`` (cached networks patched, cached
@@ -122,6 +128,14 @@ PARALLEL_DATASETS = ("er-medium", "planted-medium", "amazon-medium", "wiki-talk-
 #: shards of 2, so a jobs-2 run genuinely fans out) with a few methods each.
 PROCPOOL_DATASETS = ("foodweb-tiny", "social-tiny")
 PROCPOOL_METHODS = ("flow-exact", "dc-exact", "core-exact")
+
+#: The deadline-overhead workload: the same dc-exact run with the deadline
+#: conduit disarmed vs armed with a never-firing budget.  Armed checkpoints
+#: are branch-plus-clock-read at phase boundaries; the gate keeps their
+#: cost under 2% of the solve.  Best-of-N walls de-noise the comparison.
+DEADLINE_DATASET = "advogato-small"
+DEADLINE_METHOD = "dc-exact"
+DEADLINE_REPEATS = 5
 
 #: The incremental-update workload: a removal-only edge-update stream served
 #: through one session's ``apply_updates`` (patch + certify) vs a cold
@@ -209,6 +223,37 @@ def _run_incremental(solver: str) -> tuple[float, float, dict, bool]:
         for inc, ref in zip(incremental_densities, cold_densities)
     )
     return incremental_wall, cold_wall, session.cache_stats(), match
+
+
+def _run_deadline_overhead() -> tuple[float, float, bool]:
+    """Best-of-N walls for the deadline workload, disarmed vs armed.
+
+    Returns ``(disarmed_wall_ms, armed_wall_ms, identical)`` where
+    ``identical`` certifies the armed run returned the bit-identical
+    subgraph — a generous budget must be answer-neutral, or the overhead
+    number is meaningless.
+    """
+    graph = load_dataset(DEADLINE_DATASET)
+    walls: dict[str, list[float]] = {"disarmed": [], "armed": []}
+    answers: dict[str, tuple] = {}
+    for _ in range(DEADLINE_REPEATS):
+        for mode, deadline_ms in (("disarmed", None), ("armed", 1e12)):
+            session = DDSSession(graph)
+            start = time.perf_counter()
+            if deadline_ms is None:
+                result = session.densest_subgraph(DEADLINE_METHOD)
+            else:
+                result = session.densest_subgraph(
+                    DEADLINE_METHOD, deadline_ms=deadline_ms
+                )
+            walls[mode].append((time.perf_counter() - start) * 1000.0)
+            answers[mode] = (
+                result.density,
+                sorted(map(str, result.s_nodes)),
+                sorted(map(str, result.t_nodes)),
+            )
+    identical = answers["disarmed"] == answers["armed"]
+    return min(walls["disarmed"]), min(walls["armed"]), identical
 
 
 def _run_batch(jobs: int, solver: str) -> tuple[float, dict]:
@@ -327,8 +372,9 @@ def main(argv: list[str] | None = None) -> int:
         "jobs-4 beats jobs-1, the batched auto run beats the sequential "
         "numpy run >= 1.5x on the small guess-sequence workload, "
         "apply_updates beats per-delta cold rebuilds >= 2x on the "
-        "incremental workload, and the process pool matches the thread "
-        "reference bit-for-bit on the procpool batch",
+        "incremental workload, deadline checkpoints cost < 2% when armed "
+        "with a never-firing budget, and the process pool matches the "
+        "thread reference bit-for-bit on the procpool batch",
     )
     args = parser.parse_args(argv)
 
@@ -369,6 +415,20 @@ def main(argv: list[str] | None = None) -> int:
         f"incremental-update speedup apply_updates vs cold rebuild: {incremental_ratio:.2f}x "
         f"(certified_stale_hits={incremental_stats.get('certified_stale_hits')}, "
         f"local_research_runs={incremental_stats.get('local_research_runs')})"
+    )
+
+    deadline_name = f"deadline:{DEADLINE_DATASET}/{DEADLINE_METHOD}"
+    disarmed_wall, armed_wall, deadline_identical = _run_deadline_overhead()
+    rows.append(_row(deadline_name, AUTO_SOLVER, "disarmed", disarmed_wall, {}))
+    rows.append(_row(deadline_name, AUTO_SOLVER, "armed", armed_wall, {}))
+    deadline_overhead = (
+        armed_wall / disarmed_wall - 1.0 if disarmed_wall > 0 else float("inf")
+    )
+    print(f"{deadline_name:40s} {AUTO_SOLVER:20s} {'disarmed':12s} {disarmed_wall:10.1f}ms", flush=True)
+    print(f"{deadline_name:40s} {AUTO_SOLVER:20s} {'armed':12s} {armed_wall:10.1f}ms", flush=True)
+    print(
+        f"deadline-checkpoint overhead armed vs disarmed: {deadline_overhead * 100:.2f}% "
+        f"(best of {DEADLINE_REPEATS}, answers identical: {deadline_identical})"
     )
 
     large_ratio = None
@@ -572,6 +632,18 @@ def main(argv: list[str] | None = None) -> int:
         if not incremental_match:
             failures.append(
                 f"incremental and cold-rebuild densities diverged on {incremental_name}"
+            )
+        # Deadline-checkpoint overhead gate: arming a never-firing budget
+        # must cost < 2% wall on the deadline workload, answer unchanged.
+        if deadline_overhead >= 0.02:
+            failures.append(
+                f"deadline checkpoints cost {deadline_overhead * 100:.2f}% on "
+                f"{deadline_name} (armed {armed_wall:.0f}ms vs disarmed "
+                f"{disarmed_wall:.0f}ms; recorded bound is 2%)"
+            )
+        if not deadline_identical:
+            failures.append(
+                f"armed and disarmed runs disagree on the {deadline_name} subgraph"
             )
         if has_vector_backend():
             # Small-workload regression gate: the batched auto run of the
